@@ -1,0 +1,91 @@
+// Model-space frontier behind Figure 10(a): the analytical read–write
+// trade-off curves of the vertical scheme (sweeping T) versus the
+// horizontal scheme (sweeping ℓ, leveling + the paper's tiering extension).
+// The Bentley–Saxe/Theorem-4.2 claim in model space: the horizontal curve
+// dominates (sits under) the vertical curve.
+#include <cstdio>
+
+#include "filter/bloom.h"
+#include "tuning/cost_model.h"
+#include "tuning/vertical_cost_model.h"
+
+using namespace talus;
+using namespace talus::tuning;
+
+int main() {
+  const double f = BloomFalsePositiveRate(5.0);
+  const double P = 4.0;
+  const uint64_t n = 1024;  // Data volume in buffers.
+
+  std::printf("Analytical read-write frontier (N/B = %llu buffers, f = "
+              "%.3f, P = %.0f)\n\n",
+              static_cast<unsigned long long>(n), f, P);
+
+  std::printf("-- Vertical scheme (levels from data volume; sweep T) --\n");
+  std::printf("%-22s %12s %12s\n", "design", "R (lookup)", "W (update)");
+  for (double T : {2.0, 4.0, 6.0, 8.0, 10.0, 16.0}) {
+    VerticalCostModel m;
+    m.size_ratio = T;
+    m.bloom_fpr = f;
+    m.page_entries = P;
+    m.data_buffers = n;
+    std::printf("VT-Level T=%-11.0f %12.4f %12.4f\n", T,
+                m.PointLookupCost(HorizontalMerge::kLeveling),
+                m.UpdateCost(HorizontalMerge::kLeveling));
+    std::printf("VT-Tier  T=%-11.0f %12.4f %12.4f\n", T,
+                m.PointLookupCost(HorizontalMerge::kTiering),
+                m.UpdateCost(HorizontalMerge::kTiering));
+  }
+
+  std::printf("\n-- Horizontal scheme (fixed data; sweep l) --\n");
+  std::printf("%-22s %12s %12s\n", "design", "R (lookup)", "W (update)");
+  HorizontalCostModel h;
+  h.capacity_buffers = n;
+  h.bloom_fpr = f;
+  h.page_entries = P;
+  for (int l : {2, 3, 4, 5, 6, 8, 10}) {
+    std::printf("HR-Level l=%-11d %12.4f %12.4f\n", l,
+                h.PointLookupCost(HorizontalMerge::kLeveling, l),
+                h.UpdateCost(HorizontalMerge::kLeveling, l));
+  }
+  for (int l : {2, 3, 4, 5, 6, 8, 10}) {
+    std::printf("HR-Tier  l=%-11d %12.4f %12.4f\n", l,
+                h.PointLookupCost(HorizontalMerge::kTiering, l),
+                h.UpdateCost(HorizontalMerge::kTiering, l));
+  }
+
+  std::printf("\n-- Dominance check: best W at matched R budget --\n");
+  std::printf("%12s %14s %14s %9s\n", "R budget", "vertical W*",
+              "horizontal W*", "HR wins");
+  for (double budget : {0.2, 0.4, 0.6, 1.0, 1.5, 2.5, 4.0}) {
+    double best_v = -1, best_h = -1;
+    for (double T : {2.0, 3.0, 4.0, 6.0, 8.0, 10.0, 16.0, 32.0}) {
+      VerticalCostModel m;
+      m.size_ratio = T;
+      m.bloom_fpr = f;
+      m.page_entries = P;
+      m.data_buffers = n;
+      for (auto merge :
+           {HorizontalMerge::kLeveling, HorizontalMerge::kTiering}) {
+        if (m.PointLookupCost(merge) <= budget) {
+          const double w = m.UpdateCost(merge);
+          if (best_v < 0 || w < best_v) best_v = w;
+        }
+      }
+    }
+    for (int l = 2; l <= 64; l++) {
+      for (auto merge :
+           {HorizontalMerge::kLeveling, HorizontalMerge::kTiering}) {
+        if (h.PointLookupCost(merge, l) <= budget) {
+          const double w = h.UpdateCost(merge, l);
+          if (best_h < 0 || w < best_h) best_h = w;
+        }
+      }
+    }
+    std::printf("%12.2f %14.4f %14.4f %9s\n", budget, best_v, best_h,
+                (best_h >= 0 && (best_v < 0 || best_h <= best_v + 1e-9))
+                    ? "yes"
+                    : "NO");
+  }
+  return 0;
+}

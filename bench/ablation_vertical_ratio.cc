@@ -1,0 +1,53 @@
+// Ablation for Eq. 2 (§5.1): Vertiorizon's size-ratio optimization for the
+// vertical part. With ratios (T', T²/T') the combined write amplification
+// of the two vertical levels is T' + (T²/T' + 1)/2, minimized at
+// T' = T/√2, giving √2·T + 1/2 versus the naive T + (T+1)/2.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace talus;
+using namespace talus::bench;
+
+int main() {
+  const uint64_t kKeys = 20000;
+
+  std::printf("Eq. 2 ablation: vertical-part ratio T' = T/sqrt(2) vs T' = "
+              "T\n\n");
+  std::printf("Analytical WA of the two vertical levels:\n");
+  std::printf("%6s %14s %14s %9s\n", "T", "naive T'=T", "opt T'=T/sqrt2",
+              "gain");
+  for (double T : {4.0, 6.0, 8.0, 10.0}) {
+    const double naive = T + (T + 1.0) / 2.0;
+    const double opt = std::sqrt(2.0) * T + 0.5;
+    std::printf("%6.0f %14.2f %14.2f %8.1f%%\n", T, naive, opt,
+                100.0 * (1.0 - opt / naive));
+  }
+
+  std::printf("\nMeasured (write-heavy workload, fixed-tiering Vertiorizon "
+              "so only the vertical part varies):\n");
+  std::printf("%6s %12s %12s %12s %12s\n", "T", "WA(naive)", "WA(opt)",
+              "space(naive)", "space(opt)");
+  for (double T : {4.0, 6.0, 8.0, 10.0}) {
+    double wa[2] = {0, 0}, space[2] = {0, 0};
+    for (int opt = 0; opt < 2; opt++) {
+      ExperimentConfig config;
+      config.label = opt ? "opt" : "naive";
+      config.policy = GrowthPolicyConfig::VRNTier(T);
+      config.policy.vrn_optimize_ratio = (opt == 1);
+      config.keys.num_keys = kKeys;
+      config.keys.key_size = 128;
+      config.keys.value_size = 896;
+      config.mix = workload::WriteHeavyMix();
+      config.preload_entries = kKeys;
+      config.num_ops = 20000;
+      auto r = RunExperiment(config);
+      wa[opt] = r.ok ? r.write_amp : -1;
+      space[opt] = r.ok ? r.space_amp : -1;
+    }
+    std::printf("%6.0f %12.2f %12.2f %12.3f %12.3f\n", T, wa[0], wa[1],
+                space[0], space[1]);
+  }
+  return 0;
+}

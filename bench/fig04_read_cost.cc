@@ -1,0 +1,77 @@
+// Figure 4 reproduction: read cost of three compaction-timing strategies
+// when moving 60MB from Level 1 to Level 2 in three compactions, with x
+// lookups per MB ingested and every lookup probing every live run.
+//
+//   (a) equal frequency   (20/20/20) : total 90x  (paper)
+//   (b) decreasing freq.  (30/20/10) : total 80x  (paper, optimal)
+//   (c) all-at-the-end    (60)x3     : total 150x (paper)
+#include <cstdio>
+#include <vector>
+
+#include "theory/optimal_dp.h"
+#include "theory/schemes.h"
+
+using namespace talus::theory;
+
+namespace {
+
+// Runs arrive at L1 as 10MB batches (one per 10MB ingested). Compactions
+// after the given ingestion points move everything in L1 into one new L2
+// run. Each MB of ingestion performs x lookups; cost counts one probe per
+// live run per lookup round (x = 1 here; scale externally).
+uint64_t ReadCost(const std::vector<int>& compaction_points_mb) {
+  const int total_mb = 60;
+  const int batch_mb = 10;
+  uint64_t cost = 0;
+  std::vector<int> l1_births, l2_births;  // Birth time in MB.
+  size_t next = 0;
+  for (int mb = 1; mb <= total_mb; mb++) {
+    if (mb % batch_mb == 0) l1_births.push_back(mb);
+    if (next < compaction_points_mb.size() &&
+        mb == compaction_points_mb[next]) {
+      for (int birth : l1_births) cost += mb - birth;
+      l1_births.clear();
+      l2_births.push_back(mb);
+      next++;
+    }
+  }
+  for (int birth : l1_births) cost += total_mb - birth;
+  for (int birth : l2_births) cost += total_mb - birth;
+  return cost;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 4: compaction timing vs total read cost "
+              "(60MB ingested, 10MB runs, x lookups per MB)\n\n");
+  struct Case {
+    const char* name;
+    std::vector<int> points;
+    int paper;
+  };
+  const Case cases[] = {
+      {"(a) equal frequency 20/40/60", {20, 40, 60}, 90},
+      {"(b) decreasing freq 30/50/60", {30, 50, 60}, 80},
+      {"(c) everything at 60", {60, 60, 60}, 150},
+  };
+  for (const auto& c : cases) {
+    std::printf("%-32s total read cost = %3llux   (paper: %dx)\n", c.name,
+                static_cast<unsigned long long>(ReadCost(c.points)), c.paper);
+  }
+
+  std::printf("\nOptimal schedules from the Lemma 9.2 dynamic program "
+              "(n flushes, l levels, r=1):\n");
+  std::printf("%6s %4s %12s %12s\n", "n", "l", "dp-optimal", "closed-form");
+  OptimalReadCostDp dp;
+  for (int l : {2, 3, 4}) {
+    for (uint64_t n : {6, 10, 20, 56, 120}) {
+      std::printf("%6llu %4d %12llu %12llu\n",
+                  static_cast<unsigned long long>(n), l,
+                  static_cast<unsigned long long>(dp.Cost(n, l)),
+                  static_cast<unsigned long long>(
+                      TieringReadCostClosedForm(n, l)));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 7 reproduction: average + worst-case throughput for the full
+// method roster across the four YCSB workload mixes, under uniform and
+// Zipfian key distributions (a, b); space amplification on the balanced
+// uniform workload (c); and the cross-metric ranking table (d).
+//
+// Scale is the simulator scale documented in DESIGN.md §2: 1KB entries,
+// 20k-key space (~20MB), 64KB write buffer, T = 6, 5 bits-per-key Bloom
+// filters, small block cache (the paper's 32MB-equivalent).
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+
+using namespace talus;
+using namespace talus::bench;
+
+namespace {
+
+struct WorkloadCase {
+  const char* name;
+  workload::OpMix mix;
+};
+
+double AvgTput(const ExperimentResult& r) { return r.avg_throughput; }
+double WorstTput(const ExperimentResult& r) { return r.worst_throughput; }
+double SpaceAmp(const ExperimentResult& r) { return r.space_amp; }
+
+}  // namespace
+
+int main() {
+  const double T = 6.0;
+  const uint64_t kKeys = 20000;
+  const uint64_t kEntryBytes = 1024;  // 128B key + 896B value (paper).
+  const uint64_t kDataBytes = kKeys * kEntryBytes;
+
+  const std::vector<WorkloadCase> cases = {
+      {"Read-heavy", workload::ReadHeavyMix()},
+      {"Balanced", workload::BalancedMix()},
+      {"Write-heavy", workload::WriteHeavyMix()},
+      {"Range-scan", workload::RangeScanMix()},
+  };
+  const std::vector<std::pair<const char*, workload::Distribution>> dists = {
+      {"Uniform", workload::Distribution::kUniform},
+      {"Zipfian", workload::Distribution::kZipfian},
+  };
+
+  std::printf("Figure 7: overall comparison (11 methods x 4 mixes x 2 "
+              "distributions)\n");
+  std::printf("Scale: %llu keys x %llu B, buffer 64KB, T=%.0f, 5 BPK, "
+              "small cache\n",
+              static_cast<unsigned long long>(kKeys),
+              static_cast<unsigned long long>(kEntryBytes), T);
+
+  std::vector<ExperimentResult> balanced_uniform;
+
+  for (const auto& [dist_name, dist] : dists) {
+    for (const auto& wc : cases) {
+      std::vector<ExperimentResult> results;
+      for (const auto& [label, policy] : PaperMethodRoster(T, kDataBytes, wc.mix)) {
+        ExperimentConfig config;
+        config.label = label;
+        config.policy = policy;
+        config.keys.num_keys = kKeys;
+        config.keys.key_size = 128;
+        config.keys.value_size = 896;
+        config.keys.distribution = dist;
+        config.mix = wc.mix;
+        config.preload_entries = kKeys;
+        config.num_ops = 30000;
+        results.push_back(RunExperiment(config));
+      }
+      PrintResultTable(std::string("Fig 7 ") + dist_name + " / " + wc.name,
+                       results);
+      if (dist == workload::Distribution::kUniform) {
+        // Figure 7(d) ranking rows.
+        PrintRanking(std::string("rank avg ") + wc.name, results, AvgTput,
+                     true);
+        PrintRanking(std::string("rank worst ") + wc.name, results,
+                     WorstTput, true);
+        if (std::string(wc.name) == "Balanced") {
+          balanced_uniform = results;
+        }
+      }
+    }
+  }
+
+  // Figure 7(c): space amplification, balanced uniform workload.
+  std::printf("\n== Fig 7(c): space amplification (balanced, uniform) ==\n");
+  std::printf("%-18s %10s\n", "method", "space-amp");
+  for (const auto& r : balanced_uniform) {
+    if (r.ok) std::printf("%-18s %10.3f\n", r.label.c_str(), r.space_amp);
+  }
+  PrintRanking("rank space-amp", balanced_uniform, SpaceAmp, false);
+
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Figure 8 + Table 3 reproduction: sensitivity to Bloom-filter budget and
+// block-cache size.
+//   (a) 20 bits per key, small cache      — 4 workload mixes
+//   (b) large cache (everything cached)   — 4 workload mixes
+//   (c) 20 BPK + large cache              — 4 workload mixes
+//   (d) BPK sweep 4→20, balanced uniform
+//   (e) cache sweep, balanced uniform
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+
+using namespace talus;
+using namespace talus::bench;
+
+namespace {
+
+double AvgTput(const ExperimentResult& r) { return r.avg_throughput; }
+double WorstTput(const ExperimentResult& r) { return r.worst_throughput; }
+
+std::vector<std::pair<std::string, GrowthPolicyConfig>> Fig8Roster(
+    double T, uint64_t data_bytes) {
+  return {
+      {"VT-Level-Part", GrowthPolicyConfig::VTLevelPart(T)},
+      {"VT-Level-Full", GrowthPolicyConfig::VTLevelFull(T)},
+      {"VT-Tier-Part", GrowthPolicyConfig::VTTierPart(T)},
+      {"VT-Tier-Full", GrowthPolicyConfig::VTTierFull(T)},
+      {"HR-Level", GrowthPolicyConfig::HRLevel(3)},
+      {"HR-Tier", GrowthPolicyConfig::HRTier(3, data_bytes)},
+      {"Vertiorizon", GrowthPolicyConfig::Vertiorizon(T)},
+  };
+}
+
+}  // namespace
+
+int main() {
+  const double T = 6.0;
+  const uint64_t kKeys = 20000;
+  const uint64_t kDataBytes = kKeys * 1024;
+  const size_t kSmallCache = 256 << 10;
+  const size_t kLargeCache = 128 << 20;  // Everything fits: 64GB-equivalent.
+
+  struct MixCase {
+    const char* name;
+    workload::OpMix mix;
+  };
+  const std::vector<MixCase> mixes = {
+      {"Read-heavy", workload::ReadHeavyMix()},
+      {"Balanced", workload::BalancedMix()},
+      {"Write-heavy", workload::WriteHeavyMix()},
+      {"Range-scan", workload::RangeScanMix()},
+  };
+
+  auto run_case = [&](const std::string& title, double bpk, size_t cache,
+                      const workload::OpMix& mix) {
+    std::vector<ExperimentResult> results;
+    for (const auto& [label, policy] : Fig8Roster(T, kDataBytes)) {
+      ExperimentConfig config;
+      config.label = label;
+      config.policy = policy;
+      // Feed the actual filter budget to the self-tuner's cost model.
+      if (policy.scheme == GrowthScheme::kVertiorizon) {
+        config.policy.expected_mix.updates = mix.updates;
+        config.policy.expected_mix.point_lookups = mix.point_lookups;
+        config.policy.expected_mix.range_lookups = mix.range_lookups;
+      }
+      config.keys.num_keys = kKeys;
+      config.keys.key_size = 128;
+      config.keys.value_size = 896;
+      config.mix = mix;
+      config.preload_entries = kKeys;
+      config.num_ops = 20000;
+      config.bloom_bits_per_key = bpk;
+      config.block_cache_bytes = cache;
+      results.push_back(RunExperiment(config));
+    }
+    PrintResultTable(title, results);
+    PrintRanking("  rank avg", results, AvgTput, true);
+    PrintRanking("  rank worst", results, WorstTput, true);
+  };
+
+  std::printf("Figure 8: Bloom filter and block cache sensitivity\n");
+
+  for (const auto& mc : mixes) {
+    run_case(std::string("Fig 8(a) 20 BPK / small cache / ") + mc.name, 20.0,
+             kSmallCache, mc.mix);
+  }
+  for (const auto& mc : mixes) {
+    run_case(std::string("Fig 8(b) 5 BPK / large cache / ") + mc.name, 5.0,
+             kLargeCache, mc.mix);
+  }
+  for (const auto& mc : mixes) {
+    run_case(std::string("Fig 8(c) 20 BPK / large cache / ") + mc.name, 20.0,
+             kLargeCache, mc.mix);
+  }
+
+  std::printf("\n-- Fig 8(d): bits-per-key sweep (balanced, uniform, small "
+              "cache) --\n");
+  for (double bpk : {4.0, 8.0, 12.0, 16.0, 20.0}) {
+    run_case("Fig 8(d) BPK=" + std::to_string(static_cast<int>(bpk)), bpk,
+             kSmallCache, workload::BalancedMix());
+  }
+
+  std::printf("\n-- Fig 8(e): block cache sweep (balanced, uniform, 5 BPK) "
+              "--\n");
+  for (size_t cache : {size_t{64} << 10, size_t{256} << 10, size_t{1} << 20,
+                       size_t{4} << 20, size_t{16} << 20, size_t{128} << 20}) {
+    run_case("Fig 8(e) cache=" + std::to_string(cache >> 10) + "KB", 5.0,
+             cache, workload::BalancedMix());
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 9 reproduction: behaviour at a larger data scale (the paper's
+// 500GB run, scaled to the simulator: 3× the Figure 7 key count with a
+// proportionally larger buffer — the data:buffer ratio, which controls how
+// long full-compaction stalls grow, rises accordingly).
+//   (a) moderate memory: 10 BPK, small cache
+//   (b) large memory:    20 BPK, everything cached
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+
+using namespace talus;
+using namespace talus::bench;
+
+namespace {
+
+double AvgTput(const ExperimentResult& r) { return r.avg_throughput; }
+double WorstTput(const ExperimentResult& r) { return r.worst_throughput; }
+
+}  // namespace
+
+int main() {
+  const double T = 6.0;
+  const uint64_t kKeys = 100000;  // ~100MB of 1KB entries.
+  const uint64_t kDataBytes = kKeys * 1024;
+
+  std::printf("Figure 9: larger data scale, balanced uniform workload\n");
+
+  struct MemCase {
+    const char* name;
+    double bpk;
+    size_t cache;
+  };
+  const MemCase cases[] = {
+      {"(a) moderate memory: 10 BPK, small cache", 10.0, 512 << 10},
+      {"(b) large memory: 20 BPK, all cached", 20.0, 256 << 20},
+  };
+
+  for (const auto& mc : cases) {
+    std::vector<ExperimentResult> results;
+    const std::vector<std::pair<std::string, GrowthPolicyConfig>> roster = {
+        {"VT-Level-Part", GrowthPolicyConfig::VTLevelPart(T)},
+        {"VT-Level-Full", GrowthPolicyConfig::VTLevelFull(T)},
+        {"VT-Tier-Part", GrowthPolicyConfig::VTTierPart(T)},
+        {"VT-Tier-Full", GrowthPolicyConfig::VTTierFull(T)},
+        {"HR-Level", GrowthPolicyConfig::HRLevel(3)},
+        {"HR-Tier", GrowthPolicyConfig::HRTier(3, kDataBytes)},
+        {"Vertiorizon", GrowthPolicyConfig::Vertiorizon(T)},
+    };
+    for (const auto& [label, policy] : roster) {
+      ExperimentConfig config;
+      config.label = label;
+      config.policy = policy;
+      config.keys.num_keys = kKeys;
+      config.keys.key_size = 128;
+      config.keys.value_size = 896;
+      config.mix = workload::BalancedMix();
+      config.preload_entries = kKeys;
+      config.num_ops = 40000;
+      config.write_buffer_size = 64 << 10;
+      config.target_file_size = 64 << 10;
+      config.bloom_bits_per_key = mc.bpk;
+      config.block_cache_bytes = mc.cache;
+      config.worst_case_window = 300;
+      results.push_back(RunExperiment(config));
+    }
+    PrintResultTable(std::string("Fig 9 ") + mc.name, results);
+    PrintRanking("  rank avg", results, AvgTput, true);
+    PrintRanking("  rank worst", results, WorstTput, true);
+    std::printf("  max inline stall (clock units):");
+    for (const auto& r : results) {
+      if (r.ok) std::printf(" %s=%.0f", r.label.c_str(), r.max_stall);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 10(a) reproduction: the read–write trade-off curves. Each design
+// is one point (per-lookup cost, per-update cost) in virtual-clock units on
+// a balanced workload:
+//   vertical: {partial, full} × {leveling, tiering} × T ∈ {4, 6, 8, 10}
+//   horizontal: {leveling, tiering (ours)} × ℓ ∈ {3, 4, 6}
+// The paper's claim: horizontal-tiering extends the horizontal curve so it
+// envelops both vertical families (the Pareto frontier).
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+
+using namespace talus;
+using namespace talus::bench;
+
+int main() {
+  const uint64_t kKeys = 20000;
+  const uint64_t kDataBytes = kKeys * 1024;
+
+  std::printf("Figure 10(a): read-write trade-off points "
+              "(balanced uniform workload)\n");
+  std::printf("%-24s %12s %12s\n", "design", "lookup-cost", "update-cost");
+
+  struct Point {
+    std::string name;
+    GrowthPolicyConfig policy;
+  };
+  std::vector<Point> points;
+  for (double T : {4.0, 6.0, 8.0, 10.0}) {
+    const int t = static_cast<int>(T);
+    points.push_back({"VT-Level-Part T=" + std::to_string(t),
+                      GrowthPolicyConfig::VTLevelPart(T)});
+    points.push_back({"VT-Level-Full T=" + std::to_string(t),
+                      GrowthPolicyConfig::VTLevelFull(T)});
+    points.push_back({"VT-Tier-Part T=" + std::to_string(t),
+                      GrowthPolicyConfig::VTTierPart(T)});
+    points.push_back({"VT-Tier-Full T=" + std::to_string(t),
+                      GrowthPolicyConfig::VTTierFull(T)});
+  }
+  for (int l : {3, 4, 6}) {
+    points.push_back(
+        {"HR-Level l=" + std::to_string(l), GrowthPolicyConfig::HRLevel(l)});
+    points.push_back({"HR-Tier l=" + std::to_string(l),
+                      GrowthPolicyConfig::HRTier(l, kDataBytes)});
+  }
+
+  for (const auto& p : points) {
+    ExperimentConfig config;
+    config.label = p.name;
+    config.policy = p.policy;
+    config.keys.num_keys = kKeys;
+    config.keys.key_size = 128;
+    config.keys.value_size = 896;
+    config.mix = workload::BalancedMix();
+    config.preload_entries = kKeys;
+    config.num_ops = 20000;
+    auto r = RunExperiment(config);
+    if (!r.ok) {
+      std::printf("%-24s FAILED: %s\n", p.name.c_str(), r.error.c_str());
+      continue;
+    }
+    std::printf("%-24s %12.3f %12.3f\n", p.name.c_str(), r.lookup_cost,
+                r.update_cost);
+  }
+  std::printf("\nInterpretation: connect the points per family; the "
+              "horizontal curve (leveling + tiering ends) should lie "
+              "closest to the origin, dominating both vertical families.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 10(b–e) reproduction: embedding Vertiorizon's horizontal-tiering
+// part into lazy-leveling (Dostoevsky).
+//   (b) small cache, static filters:      lazy (L) vs embedded (E)
+//   (c) small cache, adapted filters:     Monkey for L, dynamic layout for E
+//   (d) large cache, static filters
+//   (e) large cache, adapted filters
+// Bars: per-op lookup and update latency; the embedding should cut lookup
+// latency without hurting updates.
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+
+using namespace talus;
+using namespace talus::bench;
+
+int main() {
+  const uint64_t kKeys = 20000;
+
+  std::printf("Figure 10(b-e): lazy-leveling (L) vs lazy-leveling embedded "
+              "with Vertiorizon (E)\n");
+
+  struct Case {
+    const char* name;
+    size_t cache;
+    bool adapted_filter;
+  };
+  const Case cases[] = {
+      {"(b) small cache, static filter", 256 << 10, false},
+      {"(c) small cache, adapted filter", 256 << 10, true},
+      {"(d) large cache, static filter", 128 << 20, false},
+      {"(e) large cache, adapted filter", 128 << 20, true},
+  };
+
+  for (const auto& c : cases) {
+    std::printf("\n== Fig 10%s ==\n", c.name);
+    std::printf("%-10s %-8s %12s %12s %12s\n", "T", "design", "lookup-cost",
+                "update-cost", "total");
+    for (double T : {4.0, 6.0, 8.0, 10.0}) {
+      for (bool embed : {false, true}) {
+        ExperimentConfig config;
+        config.label = embed ? "E" : "L";
+        config.policy = GrowthPolicyConfig::LazyLeveling(T, 4, embed);
+        config.keys.num_keys = kKeys;
+        config.keys.key_size = 128;
+        config.keys.value_size = 896;
+        config.mix = workload::BalancedMix();
+        config.preload_entries = kKeys;
+        config.num_ops = 20000;
+        config.block_cache_bytes = c.cache;
+        if (c.adapted_filter) {
+          // The paper pairs lazy-leveling with the Monkey layout and the
+          // embedded design with this paper's dynamic layout (§5.4).
+          config.filter_layout =
+              embed ? FilterLayout::kDynamic : FilterLayout::kMonkey;
+        }
+        auto r = RunExperiment(config);
+        if (!r.ok) {
+          std::printf("T=%-8.0f %-8s FAILED: %s\n", T, config.label.c_str(),
+                      r.error.c_str());
+          continue;
+        }
+        std::printf("T=%-8.0f %-8s %12.3f %12.3f %12.3f\n", T,
+                    embed ? "E(+VRN)" : "L(lazy)", r.lookup_cost,
+                    r.update_cost, r.lookup_cost + r.update_cost);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Experiment harness: builds an engine per method configuration, preloads a
+// key space, replays a YCSB-style operation stream, and reports the paper's
+// metrics (average / worst-case throughput on the virtual clock, space &
+// write & read amplification, latency split). One binary per paper
+// table/figure sits on top of this.
+#ifndef TALUS_BENCH_HARNESS_H_
+#define TALUS_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lsm/db.h"
+#include "workload/generator.h"
+
+namespace talus {
+namespace bench {
+
+struct ExperimentConfig {
+  std::string label;
+  GrowthPolicyConfig policy;
+
+  workload::KeySpaceSpec keys;
+  workload::OpMix mix;
+  uint64_t preload_entries = 20000;
+  uint64_t num_ops = 40000;
+  size_t scan_length = 32;
+
+  uint64_t write_buffer_size = 64 << 10;
+  uint64_t target_file_size = 64 << 10;
+  size_t block_cache_bytes = 256 << 10;
+  double bloom_bits_per_key = 5.0;
+  FilterLayout filter_layout = FilterLayout::kStatic;
+
+  size_t worst_case_window = 250;
+  uint64_t seed = 20250610;
+};
+
+struct ExperimentResult {
+  std::string label;
+  double avg_throughput = 0;       // ops per virtual-clock unit.
+  double worst_throughput = 0;     // min windowed ops/clock.
+  double space_amp = 0;            // (peak bytes − data bytes) / data bytes.
+  double write_amp = 0;            // physical / logical write bytes.
+  double read_amp = 0;             // runs probed per point lookup.
+  double update_cost = 0;          // mean clock units per update.
+  double lookup_cost = 0;          // mean clock units per point lookup.
+  double range_cost = 0;           // mean clock units per range lookup.
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  double max_stall = 0;            // longest inline stall, clock units.
+  bool ok = false;
+  std::string error;
+};
+
+/// Runs one experiment on a fresh MemEnv. Deterministic for a fixed config.
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+/// Renders results as an aligned table. When `normalize` is set, throughput
+/// columns are scaled to the best performer = 1.00 (the paper's y-axis).
+void PrintResultTable(const std::string& title,
+                      const std::vector<ExperimentResult>& results,
+                      bool normalize = true);
+
+/// Prints "method rank" lines (1 = best) for a metric extracted by `get`.
+void PrintRanking(const std::string& title,
+                  const std::vector<ExperimentResult>& results,
+                  double (*get)(const ExperimentResult&),
+                  bool higher_is_better);
+
+/// The paper's Figure 7 method roster, parameterized by size ratio T and
+/// the data-size estimate handed to HR-Tier.
+std::vector<std::pair<std::string, GrowthPolicyConfig>> PaperMethodRoster(
+    double T, uint64_t total_data_bytes, const workload::OpMix& mix);
+
+}  // namespace bench
+}  // namespace talus
+
+#endif  // TALUS_BENCH_HARNESS_H_

@@ -1,0 +1,108 @@
+// Regenerates the theory tables: Lemma 4.1 (counter drain identity),
+// Theorem 4.2 / Lemma 9.4 (Algorithm 2 vs DP optimum vs closed form),
+// Lemma 5.1 (tiering lookup cost), Lemma 5.2 (leveling write cost), plus
+// DP timing to show the closed forms are the practical path.
+#include <chrono>
+#include <cstdio>
+
+#include "theory/binomial.h"
+#include "theory/optimal_dp.h"
+#include "theory/schemes.h"
+
+using namespace talus::theory;
+
+int main() {
+  std::printf("== Lemma 4.1: counters initialized to k drain after "
+              "C(k+l-1, l) flushes ==\n");
+  std::printf("%4s %4s %16s %16s %7s\n", "k", "l", "C(k+l-1,l)", "drained-at",
+              "match");
+  for (int l = 1; l <= 6; l++) {
+    for (uint64_t k : {1ull, 2ull, 4ull, 8ull}) {
+      const uint64_t expected = Binomial(k + l - 1, l);
+      if (expected > 200000) continue;
+      const auto sim = SimulateHorizontalTiering(expected + 1, l, k);
+      std::printf("%4llu %4d %16llu %16llu %7s\n",
+                  static_cast<unsigned long long>(k), l,
+                  static_cast<unsigned long long>(expected),
+                  static_cast<unsigned long long>(sim.drained_at),
+                  sim.drained_at == expected ? "yes" : "NO");
+    }
+  }
+
+  std::printf("\n== Theorem 4.2 / Lemma 9.4: Algorithm 2 read cost vs DP "
+              "optimum vs closed form (r=1) ==\n");
+  std::printf("%6s %3s %5s %12s %12s %12s\n", "n", "l", "k", "algorithm2",
+              "dp-optimum", "closed-form");
+  OptimalReadCostDp dp;
+  for (int l = 2; l <= 5; l++) {
+    for (uint64_t k = 1; k <= 8; k++) {
+      const uint64_t n = Binomial(k + l - 1, l);
+      if (n < 2 || n > 800) continue;
+      const auto sim = SimulateHorizontalTiering(n, l, k);
+      std::printf("%6llu %3d %5llu %12llu %12llu %12llu\n",
+                  static_cast<unsigned long long>(n), l,
+                  static_cast<unsigned long long>(k),
+                  static_cast<unsigned long long>(sim.read_cost),
+                  static_cast<unsigned long long>(dp.Cost(n, l)),
+                  static_cast<unsigned long long>(
+                      TieringReadCostClosedForm(n, l)));
+    }
+  }
+
+  std::printf("\n== Lemma 5.1: per-lookup cost of horizontal-tiering "
+              "(f=0.1): tau(n,l)*f/n ==\n");
+  std::printf("%8s", "n\\l");
+  for (int l = 2; l <= 6; l++) std::printf(" %9d", l);
+  std::printf("\n");
+  for (uint64_t n : {16, 64, 256, 1024, 4096}) {
+    std::printf("%8llu", static_cast<unsigned long long>(n));
+    for (int l = 2; l <= 6; l++) {
+      const double cost =
+          static_cast<double>(TieringReadCostClosedForm(n, l)) * 0.1 /
+          static_cast<double>(n);
+      std::printf(" %9.4f", cost);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n== Lemma 5.2: per-update cost of horizontal-leveling "
+              "(P=4 entries/page): Omega(n,l)/(n*P) ==\n");
+  std::printf("%8s", "n\\l");
+  for (int l = 2; l <= 6; l++) std::printf(" %9d", l);
+  std::printf("\n");
+  for (uint64_t n : {16, 64, 256, 1024, 4096}) {
+    std::printf("%8llu", static_cast<unsigned long long>(n));
+    for (int l = 2; l <= 6; l++) {
+      const double cost =
+          static_cast<double>(LevelingWriteCostClosedForm(n, l)) /
+          (static_cast<double>(n) * 4.0);
+      std::printf(" %9.4f", cost);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n== DP cost vs closed-form evaluation time ==\n");
+  {
+    const uint64_t n = 400;
+    const int l = 5;
+    auto t0 = std::chrono::steady_clock::now();
+    OptimalReadCostDp fresh;
+    const uint64_t dp_cost = fresh.Cost(n, l);
+    auto t1 = std::chrono::steady_clock::now();
+    const uint64_t cf = TieringReadCostClosedForm(n, l);
+    auto t2 = std::chrono::steady_clock::now();
+    std::printf("n=%llu l=%d: dp=%llu (%lld us), closed=%llu (%lld ns)\n",
+                static_cast<unsigned long long>(n), l,
+                static_cast<unsigned long long>(dp_cost),
+                static_cast<long long>(
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        t1 - t0)
+                        .count()),
+                static_cast<unsigned long long>(cf),
+                static_cast<long long>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(t2 -
+                                                                          t1)
+                        .count()));
+  }
+  return 0;
+}

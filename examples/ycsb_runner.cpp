@@ -1,0 +1,173 @@
+// YCSB-style workload runner: load a key space, run an operation mix
+// against a chosen growth scheme, and report the paper's metrics. This is
+// the CLI equivalent of one cell in Figure 7.
+//
+//   ./examples/ycsb_runner [options]
+//     --policy=<vt-level-part|vt-level-full|vt-tier-part|vt-tier-full|
+//               rocksdb-tuned|universal|hr-level|hr-tier|vrn-level|
+//               vrn-tier|vertiorizon|lazy|lazy-vrn>
+//     --workload=<read-heavy|balanced|write-heavy|range-scan>
+//     --dist=<uniform|zipfian|hotcold>
+//     --keys=N --ops=N --ratio=T --bpk=B --cache=BYTES
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "env/env.h"
+#include "lsm/db.h"
+#include "metrics/throughput.h"
+#include "util/random.h"
+#include "workload/generator.h"
+
+using namespace talus;
+
+namespace {
+
+std::string FlagValue(int argc, char** argv, const char* name,
+                      const char* def) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return def;
+}
+
+GrowthPolicyConfig PolicyByName(const std::string& name, double T,
+                                uint64_t data_bytes) {
+  if (name == "vt-level-part") return GrowthPolicyConfig::VTLevelPart(T);
+  if (name == "vt-level-full") return GrowthPolicyConfig::VTLevelFull(T);
+  if (name == "vt-tier-part") return GrowthPolicyConfig::VTTierPart(T);
+  if (name == "vt-tier-full") return GrowthPolicyConfig::VTTierFull(T);
+  if (name == "rocksdb-tuned") return GrowthPolicyConfig::RocksDBTuned();
+  if (name == "universal") return GrowthPolicyConfig::Universal();
+  if (name == "hr-level") return GrowthPolicyConfig::HRLevel(3);
+  if (name == "hr-tier") return GrowthPolicyConfig::HRTier(3, data_bytes);
+  if (name == "vrn-level") return GrowthPolicyConfig::VRNLevel(T);
+  if (name == "vrn-tier") return GrowthPolicyConfig::VRNTier(T);
+  if (name == "lazy") return GrowthPolicyConfig::LazyLeveling(T, 4, false);
+  if (name == "lazy-vrn") return GrowthPolicyConfig::LazyLeveling(T, 4, true);
+  return GrowthPolicyConfig::Vertiorizon(T);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string policy_name =
+      FlagValue(argc, argv, "policy", "vertiorizon");
+  const std::string workload_name =
+      FlagValue(argc, argv, "workload", "balanced");
+  const std::string dist_name = FlagValue(argc, argv, "dist", "uniform");
+  const uint64_t num_keys =
+      std::strtoull(FlagValue(argc, argv, "keys", "20000").c_str(), nullptr, 10);
+  const uint64_t num_ops =
+      std::strtoull(FlagValue(argc, argv, "ops", "30000").c_str(), nullptr, 10);
+  const double T = std::strtod(FlagValue(argc, argv, "ratio", "6").c_str(),
+                               nullptr);
+  const double bpk =
+      std::strtod(FlagValue(argc, argv, "bpk", "5").c_str(), nullptr);
+  const uint64_t cache = std::strtoull(
+      FlagValue(argc, argv, "cache", "262144").c_str(), nullptr, 10);
+
+  workload::KeySpaceSpec keys;
+  keys.num_keys = num_keys;
+  keys.key_size = 128;
+  keys.value_size = 896;
+  if (dist_name == "zipfian") {
+    keys.distribution = workload::Distribution::kZipfian;
+  } else if (dist_name == "hotcold") {
+    keys.distribution = workload::Distribution::kHotCold;
+  }
+
+  workload::OpMix mix = workload::BalancedMix();
+  if (workload_name == "read-heavy") mix = workload::ReadHeavyMix();
+  if (workload_name == "write-heavy") mix = workload::WriteHeavyMix();
+  if (workload_name == "range-scan") mix = workload::RangeScanMix();
+
+  auto env = NewMemEnv();
+  DbOptions options;
+  options.env = env.get();
+  options.path = "/ycsb";
+  options.write_buffer_size = 64 << 10;
+  options.target_file_size = 64 << 10;
+  options.block_cache_bytes = cache;
+  options.bloom_bits_per_key = bpk;
+  options.policy = PolicyByName(policy_name, T, num_keys * 1024);
+
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(options, &db);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("policy=%s workload=%s dist=%s keys=%llu ops=%llu T=%.0f "
+              "bpk=%.0f cache=%llu\n",
+              db->policy()->name().c_str(), workload_name.c_str(),
+              dist_name.c_str(), static_cast<unsigned long long>(num_keys),
+              static_cast<unsigned long long>(num_ops), T, bpk,
+              static_cast<unsigned long long>(cache));
+
+  // Load.
+  for (uint64_t i = 0; i < num_keys; i++) {
+    const uint64_t k = (i * 2654435761u) % num_keys;
+    s = db->Put(workload::FormatKey(k, keys.key_size),
+                workload::MakeValue(k, 0, keys.value_size));
+    if (!s.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("loaded %llu entries; tree:\n%s",
+              static_cast<unsigned long long>(num_keys),
+              db->DebugString().c_str());
+
+  // Run.
+  IoStats* io = env->io_stats();
+  io->Reset();
+  io->ResetPeak();
+  metrics::ThroughputMeter meter(1000);
+  workload::OpStream stream(keys, mix, 7);
+  for (uint64_t i = 0; i < num_ops; i++) {
+    const auto op = stream.Next();
+    const std::string key = workload::FormatKey(op.key_index, keys.key_size);
+    switch (op.type) {
+      case workload::OpType::kUpdate:
+        db->Put(key, workload::MakeValue(op.key_index, i, keys.value_size));
+        break;
+      case workload::OpType::kPointLookup: {
+        std::string value;
+        db->Get(key, &value);
+        break;
+      }
+      case workload::OpType::kRangeLookup: {
+        std::vector<std::pair<std::string, std::string>> out;
+        db->Scan(key, 32, &out);
+        break;
+      }
+    }
+    meter.RecordOp(io->clock());
+  }
+
+  const EngineStats& stats = db->stats();
+  std::printf("\nresults:\n");
+  std::printf("  avg throughput     : %.4f ops/clock-unit\n",
+              meter.AverageThroughput());
+  std::printf("  worst-case tput    : %.4f (window 1000 ops)\n",
+              meter.WorstCaseThroughput());
+  std::printf("  write-amp          : %.2f\n", stats.WriteAmplification());
+  std::printf("  read-amp           : %.3f runs probed per lookup\n",
+              stats.ReadAmplification());
+  std::printf("  bloom negatives    : %llu\n",
+              static_cast<unsigned long long>(stats.filter_negatives));
+  std::printf("  cache hits         : %llu\n",
+              static_cast<unsigned long long>(stats.block_cache_hits));
+  std::printf("  peak storage       : %.1f MB\n",
+              io->peak_storage_bytes() / 1048576.0);
+  std::printf("  flushes/compactions: %llu / %llu\n",
+              static_cast<unsigned long long>(stats.flushes),
+              static_cast<unsigned long long>(stats.compactions));
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "cache/lru_cache.h"
+
+namespace talus {
+
+void LruCache::Insert(const std::string& key, std::shared_ptr<void> value,
+                      size_t charge) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    usage_ -= it->second->charge;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{key, std::move(value), charge});
+  index_[key] = lru_.begin();
+  usage_ += charge;
+  EvictIfNeeded();
+}
+
+std::shared_ptr<void> LruCache::Lookup(const std::string& key) {
+  if (capacity_ == 0) return nullptr;
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_++;
+    return nullptr;
+  }
+  hits_++;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->value;
+}
+
+void LruCache::Erase(const std::string& key) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  usage_ -= it->second->charge;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void LruCache::EraseByPrefix(const std::string& prefix) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> l(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.compare(0, prefix.size(), prefix) == 0) {
+      usage_ -= it->charge;
+      index_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LruCache::EvictIfNeeded() {
+  while (usage_ > capacity_ && !lru_.empty()) {
+    Entry& victim = lru_.back();
+    usage_ -= victim.charge;
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace talus

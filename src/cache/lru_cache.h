@@ -1,0 +1,66 @@
+// LRU block cache with byte-charge accounting. Entries are shared_ptr-held so
+// a block can be evicted while readers still hold it.
+#ifndef TALUS_CACHE_LRU_CACHE_H_
+#define TALUS_CACHE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace talus {
+
+class LruCache {
+ public:
+  /// capacity == 0 disables caching entirely.
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Inserts `value` under `key`, charging `charge` bytes. Replaces any
+  /// existing entry. No-op when the cache is disabled.
+  void Insert(const std::string& key, std::shared_ptr<void> value,
+              size_t charge);
+
+  /// Returns the cached value or nullptr; promotes on hit.
+  std::shared_ptr<void> Lookup(const std::string& key);
+
+  void Erase(const std::string& key);
+
+  /// Drops every entry whose key starts with `prefix` (e.g. all blocks of a
+  /// deleted file). Compactions call this so stale blocks do not linger.
+  void EraseByPrefix(const std::string& prefix);
+
+  size_t usage() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return usage_;
+  }
+  size_t capacity() const { return capacity_; }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<void> value;
+    size_t charge;
+  };
+  using LruList = std::list<Entry>;
+
+  void EvictIfNeeded();  // REQUIRES: mu_ held.
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  // Front = most recently used.
+  std::unordered_map<std::string, LruList::iterator> index_;
+  size_t usage_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace talus
+
+#endif  // TALUS_CACHE_LRU_CACHE_H_

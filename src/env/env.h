@@ -1,0 +1,85 @@
+// Env: the storage environment abstraction (RocksDB style). The engine only
+// talks to files through this interface, so experiments can run against a
+// deterministic in-memory environment with exact I/O accounting while tests
+// also exercise a real POSIX filesystem.
+#ifndef TALUS_ENV_ENV_H_
+#define TALUS_ENV_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/io_stats.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace talus {
+
+/// Sequentially writable file (SSTs, WAL, MANIFEST are written append-only).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(const Slice& data) = 0;
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Randomly readable file (SST reads).
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+  /// Reads up to n bytes at `offset`. Sets *result to the data read (which
+  /// may point into scratch or into an internal buffer).
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+  virtual uint64_t Size() const = 0;
+};
+
+/// Sequentially readable file (WAL/MANIFEST replay).
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Status NewWritableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* result) = 0;
+  virtual Status NewRandomAccessFile(
+      const std::string& fname, std::unique_ptr<RandomAccessFile>* result) = 0;
+  virtual Status NewSequentialFile(const std::string& fname,
+                                   std::unique_ptr<SequentialFile>* result) = 0;
+
+  virtual bool FileExists(const std::string& fname) = 0;
+  virtual Status GetChildren(const std::string& dir,
+                             std::vector<std::string>* result) = 0;
+  virtual Status RemoveFile(const std::string& fname) = 0;
+  virtual Status CreateDirIfMissing(const std::string& dirname) = 0;
+  virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;
+  virtual Status RenameFile(const std::string& src,
+                            const std::string& target) = 0;
+
+  /// I/O statistics for this environment. Never null.
+  virtual IoStats* io_stats() = 0;
+
+  /// Total bytes currently stored in files under `dir` (space amplification
+  /// tracking). Includes files being written.
+  virtual uint64_t TotalFileBytes(const std::string& dir) = 0;
+
+  /// Process-wide POSIX environment (real files under the OS filesystem).
+  static Env* Default();
+};
+
+/// Creates a fresh deterministic in-memory environment. Each instance has an
+/// isolated namespace and its own IoStats, so experiments are independent.
+std::unique_ptr<Env> NewMemEnv();
+
+}  // namespace talus
+
+#endif  // TALUS_ENV_ENV_H_

@@ -1,0 +1,75 @@
+#include "filter/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace talus {
+
+namespace {
+uint32_t BloomHash(const Slice& key) {
+  return Hash32(key.data(), key.size(), 0xbc9f1d34);
+}
+}  // namespace
+
+BloomFilterBuilder::BloomFilterBuilder(double bits_per_key)
+    : bits_per_key_(std::max(0.0, bits_per_key)) {
+  // Optimal probe count ~= bits_per_key * ln(2); clamp to a sane range.
+  num_probes_ = static_cast<int>(bits_per_key_ * 0.69);
+  if (num_probes_ < 1) num_probes_ = 1;
+  if (num_probes_ > 30) num_probes_ = 30;
+}
+
+void BloomFilterBuilder::AddKey(const Slice& key) {
+  hashes_.push_back(BloomHash(key));
+}
+
+std::string BloomFilterBuilder::Finish() {
+  size_t bits = static_cast<size_t>(
+      static_cast<double>(hashes_.size()) * bits_per_key_);
+  // Tiny filters have high FPR regardless; keep a floor to bound waste.
+  if (bits < 64) bits = 64;
+  size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  std::string result(bytes, '\0');
+  result.push_back(static_cast<char>(num_probes_));
+  char* array = result.data();
+  for (uint32_t h : hashes_) {
+    // Double hashing: derive k probe positions from one 32-bit hash.
+    const uint32_t delta = (h >> 17) | (h << 15);
+    for (int j = 0; j < num_probes_; j++) {
+      const uint32_t bitpos = h % bits;
+      array[bitpos / 8] |= (1 << (bitpos % 8));
+      h += delta;
+    }
+  }
+  return result;
+}
+
+bool BloomFilterReader::KeyMayMatch(const Slice& key) const {
+  const size_t len = data_.size();
+  if (len < 2) return true;  // Degenerate filter: claim maybe-present.
+  const char* array = data_.data();
+  const size_t bits = (len - 1) * 8;
+  const int k = static_cast<unsigned char>(array[len - 1]);
+  if (k > 30) return true;  // Reserved encoding: treat as maybe-present.
+
+  uint32_t h = BloomHash(key);
+  const uint32_t delta = (h >> 17) | (h << 15);
+  for (int j = 0; j < k; j++) {
+    const uint32_t bitpos = h % bits;
+    if ((array[bitpos / 8] & (1 << (bitpos % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+double BloomFalsePositiveRate(double bits_per_key) {
+  if (bits_per_key <= 0) return 1.0;
+  static const double kLn2Sq = 0.4804530139182014;  // ln(2)^2
+  return std::exp(-bits_per_key * kLn2Sq);
+}
+
+}  // namespace talus

@@ -1,0 +1,52 @@
+// Bloom filter over user keys, one per sorted run (LevelDB-style double
+// hashing). Bits-per-key is chosen by a FilterAllocator (static uniform,
+// Monkey, or the paper's dynamic layout — see filter_allocator.h).
+#ifndef TALUS_FILTER_BLOOM_H_
+#define TALUS_FILTER_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace talus {
+
+class BloomFilterBuilder {
+ public:
+  /// bits_per_key may be fractional (Monkey allocations often are).
+  explicit BloomFilterBuilder(double bits_per_key);
+
+  void AddKey(const Slice& key);
+
+  /// Serializes the filter: bit array | num_probes (1 byte).
+  std::string Finish();
+
+  size_t NumKeys() const { return hashes_.size(); }
+
+ private:
+  double bits_per_key_;
+  int num_probes_;
+  std::vector<uint32_t> hashes_;
+};
+
+class BloomFilterReader {
+ public:
+  /// `data` must outlive the reader (it typically points into a cached
+  /// filter block).
+  explicit BloomFilterReader(Slice data) : data_(data) {}
+
+  /// True if the key may be present; false means definitely absent.
+  bool KeyMayMatch(const Slice& key) const;
+
+ private:
+  Slice data_;
+};
+
+/// Theoretical false positive rate for a Bloom filter with the given
+/// bits-per-key under optimal probe count: exp(-bits * ln(2)^2).
+double BloomFalsePositiveRate(double bits_per_key);
+
+}  // namespace talus
+
+#endif  // TALUS_FILTER_BLOOM_H_

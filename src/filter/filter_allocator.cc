@@ -1,0 +1,158 @@
+#include "filter/filter_allocator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace talus {
+
+namespace {
+
+constexpr double kLn2Sq = 0.4804530139182014;  // ln(2)^2
+constexpr double kMaxBitsPerKey = 64.0;
+
+// Lagrangian solution of: minimize Σ p_i  s.t.  Σ n_i·(-ln p_i)/ln²2 = M,
+// 0 < p_i ≤ 1. Unconstrained optimum is p_i = λ·n_i; levels whose optimum
+// exceeds p=1 (i.e. deserve zero bits) are dropped and the remaining memory
+// re-optimized (waterfilling).
+std::vector<double> OptimizeBits(const std::vector<double>& n,
+                                 double total_bits) {
+  const size_t L = n.size();
+  std::vector<double> bits(L, 0.0);
+  std::vector<bool> active(L, false);
+  double total_entries = 0;
+  for (size_t i = 0; i < L; i++) {
+    if (n[i] > 0) {
+      active[i] = true;
+      total_entries += n[i];
+    }
+  }
+  if (total_entries <= 0 || total_bits <= 0) return bits;
+
+  // Waterfilling: repeatedly solve for λ over active levels; deactivate
+  // levels that would get negative bits.
+  for (int iter = 0; iter < static_cast<int>(L) + 1; iter++) {
+    double sum_n = 0, sum_n_ln_n = 0;
+    for (size_t i = 0; i < L; i++) {
+      if (!active[i]) continue;
+      sum_n += n[i];
+      sum_n_ln_n += n[i] * std::log(n[i]);
+    }
+    if (sum_n <= 0) break;
+    // Memory constraint in nat units: Σ n_i·(-ln p_i) = total_bits·ln²2.
+    const double m_nats = total_bits * kLn2Sq;
+    const double ln_lambda = -(m_nats + sum_n_ln_n) / sum_n;
+    bool changed = false;
+    for (size_t i = 0; i < L; i++) {
+      if (!active[i]) {
+        bits[i] = 0;
+        continue;
+      }
+      const double ln_p = ln_lambda + std::log(n[i]);
+      if (ln_p >= 0) {
+        // p_i ≥ 1: this level deserves no filter; release its memory.
+        active[i] = false;
+        changed = true;
+      } else {
+        bits[i] = std::min(kMaxBitsPerKey, -ln_p / kLn2Sq);
+      }
+    }
+    if (!changed) break;
+  }
+  return bits;
+}
+
+class StaticAllocator final : public FilterAllocator {
+ public:
+  explicit StaticAllocator(double bpk) : bpk_(bpk) {}
+  double BitsForLevel(const std::vector<LevelFilterInfo>&, int) const override {
+    return bpk_;
+  }
+  FilterLayout layout() const override { return FilterLayout::kStatic; }
+
+ private:
+  double bpk_;
+};
+
+class MonkeyAllocator final : public FilterAllocator {
+ public:
+  explicit MonkeyAllocator(double bpk) : bpk_(bpk) {}
+
+  double BitsForLevel(const std::vector<LevelFilterInfo>& levels,
+                      int level) const override {
+    std::vector<double> n;
+    double total = 0;
+    for (const auto& l : levels) {
+      double entries = static_cast<double>(
+          l.capacity_entries > 0 ? l.capacity_entries : l.current_entries);
+      n.push_back(entries);
+      total += entries;
+    }
+    if (level < 0 || level >= static_cast<int>(n.size()) || total <= 0) {
+      return bpk_;
+    }
+    std::vector<double> bits = OptimizeBits(n, bpk_ * total);
+    return bits[level];
+  }
+  FilterLayout layout() const override { return FilterLayout::kMonkey; }
+
+ private:
+  double bpk_;
+};
+
+class DynamicAllocator final : public FilterAllocator {
+ public:
+  explicit DynamicAllocator(double bpk) : bpk_(bpk) {}
+
+  double BitsForLevel(const std::vector<LevelFilterInfo>& levels,
+                      int level) const override {
+    std::vector<double> n;
+    double total = 0;
+    for (const auto& l : levels) {
+      double base = static_cast<double>(
+          l.capacity_entries > 0 ? l.capacity_entries : l.current_entries);
+      double fill = l.expected_fill > 0 ? l.expected_fill : 1.0;
+      double entries = std::max(static_cast<double>(l.current_entries),
+                                base * fill);
+      n.push_back(entries);
+      // The budget is still capacity-based: that is the memory the operator
+      // provisioned; the dynamic layout just spends it against the expected
+      // occupancy rather than the worst case.
+      total += base;
+    }
+    if (level < 0 || level >= static_cast<int>(n.size()) || total <= 0) {
+      return bpk_;
+    }
+    std::vector<double> bits = OptimizeBits(n, bpk_ * total);
+    return bits[level];
+  }
+  FilterLayout layout() const override { return FilterLayout::kDynamic; }
+
+ private:
+  double bpk_;
+};
+
+}  // namespace
+
+std::unique_ptr<FilterAllocator> NewStaticFilterAllocator(double bits_per_key) {
+  return std::make_unique<StaticAllocator>(bits_per_key);
+}
+std::unique_ptr<FilterAllocator> NewMonkeyFilterAllocator(double bits_per_key) {
+  return std::make_unique<MonkeyAllocator>(bits_per_key);
+}
+std::unique_ptr<FilterAllocator> NewDynamicFilterAllocator(
+    double bits_per_key) {
+  return std::make_unique<DynamicAllocator>(bits_per_key);
+}
+
+std::unique_ptr<FilterAllocator> NewFilterAllocator(FilterLayout layout,
+                                                    double bits_per_key) {
+  switch (layout) {
+    case FilterLayout::kStatic: return NewStaticFilterAllocator(bits_per_key);
+    case FilterLayout::kMonkey: return NewMonkeyFilterAllocator(bits_per_key);
+    case FilterLayout::kDynamic:
+      return NewDynamicFilterAllocator(bits_per_key);
+  }
+  return NewStaticFilterAllocator(bits_per_key);
+}
+
+}  // namespace talus

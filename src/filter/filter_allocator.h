@@ -1,0 +1,69 @@
+// FilterAllocator: decides bits-per-key for the Bloom filter of a sorted run
+// being built at a given level.
+//
+// Three layouts are implemented:
+//  * Static  — uniform bits-per-key everywhere (RocksDB default behaviour).
+//  * Monkey  — Dayan et al. (SIGMOD'17): minimize the sum of per-level false
+//    positive rates subject to a total memory budget, assuming each level
+//    holds its full capacity. Optimal FPR is proportional to level size.
+//  * Dynamic — this paper (§5.4): like Monkey, but sized from the *expected
+//    average occupancy* of each level over the lifetime of the run being
+//    built, because full compactions repeatedly empty levels and the
+//    always-full assumption misallocates bits. Reallocation happens only
+//    when a run is (re)built, so no extra I/O is ever spent on it.
+#ifndef TALUS_FILTER_FILTER_ALLOCATOR_H_
+#define TALUS_FILTER_FILTER_ALLOCATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace talus {
+
+enum class FilterLayout {
+  kStatic,
+  kMonkey,
+  kDynamic,
+};
+
+/// Per-level inputs to an allocation decision.
+struct LevelFilterInfo {
+  uint64_t capacity_entries = 0;  // Level capacity, in entries.
+  uint64_t current_entries = 0;   // Entries resident right now.
+  // Expected occupancy fraction of this level averaged over the lifetime of
+  // runs built now. Levels filled by full compaction oscillate between empty
+  // and full: 0.5 is the natural prior; the vertical part of Vertiorizon
+  // stays ~full: 1.0.
+  double expected_fill = 1.0;
+};
+
+class FilterAllocator {
+ public:
+  virtual ~FilterAllocator() = default;
+
+  /// Returns bits-per-key for a run being built at `level`, given the current
+  /// shape of the tree. `levels` is indexed from 0 (smallest on-disk level).
+  virtual double BitsForLevel(const std::vector<LevelFilterInfo>& levels,
+                              int level) const = 0;
+
+  virtual FilterLayout layout() const = 0;
+};
+
+/// Uniform allocation: every run gets `bits_per_key`.
+std::unique_ptr<FilterAllocator> NewStaticFilterAllocator(double bits_per_key);
+
+/// Monkey allocation against a memory budget of `bits_per_key` × total
+/// capacity. Sizes levels by capacity_entries.
+std::unique_ptr<FilterAllocator> NewMonkeyFilterAllocator(double bits_per_key);
+
+/// The paper's dynamic layout: Monkey-style optimization over effective entry
+/// counts capacity × expected_fill, falling back to current_entries when a
+/// level has no declared capacity (horizontal levels grow unboundedly).
+std::unique_ptr<FilterAllocator> NewDynamicFilterAllocator(double bits_per_key);
+
+std::unique_ptr<FilterAllocator> NewFilterAllocator(FilterLayout layout,
+                                                    double bits_per_key);
+
+}  // namespace talus
+
+#endif  // TALUS_FILTER_FILTER_ALLOCATOR_H_

@@ -1,0 +1,40 @@
+// Block: read side of the block format, with a binary-searching iterator.
+#ifndef TALUS_FORMAT_BLOCK_H_
+#define TALUS_FORMAT_BLOCK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "table/iterator.h"
+#include "util/slice.h"
+
+namespace talus {
+
+class Block {
+ public:
+  /// Takes ownership of `contents` (the exact bytes BlockBuilder produced).
+  explicit Block(std::string contents);
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  size_t size() const { return data_.size(); }
+
+  /// Iterator over the block. The Block must outlive the iterator.
+  /// `internal_key_order` selects the engine's internal-key comparator
+  /// (user key asc, sequence desc) instead of plain bytewise ordering;
+  /// data and index blocks of SSTs always use it.
+  std::unique_ptr<Iterator> NewIterator(bool internal_key_order = false) const;
+
+ private:
+  class Iter;
+
+  std::string data_;
+  uint32_t restart_offset_ = 0;  // Offset of restart array in data_.
+  uint32_t num_restarts_ = 0;
+  bool malformed_ = false;
+};
+
+}  // namespace talus
+
+#endif  // TALUS_FORMAT_BLOCK_H_

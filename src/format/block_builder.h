@@ -1,0 +1,55 @@
+// BlockBuilder: builds the LevelDB-style block format used for data and index
+// blocks. Keys are prefix-compressed; every `restart_interval` entries a full
+// key is stored and its offset recorded in the restart array, enabling binary
+// search at read time.
+//
+// Entry:   shared_len varint32 | non_shared_len varint32 | value_len varint32
+//          | key_delta | value
+// Trailer: restart offsets (fixed32 each) | num_restarts fixed32
+#ifndef TALUS_FORMAT_BLOCK_BUILDER_H_
+#define TALUS_FORMAT_BLOCK_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace talus {
+
+class BlockBuilder {
+ public:
+  /// `internal_key_order` affects only the debug-mode ordering assertion;
+  /// the format itself is order-agnostic.
+  explicit BlockBuilder(int restart_interval = 16,
+                        bool internal_key_order = false);
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  /// REQUIRES: key > any previously added key (bytewise on internal keys).
+  void Add(const Slice& key, const Slice& value);
+
+  /// Finishes the block and returns a slice referencing its contents, valid
+  /// until Reset() is called.
+  Slice Finish();
+
+  void Reset();
+
+  /// Estimated size of the block being built (incl. trailer if finished now).
+  size_t CurrentSizeEstimate() const;
+
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  const int restart_interval_;
+  const bool internal_key_order_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_;
+  bool finished_;
+  std::string last_key_;
+};
+
+}  // namespace talus
+
+#endif  // TALUS_FORMAT_BLOCK_BUILDER_H_

@@ -1,0 +1,1049 @@
+#include "lsm/db.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "lsm/filename.h"
+#include "table/merging_iterator.h"
+#include "table/sst_builder.h"
+#include "util/coding.h"
+#include "wal/log_reader.h"
+
+namespace talus {
+
+namespace {
+
+// WAL record: base_seq fixed64 | WriteBatch rep (one record per batch, so
+// multi-op batches commit atomically).
+std::string EncodeWalRecord(SequenceNumber base_seq, const WriteBatch& batch) {
+  std::string rec;
+  PutFixed64(&rec, base_seq);
+  rec.append(batch.rep());
+  return rec;
+}
+
+bool DecodeWalRecord(Slice input, SequenceNumber* base_seq,
+                     WriteBatch* batch) {
+  uint64_t s;
+  if (!GetFixed64(&input, &s)) return false;
+  *base_seq = s;
+  return WriteBatch::FromRep(input, batch).ok();
+}
+
+// Applies a batch to a memtable with sequences base, base+1, ...
+class MemTableInserter : public WriteBatch::Handler {
+ public:
+  MemTableInserter(MemTable* mem, SequenceNumber base)
+      : mem_(mem), seq_(base) {}
+  void Put(const Slice& key, const Slice& value) override {
+    mem_->Add(seq_++, kTypeValue, key, value);
+  }
+  void Delete(const Slice& key) override {
+    mem_->Add(seq_++, kTypeDeletion, key, Slice());
+  }
+  SequenceNumber next_sequence() const { return seq_; }
+
+ private:
+  MemTable* mem_;
+  SequenceNumber seq_;
+};
+
+// Iterates a sorted run: files are disjoint and ordered, so this is a simple
+// concatenation with lazy reader opening.
+class RunIterator final : public Iterator {
+ public:
+  RunIterator(std::vector<FileMetaPtr> files,
+              std::function<SstReader*(uint64_t)> open)
+      : files_(std::move(files)), open_(std::move(open)) {}
+
+  bool Valid() const override { return iter_ != nullptr && iter_->Valid(); }
+
+  void SeekToFirst() override {
+    index_ = 0;
+    InitFile();
+    if (iter_ != nullptr) iter_->SeekToFirst();
+    SkipForward();
+  }
+  void SeekToLast() override {
+    if (files_.empty()) {
+      iter_.reset();
+      return;
+    }
+    index_ = files_.size() - 1;
+    InitFile();
+    if (iter_ != nullptr) iter_->SeekToLast();
+    SkipBackward();
+  }
+  void Seek(const Slice& target) override {
+    // Binary search for the first file whose largest key >= target.
+    InternalKeyComparator cmp;
+    size_t left = 0, right = files_.size();
+    while (left < right) {
+      size_t mid = (left + right) / 2;
+      if (cmp.Compare(files_[mid]->largest.Encode(), target) < 0) {
+        left = mid + 1;
+      } else {
+        right = mid;
+      }
+    }
+    index_ = left;
+    InitFile();
+    if (iter_ != nullptr) iter_->Seek(target);
+    SkipForward();
+  }
+  void Next() override {
+    assert(Valid());
+    iter_->Next();
+    SkipForward();
+  }
+  void Prev() override {
+    assert(Valid());
+    iter_->Prev();
+    SkipBackward();
+  }
+  Slice key() const override { return iter_->key(); }
+  Slice value() const override { return iter_->value(); }
+  Status status() const override {
+    if (!status_.ok()) return status_;
+    return iter_ != nullptr ? iter_->status() : Status::OK();
+  }
+
+ private:
+  void InitFile() {
+    iter_.reset();
+    if (index_ >= files_.size()) return;
+    SstReader* reader = open_(files_[index_]->number);
+    if (reader == nullptr) {
+      status_ = Status::IOError("cannot open sst reader");
+      return;
+    }
+    iter_ = reader->NewIterator();
+  }
+  void SkipForward() {
+    while ((iter_ == nullptr || !iter_->Valid()) &&
+           index_ + 1 < files_.size()) {
+      index_++;
+      InitFile();
+      if (iter_ != nullptr) iter_->SeekToFirst();
+    }
+    if (iter_ != nullptr && !iter_->Valid()) iter_.reset();
+  }
+  void SkipBackward() {
+    while ((iter_ == nullptr || !iter_->Valid()) && index_ > 0) {
+      index_--;
+      InitFile();
+      if (iter_ != nullptr) iter_->SeekToLast();
+    }
+    if (iter_ != nullptr && !iter_->Valid()) iter_.reset();
+  }
+
+  std::vector<FileMetaPtr> files_;
+  std::function<SstReader*(uint64_t)> open_;
+  size_t index_ = 0;
+  std::unique_ptr<Iterator> iter_;
+  Status status_;
+};
+
+// User-facing iterator: walks internal keys, surfacing only the newest
+// visible version of each user key and skipping tombstones. Forward only.
+class DbIterator final : public Iterator {
+ public:
+  explicit DbIterator(std::unique_ptr<Iterator> internal)
+      : internal_(std::move(internal)) {}
+
+  bool Valid() const override { return valid_; }
+  void SeekToFirst() override {
+    has_current_ = false;
+    internal_->SeekToFirst();
+    FindNextUserEntry();
+  }
+  void Seek(const Slice& user_key) override {
+    has_current_ = false;
+    std::string target;
+    AppendInternalKey(&target, user_key, kMaxSequenceNumber,
+                      kValueTypeForSeek);
+    internal_->Seek(Slice(target));
+    FindNextUserEntry();
+  }
+  void Next() override {
+    assert(valid_);
+    internal_->Next();
+    FindNextUserEntry();
+  }
+  void SeekToLast() override { valid_ = false; }  // Forward-only.
+  void Prev() override { assert(false); }
+
+  Slice key() const override { return Slice(key_); }
+  Slice value() const override { return Slice(value_); }
+  Status status() const override { return internal_->status(); }
+
+ private:
+  void FindNextUserEntry() {
+    valid_ = false;
+    while (internal_->Valid()) {
+      ParsedInternalKey parsed;
+      if (!ParseInternalKey(internal_->key(), &parsed)) {
+        internal_->Next();
+        continue;
+      }
+      if (has_current_ && parsed.user_key == Slice(key_)) {
+        internal_->Next();  // Shadowed older version.
+        continue;
+      }
+      key_.assign(parsed.user_key.data(), parsed.user_key.size());
+      has_current_ = true;
+      if (parsed.type == kTypeDeletion) {
+        internal_->Next();  // Tombstone hides every older version too.
+        continue;
+      }
+      value_.assign(internal_->value().data(), internal_->value().size());
+      valid_ = true;
+      return;
+    }
+  }
+
+  std::unique_ptr<Iterator> internal_;
+  bool valid_ = false;
+  bool has_current_ = false;
+  std::string key_;
+  std::string value_;
+};
+
+}  // namespace
+
+DB::DB(const DbOptions& options) : options_(options) {
+  block_cache_ = std::make_unique<LruCache>(options_.block_cache_bytes);
+}
+
+DB::~DB() = default;
+
+Status DB::Open(const DbOptions& options, std::unique_ptr<DB>* dbptr) {
+  if (options.env == nullptr || options.path.empty()) {
+    return Status::InvalidArgument("env and path are required");
+  }
+  auto db = std::unique_ptr<DB>(new DB(options));
+  Env* env = options.env;
+  Status s = env->CreateDirIfMissing(options.path);
+  if (!s.ok()) return s;
+
+  PolicyContext ctx;
+  ctx.buffer_bytes = options.write_buffer_size;
+  ctx.mix_tracker = &db->mix_tracker_;
+  GrowthPolicyConfig policy_config = options.policy;
+  policy_config.bloom_bits_per_key = options.bloom_bits_per_key;
+  db->policy_ = CreateGrowthPolicy(policy_config, ctx);
+  if (db->policy_ == nullptr) {
+    return Status::InvalidArgument("unknown growth policy");
+  }
+
+  ManifestData manifest;
+  uint64_t manifest_number = 0;
+  uint64_t old_wal = 0;
+  s = ReadCurrentManifest(env, options.path, &manifest, &manifest_number);
+  if (s.ok()) {
+    if (manifest.policy_name != db->policy_->name()) {
+      return Status::InvalidArgument(
+          "db was created with a different growth policy",
+          manifest.policy_name);
+    }
+    db->version_ = std::move(manifest.version);
+    db->next_file_number_ = manifest.next_file_number;
+    db->next_run_id_ = manifest.next_run_id;
+    db->last_sequence_ = manifest.last_sequence;
+    db->flush_count_ = manifest.flush_count;
+    db->manifest_number_ = manifest_number;
+    old_wal = manifest.wal_number;
+    if (!db->policy_->DecodeState(manifest.policy_state)) {
+      return Status::Corruption("bad growth policy state in manifest");
+    }
+  } else if (s.IsNotFound()) {
+    if (!options.create_if_missing) return s;
+  } else {
+    return s;
+  }
+
+  db->mem_ = std::make_unique<MemTable>();
+  if (old_wal != 0) {
+    Status rs = db->RecoverWal(old_wal);
+    if (!rs.ok()) return rs;
+  }
+
+  if (db->mem_->num_entries() > 0) {
+    // Recovered entries are only in memory and the old WAL; flush them so
+    // the old WAL can be retired safely. DoFlush performs the safe
+    // new-WAL → manifest → delete-old-WAL sequence.
+    db->wal_number_ = old_wal;
+    Status fs = db->DoFlush();
+    if (!fs.ok()) return fs;
+  } else {
+    Status ws = db->NewWal();
+    if (!ws.ok()) return ws;
+    ws = db->InstallManifest();
+    if (!ws.ok()) return ws;
+    if (old_wal != 0) {
+      env->RemoveFile(WalFileName(options.path, old_wal));
+    }
+  }
+
+  *dbptr = std::move(db);
+  return Status::OK();
+}
+
+Status DB::RecoverWal(uint64_t wal_number) {
+  const std::string fname = WalFileName(options_.path, wal_number);
+  if (!options_.env->FileExists(fname)) return Status::OK();
+  std::unique_ptr<SequentialFile> file;
+  Status s = options_.env->NewSequentialFile(fname, &file);
+  if (!s.ok()) return s;
+  wal::LogReader reader(std::move(file));
+  std::string record;
+  while (reader.ReadRecord(&record)) {
+    SequenceNumber base_seq;
+    WriteBatch batch;
+    if (!DecodeWalRecord(Slice(record), &base_seq, &batch)) {
+      return Status::Corruption("bad WAL record", fname);
+    }
+    MemTableInserter inserter(mem_.get(), base_seq);
+    Status bs = batch.Iterate(&inserter);
+    if (!bs.ok()) return bs;
+    const SequenceNumber last = base_seq + batch.Count() - 1;
+    if (batch.Count() > 0 && last > last_sequence_) last_sequence_ = last;
+  }
+  // A torn tail is expected after a crash; everything before it is intact.
+  return Status::OK();
+}
+
+Status DB::NewWal() {
+  if (!options_.enable_wal) {
+    wal_number_ = 0;
+    wal_.reset();
+    return Status::OK();
+  }
+  wal_number_ = next_file_number_++;
+  std::unique_ptr<WritableFile> file;
+  Status s = options_.env->NewWritableFile(
+      WalFileName(options_.path, wal_number_), &file);
+  if (!s.ok()) return s;
+  wal_ = std::make_unique<wal::LogWriter>(std::move(file));
+  return Status::OK();
+}
+
+Status DB::Put(const Slice& key, const Slice& value) {
+  if (key.empty()) {
+    return Status::InvalidArgument("empty keys are not supported");
+  }
+  stats_.puts++;
+  mix_tracker_.RecordUpdate();
+  WriteBatch batch;
+  batch.Put(key, value);
+  return WriteImpl(batch);
+}
+
+Status DB::Delete(const Slice& key) {
+  if (key.empty()) {
+    return Status::InvalidArgument("empty keys are not supported");
+  }
+  stats_.deletes++;
+  mix_tracker_.RecordUpdate();
+  WriteBatch batch;
+  batch.Delete(key);
+  return WriteImpl(batch);
+}
+
+Status DB::Write(const WriteBatch& batch) {
+  if (batch.empty()) return Status::OK();
+  stats_.puts += batch.Count();
+  mix_tracker_.RecordUpdate();
+  return WriteImpl(batch);
+}
+
+Status DB::WriteImpl(const WriteBatch& batch) {
+  const SequenceNumber base_seq = last_sequence_ + 1;
+  last_sequence_ += batch.Count();
+  if (wal_ != nullptr) {
+    Status s = wal_->AddRecord(Slice(EncodeWalRecord(base_seq, batch)));
+    if (s.ok() && options_.wal_sync_writes) s = wal_->Sync();
+    if (!s.ok()) return s;
+  }
+  MemTableInserter inserter(mem_.get(), base_seq);
+  Status s = batch.Iterate(&inserter);
+  if (!s.ok()) return s;
+  stats_.user_payload_written += batch.PayloadBytes();
+  options_.env->io_stats()->RecordCpu(options_.cpu_cost_per_write);
+
+  if (mem_->payload_bytes() >= options_.write_buffer_size) {
+    return DoFlush();
+  }
+  return Status::OK();
+}
+
+SequenceNumber DB::SmallestLiveSnapshot() const {
+  if (snapshot_seqs_.empty()) return last_sequence_;
+  return std::min(*snapshot_seqs_.begin(), last_sequence_);
+}
+
+const Snapshot* DB::GetSnapshot() {
+  snapshot_seqs_.insert(last_sequence_);
+  return new Snapshot(last_sequence_);
+}
+
+void DB::ReleaseSnapshot(const Snapshot* snapshot) {
+  if (snapshot == nullptr) return;
+  auto it = snapshot_seqs_.find(snapshot->sequence());
+  if (it != snapshot_seqs_.end()) snapshot_seqs_.erase(it);
+  delete snapshot;
+}
+
+Status DB::FlushMemTable() {
+  if (mem_->num_entries() == 0) return Status::OK();
+  return DoFlush();
+}
+
+Status DB::DoFlush() {
+  const double stall_start = options_.env->io_stats()->clock();
+
+  version_.EnsureLevels(
+      static_cast<size_t>(std::max(1, policy_->RequiredLevels(version_))));
+
+  const MergeMode mode = policy_->FlushMode(version_);
+  std::vector<uint64_t> obsolete;
+  uint64_t bytes_read = 0;
+  std::vector<FileMetaPtr> outputs;
+
+  if (mode == MergeMode::kMergeIntoRun && !version_.levels[0].empty()) {
+    // Leveling flush: merge the memtable with level 0's newest run.
+    SortedRun& target = version_.levels[0].runs[0];
+    std::vector<std::unique_ptr<Iterator>> children;
+    children.push_back(mem_->NewIterator());
+    children.push_back(std::make_unique<RunIterator>(
+        target.files, [this](uint64_t n) { return GetReader(n); }));
+    auto merged = NewMergingIterator(InternalKeyComparator(),
+                                     std::move(children));
+    merged->SeekToFirst();
+    const bool drop = version_.BottommostNonEmptyLevel() <= 0 &&
+                      version_.levels[0].runs.size() == 1;
+    Status s = WriteSortedOutput(merged.get(), 0, drop, /*is_flush=*/true,
+                                 &bytes_read, &outputs);
+    if (!s.ok()) return s;
+    for (const auto& f : target.files) obsolete.push_back(f->number);
+    target.files = std::move(outputs);
+    if (target.files.empty()) {
+      version_.levels[0].runs.erase(version_.levels[0].runs.begin());
+    }
+  } else {
+    // Tiering flush (or empty level 0): new run at the front.
+    auto iter = mem_->NewIterator();
+    iter->SeekToFirst();
+    const bool drop = version_.BottommostNonEmptyLevel() < 0;
+    Status s = WriteSortedOutput(iter.get(), 0, drop, /*is_flush=*/true,
+                                 &bytes_read, &outputs);
+    if (!s.ok()) return s;
+    if (!outputs.empty()) {
+      SortedRun run;
+      run.run_id = next_run_id_++;
+      run.files = std::move(outputs);
+      version_.levels[0].runs.insert(version_.levels[0].runs.begin(),
+                                     std::move(run));
+    }
+  }
+
+  stats_.flushes++;
+  stats_.compaction_bytes_read += bytes_read;
+  flush_count_++;
+  mem_ = std::make_unique<MemTable>();
+
+  policy_->OnFlushCompleted(version_);
+  Status s = RunCompactionLoop();
+  if (!s.ok()) return s;
+
+  // Safe WAL retirement: open the new WAL, persist the pointer, only then
+  // drop the old log and the files consumed by the flush.
+  const uint64_t old_wal = wal_number_;
+  s = NewWal();
+  if (!s.ok()) return s;
+  s = InstallManifest();
+  if (!s.ok()) return s;
+  s = DeleteObsoleteFiles(obsolete);
+  if (!s.ok()) return s;
+  if (old_wal != 0) {
+    options_.env->RemoveFile(WalFileName(options_.path, old_wal));
+  }
+
+  const double stall = options_.env->io_stats()->clock() - stall_start;
+  if (stall > stats_.max_stall_clock) stats_.max_stall_clock = stall;
+  return Status::OK();
+}
+
+Status DB::RunCompactionLoop() {
+  // Bounded to catch policy bugs that would loop forever.
+  for (int rounds = 0; rounds < 100000; rounds++) {
+    version_.EnsureLevels(
+        static_cast<size_t>(std::max(1, policy_->RequiredLevels(version_))));
+    auto req = policy_->PickCompaction(version_);
+    if (!req.has_value()) return Status::OK();
+    Status s = ExecuteCompaction(*req);
+    if (!s.ok()) return s;
+    policy_->OnCompactionCompleted(*req, version_);
+  }
+  return Status::Corruption("compaction loop did not converge",
+                            policy_->name());
+}
+
+Status DB::ExecuteCompaction(const CompactionRequest& req) {
+  version_.EnsureLevels(static_cast<size_t>(req.output_level) + 1);
+
+  // ---- Resolve input files. ----
+  struct ResolvedInput {
+    int level;
+    uint64_t run_id;
+    std::vector<FileMetaPtr> files;
+    bool whole_run;
+  };
+  std::vector<ResolvedInput> resolved;
+  std::string min_user, max_user;
+  bool have_range = false;
+
+  for (const auto& in : req.inputs) {
+    if (in.level < 0 || in.level >= static_cast<int>(version_.levels.size())) {
+      return Status::InvalidArgument("compaction input level out of range");
+    }
+    SortedRun* run = version_.levels[in.level].FindRun(in.run_id);
+    if (run == nullptr) {
+      return Status::InvalidArgument("compaction input run not found");
+    }
+    ResolvedInput ri;
+    ri.level = in.level;
+    ri.run_id = in.run_id;
+    ri.whole_run = in.file_numbers.empty();
+    if (ri.whole_run) {
+      ri.files = run->files;
+    } else {
+      std::set<uint64_t> wanted(in.file_numbers.begin(),
+                                in.file_numbers.end());
+      for (const auto& f : run->files) {
+        if (wanted.count(f->number)) ri.files.push_back(f);
+      }
+      if (ri.files.size() != wanted.size()) {
+        return Status::InvalidArgument("compaction input file not found");
+      }
+    }
+    for (const auto& f : ri.files) {
+      Slice lo = f->smallest.user_key();
+      Slice hi = f->largest.user_key();
+      if (!have_range) {
+        min_user = lo.ToString();
+        max_user = hi.ToString();
+        have_range = true;
+      } else {
+        if (lo.compare(Slice(min_user)) < 0) min_user = lo.ToString();
+        if (hi.compare(Slice(max_user)) > 0) max_user = hi.ToString();
+      }
+    }
+    resolved.push_back(std::move(ri));
+  }
+  if (!have_range) return Status::OK();  // Nothing to do.
+
+  // ---- Resolve the output target (leveling-style merge). ----
+  LevelState& out_level = version_.levels[req.output_level];
+  SortedRun* target_run = nullptr;
+  std::vector<FileMetaPtr> target_overlaps;
+  if (req.output_run_id.has_value()) {
+    target_run = out_level.FindRun(*req.output_run_id);
+    if (target_run == nullptr) {
+      return Status::InvalidArgument("compaction output run not found");
+    }
+    for (size_t idx :
+         target_run->OverlappingFiles(Slice(min_user), Slice(max_user))) {
+      target_overlaps.push_back(target_run->files[idx]);
+    }
+  }
+
+  // ---- Tombstone GC admissibility. ----
+  // Safe only when no older data for these keys can exist below the output
+  // position: nothing in deeper levels, and nothing in older runs of the
+  // output level beyond the target itself (inputs from the output level are
+  // consumed, so they do not count).
+  bool older_data_below = false;
+  for (size_t l = req.output_level;
+       l < version_.levels.size() && !older_data_below; l++) {
+    for (const auto& run : version_.levels[l].runs) {
+      if (run.files.empty()) continue;
+      if (l == static_cast<size_t>(req.output_level)) {
+        if (target_run != nullptr && run.run_id == target_run->run_id) {
+          continue;  // The target itself is merged, not "below".
+        }
+        bool is_whole_input = false;
+        for (const auto& ri : resolved) {
+          if (ri.level == req.output_level && ri.run_id == run.run_id &&
+              ri.whole_run) {
+            is_whole_input = true;
+            break;
+          }
+        }
+        if (is_whole_input) continue;
+        if (target_run == nullptr) {
+          older_data_below = true;  // Fresh front run: everything else older.
+          break;
+        }
+        // Runs positioned after (older than) the target block GC.
+        size_t target_pos = 0, run_pos = 0;
+        for (size_t i = 0; i < out_level.runs.size(); i++) {
+          if (out_level.runs[i].run_id == target_run->run_id) target_pos = i;
+          if (out_level.runs[i].run_id == run.run_id) run_pos = i;
+        }
+        if (run_pos > target_pos) {
+          older_data_below = true;
+          break;
+        }
+      } else {
+        older_data_below = true;
+        break;
+      }
+    }
+  }
+  const bool drop_tombstones = !older_data_below;
+
+  // ---- Merge. ----
+  std::vector<std::unique_ptr<Iterator>> children;
+  auto open = [this](uint64_t n) { return GetReader(n); };
+  for (const auto& ri : resolved) {
+    children.push_back(std::make_unique<RunIterator>(ri.files, open));
+  }
+  if (!target_overlaps.empty()) {
+    children.push_back(std::make_unique<RunIterator>(target_overlaps, open));
+  }
+  auto merged =
+      NewMergingIterator(InternalKeyComparator(), std::move(children));
+  merged->SeekToFirst();
+
+  uint64_t bytes_read = 0;
+  std::vector<FileMetaPtr> outputs;
+  Status s = WriteSortedOutput(merged.get(), req.output_level, drop_tombstones,
+                               /*is_flush=*/false, &bytes_read, &outputs);
+  if (!s.ok()) return s;
+  uint64_t output_bytes = 0;
+  for (const auto& f : outputs) output_bytes += f->file_size;
+
+  // ---- Install the result. ----
+  std::vector<uint64_t> obsolete;
+  for (const auto& ri : resolved) {
+    for (const auto& f : ri.files) obsolete.push_back(f->number);
+  }
+  for (const auto& f : target_overlaps) obsolete.push_back(f->number);
+
+  // For kReplaceInputs, note the position of the youngest consumed run in
+  // the output level before mutation.
+  size_t replace_position = out_level.runs.size();
+  if (req.placement == CompactionRequest::Placement::kReplaceInputs) {
+    for (const auto& ri : resolved) {
+      if (ri.level != req.output_level) continue;
+      for (size_t i = 0; i < out_level.runs.size(); i++) {
+        if (out_level.runs[i].run_id == ri.run_id) {
+          replace_position = std::min(replace_position, i);
+        }
+      }
+    }
+    if (replace_position == out_level.runs.size()) replace_position = 0;
+  }
+
+  for (const auto& ri : resolved) {
+    LevelState& level = version_.levels[ri.level];
+    SortedRun* run = level.FindRun(ri.run_id);
+    assert(run != nullptr);
+    if (ri.whole_run) {
+      run->files.clear();
+    } else {
+      std::set<uint64_t> consumed;
+      for (const auto& f : ri.files) consumed.insert(f->number);
+      auto& files = run->files;
+      files.erase(std::remove_if(files.begin(), files.end(),
+                                 [&](const FileMetaPtr& f) {
+                                   return consumed.count(f->number) > 0;
+                                 }),
+                  files.end());
+    }
+  }
+
+  InternalKeyComparator cmp;
+  if (target_run != nullptr) {
+    // Splice outputs into the target run where the overlaps were removed.
+    std::set<uint64_t> consumed;
+    for (const auto& f : target_overlaps) consumed.insert(f->number);
+    auto& files = target_run->files;
+    files.erase(std::remove_if(files.begin(), files.end(),
+                               [&](const FileMetaPtr& f) {
+                                 return consumed.count(f->number) > 0;
+                               }),
+                files.end());
+    for (auto& f : outputs) files.push_back(std::move(f));
+    std::sort(files.begin(), files.end(),
+              [&cmp](const FileMetaPtr& a, const FileMetaPtr& b) {
+                return cmp.Compare(a->smallest.Encode(),
+                                   b->smallest.Encode()) < 0;
+              });
+  } else if (!outputs.empty()) {
+    SortedRun run;
+    run.run_id = next_run_id_++;
+    run.files = std::move(outputs);
+    if (req.placement == CompactionRequest::Placement::kReplaceInputs) {
+      replace_position = std::min(replace_position, out_level.runs.size());
+      out_level.runs.insert(out_level.runs.begin() + replace_position,
+                            std::move(run));
+    } else {
+      out_level.runs.insert(out_level.runs.begin(), std::move(run));
+    }
+  }
+
+  // Drop now-empty runs everywhere.
+  for (auto& level : version_.levels) {
+    auto& runs = level.runs;
+    runs.erase(std::remove_if(
+                   runs.begin(), runs.end(),
+                   [](const SortedRun& r) { return r.files.empty(); }),
+               runs.end());
+  }
+
+  stats_.compactions++;
+  stats_.compaction_bytes_read += bytes_read;
+  if (stats_.level_stats.size() <=
+      static_cast<size_t>(req.output_level)) {
+    stats_.level_stats.resize(req.output_level + 1);
+  }
+  auto& ls = stats_.level_stats[req.output_level];
+  ls.compactions++;
+  ls.bytes_read += bytes_read;
+  ls.bytes_written += output_bytes;
+
+  // Persist the new structure before dropping the inputs (crash safety).
+  s = InstallManifest();
+  if (!s.ok()) return s;
+  return DeleteObsoleteFiles(obsolete);
+}
+
+Status DB::CompactAll() {
+  Status s = FlushMemTable();
+  if (!s.ok()) return s;
+  const int bottom = version_.BottommostNonEmptyLevel();
+  if (bottom < 0) return Status::OK();
+
+  CompactionRequest req;
+  for (int level = 0; level <= bottom; level++) {
+    for (const auto& run : version_.levels[level].runs) {
+      req.inputs.push_back({level, run.run_id, {}});
+    }
+  }
+  if (req.inputs.empty()) return Status::OK();
+  req.output_level = bottom;
+  req.placement = CompactionRequest::Placement::kReplaceInputs;
+  req.reason = "manual-compact-all";
+  s = ExecuteCompaction(req);
+  if (!s.ok()) return s;
+  policy_->OnCompactionCompleted(req, version_);
+  return Status::OK();
+}
+
+bool DB::GetProperty(const std::string& property, std::string* value) {
+  value->clear();
+  if (property == "talus.levels") {
+    *value = version_.DebugString();
+    return true;
+  }
+  if (property == "talus.num-runs") {
+    *value = std::to_string(version_.TotalRuns());
+    return true;
+  }
+  if (property == "talus.data-bytes") {
+    *value = std::to_string(ApproximateDataBytes());
+    return true;
+  }
+  if (property == "talus.stats") {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "puts=%llu deletes=%llu gets=%llu scans=%llu flushes=%llu "
+        "compactions=%llu write_amp=%.3f read_amp=%.3f "
+        "filter_negatives=%llu cache_hits=%llu max_stall=%.1f",
+        static_cast<unsigned long long>(stats_.puts),
+        static_cast<unsigned long long>(stats_.deletes),
+        static_cast<unsigned long long>(stats_.gets),
+        static_cast<unsigned long long>(stats_.scans),
+        static_cast<unsigned long long>(stats_.flushes),
+        static_cast<unsigned long long>(stats_.compactions),
+        stats_.WriteAmplification(), stats_.ReadAmplification(),
+        static_cast<unsigned long long>(stats_.filter_negatives),
+        static_cast<unsigned long long>(stats_.block_cache_hits),
+        stats_.max_stall_clock);
+    *value = buf;
+    return true;
+  }
+  if (property == "talus.cstats") {
+    std::string out = "level compactions bytes_read bytes_written\n";
+    for (size_t i = 0; i < stats_.level_stats.size(); i++) {
+      const auto& ls = stats_.level_stats[i];
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "L%zu %llu %llu %llu\n", i,
+                    static_cast<unsigned long long>(ls.compactions),
+                    static_cast<unsigned long long>(ls.bytes_read),
+                    static_cast<unsigned long long>(ls.bytes_written));
+      out += buf;
+    }
+    *value = out;
+    return true;
+  }
+  return false;
+}
+
+Status DB::WriteSortedOutput(Iterator* input, int output_level,
+                             bool drop_tombstones, bool is_flush,
+                             uint64_t* bytes_read,
+                             std::vector<FileMetaPtr>* outputs) {
+  // Compaction/flush merges stream their inputs: charge sequential rates.
+  IoStats::SequentialScope seq_scope(options_.env->io_stats());
+  SstBuilderOptions bopts;
+  bopts.block_size = options_.block_size;
+  bopts.restart_interval = options_.block_restart_interval;
+  bopts.bits_per_key = BitsPerKeyForLevel(output_level);
+
+  std::unique_ptr<SstBuilder> builder;
+  uint64_t file_number = 0;
+  std::string last_user_key;
+  bool has_last = false;
+  // Newest-to-oldest sequence of the previously kept/seen version of the
+  // current user key; versions at or below the smallest live snapshot that
+  // are shadowed by a newer such version are unreachable from every read
+  // view and can be dropped (LevelDB's retention rule).
+  SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
+  const SequenceNumber smallest_snapshot = SmallestLiveSnapshot();
+  uint64_t read_accum = 0;
+  uint64_t payload_accum = 0;
+  uint64_t oldest_seq_accum = kMaxSequenceNumber;
+
+  auto finish_file = [&]() -> Status {
+    if (builder == nullptr) return Status::OK();
+    Status fs = builder->Finish();
+    if (!fs.ok()) return fs;
+    auto meta = std::make_shared<FileMeta>();
+    meta->number = file_number;
+    meta->file_size = builder->FileSize();
+    meta->num_entries = builder->NumEntries();
+    meta->payload_bytes = payload_accum;
+    meta->smallest = builder->smallest();
+    meta->largest = builder->largest();
+    meta->oldest_seq = oldest_seq_accum;
+    if (is_flush) {
+      stats_.flush_bytes_written += meta->file_size;
+    } else {
+      stats_.compaction_bytes_written += meta->file_size;
+    }
+    outputs->push_back(std::move(meta));
+    builder.reset();
+    payload_accum = 0;
+    oldest_seq_accum = kMaxSequenceNumber;
+    return Status::OK();
+  };
+
+  for (; input->Valid(); input->Next()) {
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(input->key(), &parsed)) {
+      return Status::Corruption("bad internal key during compaction");
+    }
+    read_accum += input->key().size() + input->value().size();
+
+    if (!has_last || parsed.user_key != Slice(last_user_key)) {
+      last_user_key.assign(parsed.user_key.data(), parsed.user_key.size());
+      has_last = true;
+      last_sequence_for_key = kMaxSequenceNumber;
+    }
+    bool drop = false;
+    if (last_sequence_for_key <= smallest_snapshot) {
+      // A newer version of this key is already visible at the oldest read
+      // view: this one is unreachable.
+      drop = true;
+    } else if (parsed.type == kTypeDeletion &&
+               parsed.sequence <= smallest_snapshot && drop_tombstones) {
+      drop = true;
+    }
+    last_sequence_for_key = parsed.sequence;
+    if (drop) continue;
+
+    // Cut the output file at the size target, but never between versions of
+    // the same user key: files within a run must stay user-key disjoint
+    // (point lookups probe exactly one file per run).
+    if (builder != nullptr &&
+        builder->FileSize() >= options_.target_file_size &&
+        builder->NumEntries() > 0 &&
+        ExtractUserKey(builder->largest().Encode()) != parsed.user_key) {
+      Status fs = finish_file();
+      if (!fs.ok()) return fs;
+    }
+
+    if (builder == nullptr) {
+      file_number = next_file_number_++;
+      std::unique_ptr<WritableFile> file;
+      Status fs = options_.env->NewWritableFile(
+          SstFileName(options_.path, file_number), &file);
+      if (!fs.ok()) return fs;
+      builder = std::make_unique<SstBuilder>(bopts, std::move(file));
+    }
+    builder->Add(input->key(), input->value());
+    payload_accum += parsed.user_key.size() + input->value().size();
+    if (parsed.sequence < oldest_seq_accum) {
+      oldest_seq_accum = parsed.sequence;
+    }
+  }
+  Status fs = finish_file();
+  if (!fs.ok()) return fs;
+  *bytes_read = read_accum;
+  return input->status();
+}
+
+Status DB::InstallManifest() {
+  ManifestData data;
+  data.next_file_number = next_file_number_;
+  data.next_run_id = next_run_id_;
+  data.last_sequence = last_sequence_;
+  data.flush_count = flush_count_;
+  data.wal_number = wal_number_;
+  data.policy_name = policy_->name();
+  data.policy_state = policy_->EncodeState();
+  data.version = version_;
+
+  const uint64_t new_number = manifest_number_ + 1;
+  Status s = WriteManifestSnapshot(options_.env, options_.path, new_number,
+                                   data);
+  if (!s.ok()) return s;
+  if (manifest_number_ != 0) {
+    options_.env->RemoveFile(
+        ManifestFileName(options_.path, manifest_number_));
+  }
+  manifest_number_ = new_number;
+  return Status::OK();
+}
+
+Status DB::DeleteObsoleteFiles(const std::vector<uint64_t>& files) {
+  for (uint64_t number : files) {
+    ForgetFile(number);
+    Status s = options_.env->RemoveFile(SstFileName(options_.path, number));
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+SstReader* DB::GetReader(uint64_t file_number) {
+  auto it = readers_.find(file_number);
+  if (it != readers_.end()) return it->second.get();
+  std::unique_ptr<SstReader> reader;
+  Status s =
+      SstReader::Open(options_.env, SstFileName(options_.path, file_number),
+                      file_number, block_cache_.get(), &reader);
+  if (!s.ok()) return nullptr;
+  SstReader* raw = reader.get();
+  readers_[file_number] = std::move(reader);
+  return raw;
+}
+
+void DB::ForgetFile(uint64_t file_number) {
+  readers_.erase(file_number);
+  std::string prefix;
+  PutFixed64(&prefix, file_number);
+  block_cache_->EraseByPrefix(prefix);
+}
+
+double DB::BitsPerKeyForLevel(int level) const {
+  auto allocator =
+      NewFilterAllocator(options_.filter_layout, options_.bloom_bits_per_key);
+  return allocator->BitsForLevel(policy_->FilterInfo(version_), level);
+}
+
+Status DB::Get(const Slice& key, std::string* value) {
+  return Get(key, value, nullptr);
+}
+
+Status DB::Get(const Slice& key, std::string* value,
+               const Snapshot* snapshot) {
+  stats_.gets++;
+  mix_tracker_.RecordPointLookup();
+  options_.env->io_stats()->RecordCpu(options_.cpu_cost_per_read);
+  LookupKey lkey(key,
+                 snapshot != nullptr ? snapshot->sequence() : last_sequence_);
+
+  Status s;
+  if (mem_->Get(lkey, value, &s)) {
+    if (s.ok()) stats_.gets_found++;
+    return s;
+  }
+
+  for (const auto& level : version_.levels) {
+    for (const auto& run : level.runs) {
+      // Locate the single file that may contain the key.
+      const auto& files = run.files;
+      size_t left = 0, right = files.size();
+      while (left < right) {
+        size_t mid = (left + right) / 2;
+        if (files[mid]->largest.user_key().compare(key) < 0) {
+          left = mid + 1;
+        } else {
+          right = mid;
+        }
+      }
+      if (left == files.size()) continue;
+      if (files[left]->smallest.user_key().compare(key) > 0) continue;
+
+      stats_.runs_probed++;
+      SstReader* reader = GetReader(files[left]->number);
+      if (reader == nullptr) {
+        return Status::IOError("cannot open sst for read");
+      }
+      SstReader::GetStats gs;
+      bool decided = reader->Get(lkey, value, &s, &gs);
+      if (gs.filter_negative) stats_.filter_negatives++;
+      if (gs.block_read) stats_.data_block_reads++;
+      if (gs.cache_hit) stats_.block_cache_hits++;
+      if (decided) {
+        if (s.ok()) stats_.gets_found++;
+        return s;
+      }
+    }
+  }
+  return Status::NotFound(Slice());
+}
+
+std::unique_ptr<Iterator> DB::NewIterator() {
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(mem_->NewIterator());
+  auto open = [this](uint64_t n) { return GetReader(n); };
+  for (const auto& level : version_.levels) {
+    for (const auto& run : level.runs) {
+      children.push_back(std::make_unique<RunIterator>(run.files, open));
+    }
+  }
+  auto merged =
+      NewMergingIterator(InternalKeyComparator(), std::move(children));
+  return std::make_unique<DbIterator>(std::move(merged));
+}
+
+Status DB::Scan(const Slice& start, size_t count,
+                std::vector<std::pair<std::string, std::string>>* out) {
+  stats_.scans++;
+  mix_tracker_.RecordRangeLookup();
+  options_.env->io_stats()->RecordCpu(options_.cpu_cost_per_read);
+  out->clear();
+  auto iter = NewIterator();
+  iter->Seek(start);
+  while (iter->Valid() && out->size() < count) {
+    out->emplace_back(iter->key().ToString(), iter->value().ToString());
+    iter->Next();
+  }
+  return iter->status();
+}
+
+uint64_t DB::ApproximateDataBytes() const {
+  uint64_t total = mem_->payload_bytes();
+  for (const auto& level : version_.levels) {
+    total += level.PayloadBytes();
+  }
+  return total;
+}
+
+}  // namespace talus

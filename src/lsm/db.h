@@ -1,0 +1,190 @@
+// DB: the talus storage engine facade. Single-threaded by design: flushes
+// and compactions run inline on the write path, which (a) makes every
+// experiment deterministic and (b) surfaces compaction-induced write stalls
+// directly in the windowed-throughput metric — the same phenomenon the paper
+// measures through background-compaction backpressure (DESIGN.md §2).
+#ifndef TALUS_LSM_DB_H_
+#define TALUS_LSM_DB_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <set>
+
+#include "cache/lru_cache.h"
+#include "lsm/manifest.h"
+#include "lsm/options.h"
+#include "lsm/version.h"
+#include "lsm/write_batch.h"
+#include "mem/memtable.h"
+#include "policy/growth_policy.h"
+#include "table/sst_reader.h"
+#include "wal/log_writer.h"
+
+namespace talus {
+
+/// Cumulative engine statistics (virtual-clock based where noted).
+struct EngineStats {
+  // Write path.
+  uint64_t puts = 0;
+  uint64_t deletes = 0;
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t flush_bytes_written = 0;
+  uint64_t compaction_bytes_read = 0;
+  uint64_t compaction_bytes_written = 0;
+  uint64_t user_payload_written = 0;  // Key+value bytes accepted from users.
+
+  // Read path.
+  uint64_t gets = 0;
+  uint64_t gets_found = 0;
+  uint64_t scans = 0;
+  uint64_t runs_probed = 0;
+  uint64_t filter_negatives = 0;
+  uint64_t data_block_reads = 0;
+  uint64_t block_cache_hits = 0;
+
+  // Longest single inline flush+compaction stall, in virtual clock units.
+  double max_stall_clock = 0;
+
+  // Per-output-level compaction accounting (index = output level).
+  struct LevelStats {
+    uint64_t compactions = 0;
+    uint64_t bytes_read = 0;
+    uint64_t bytes_written = 0;
+  };
+  std::vector<LevelStats> level_stats;
+
+  /// Physical bytes written per user payload byte.
+  double WriteAmplification() const {
+    if (user_payload_written == 0) return 0;
+    return static_cast<double>(flush_bytes_written +
+                               compaction_bytes_written) /
+           static_cast<double>(user_payload_written);
+  }
+  /// Mean sorted runs probed per point lookup.
+  double ReadAmplification() const {
+    if (gets == 0) return 0;
+    return static_cast<double>(runs_probed) / static_cast<double>(gets);
+  }
+};
+
+/// Read view pinned at a point in time. Obtained from DB::GetSnapshot();
+/// versions visible to a live snapshot survive compactions until the
+/// snapshot is released.
+class Snapshot {
+ public:
+  SequenceNumber sequence() const { return sequence_; }
+
+ private:
+  friend class DB;
+  explicit Snapshot(SequenceNumber s) : sequence_(s) {}
+  SequenceNumber sequence_;
+};
+
+class DB {
+ public:
+  static Status Open(const DbOptions& options, std::unique_ptr<DB>* dbptr);
+  ~DB();
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  Status Put(const Slice& key, const Slice& value);
+  Status Delete(const Slice& key);
+  /// Applies the batch atomically (one WAL record, contiguous sequences).
+  Status Write(const WriteBatch& batch);
+  Status Get(const Slice& key, std::string* value);
+  /// Point lookup against a pinned snapshot (nullptr = latest).
+  Status Get(const Slice& key, std::string* value, const Snapshot* snapshot);
+
+  /// Pins the current state for repeatable reads. Must be released.
+  const Snapshot* GetSnapshot();
+  void ReleaseSnapshot(const Snapshot* snapshot);
+
+  /// Manual major compaction: merges every run into a single run at the
+  /// bottommost non-empty level (reclaims tombstones and shadowed
+  /// versions not pinned by snapshots).
+  Status CompactAll();
+
+  /// Introspection: "talus.stats", "talus.levels", "talus.cstats",
+  /// "talus.num-runs", "talus.data-bytes". Returns false for unknown names.
+  bool GetProperty(const std::string& property, std::string* value);
+
+  /// Collects up to `count` live entries with user key >= start, in order.
+  Status Scan(const Slice& start, size_t count,
+              std::vector<std::pair<std::string, std::string>>* out);
+
+  /// Forward iterator over live user keys (tombstones and shadowed versions
+  /// skipped). Prev() is not supported.
+  std::unique_ptr<Iterator> NewIterator();
+
+  /// Forces a memtable flush (and any compactions it triggers).
+  Status FlushMemTable();
+
+  const Version& current_version() const { return version_; }
+  const EngineStats& stats() const { return stats_; }
+  GrowthPolicy* policy() { return policy_.get(); }
+  Env* env() { return options_.env; }
+  const DbOptions& options() const { return options_; }
+  LruCache* block_cache() { return block_cache_.get(); }
+
+  /// Live logical data size: latest-version key+value bytes across tree and
+  /// memtable (upper bound — shadowed versions in overlapping runs counted
+  /// once per run).
+  uint64_t ApproximateDataBytes() const;
+
+  std::string DebugString() const { return version_.DebugString(); }
+
+ private:
+  DB(const DbOptions& options);
+
+  Status WriteImpl(const WriteBatch& batch);
+  SequenceNumber SmallestLiveSnapshot() const;
+  Status DoFlush();
+  Status RunCompactionLoop();
+  Status ExecuteCompaction(const CompactionRequest& req);
+  Status WriteSortedOutput(Iterator* input, int output_level,
+                           bool drop_tombstones, bool is_flush,
+                           uint64_t* bytes_read,
+                           std::vector<FileMetaPtr>* outputs);
+  Status InstallManifest();
+  Status NewWal();
+  Status RecoverWal(uint64_t wal_number);
+  SstReader* GetReader(uint64_t file_number);
+  void ForgetFile(uint64_t file_number);
+  Status DeleteObsoleteFiles(const std::vector<uint64_t>& files);
+  double BitsPerKeyForLevel(int level) const;
+
+  DbOptions options_;
+  std::unique_ptr<GrowthPolicy> policy_;
+  std::unique_ptr<LruCache> block_cache_;
+
+  std::unique_ptr<MemTable> mem_;
+  std::unique_ptr<wal::LogWriter> wal_;
+  uint64_t wal_number_ = 0;
+
+  Version version_;
+  uint64_t next_file_number_ = 1;
+  uint64_t next_run_id_ = 1;
+  uint64_t manifest_number_ = 0;
+  SequenceNumber last_sequence_ = 0;
+  uint64_t flush_count_ = 0;
+
+  std::unordered_map<uint64_t, std::unique_ptr<SstReader>> readers_;
+
+  // Live operation-mix estimator, shared with self-designing policies.
+  WorkloadMixTracker mix_tracker_;
+
+  // Sequences pinned by live snapshots (multiset: snapshots may coincide).
+  std::multiset<SequenceNumber> snapshot_seqs_;
+
+  EngineStats stats_;
+};
+
+}  // namespace talus
+
+#endif  // TALUS_LSM_DB_H_

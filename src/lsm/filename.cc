@@ -1,0 +1,33 @@
+#include "lsm/filename.h"
+
+#include <cctype>
+
+namespace talus {
+
+bool ParseFileName(const std::string& name, uint64_t* number,
+                   std::string* suffix) {
+  if (name.rfind("MANIFEST-", 0) == 0) {
+    const std::string digits = name.substr(9);
+    if (digits.empty()) return false;
+    uint64_t n = 0;
+    for (char c : digits) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+      n = n * 10 + (c - '0');
+    }
+    *number = n;
+    *suffix = "manifest";
+    return true;
+  }
+  size_t dot = name.find('.');
+  if (dot == std::string::npos || dot == 0) return false;
+  uint64_t n = 0;
+  for (size_t i = 0; i < dot; i++) {
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) return false;
+    n = n * 10 + (name[i] - '0');
+  }
+  *number = n;
+  *suffix = name.substr(dot + 1);
+  return true;
+}
+
+}  // namespace talus

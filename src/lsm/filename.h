@@ -1,0 +1,44 @@
+// File naming conventions inside a DB directory.
+#ifndef TALUS_LSM_FILENAME_H_
+#define TALUS_LSM_FILENAME_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace talus {
+
+inline std::string SstFileName(const std::string& dbpath, uint64_t number) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/%06llu.sst",
+                static_cast<unsigned long long>(number));
+  return dbpath + buf;
+}
+
+inline std::string WalFileName(const std::string& dbpath, uint64_t number) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/%06llu.wal",
+                static_cast<unsigned long long>(number));
+  return dbpath + buf;
+}
+
+inline std::string ManifestFileName(const std::string& dbpath,
+                                    uint64_t number) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "/MANIFEST-%06llu",
+                static_cast<unsigned long long>(number));
+  return dbpath + buf;
+}
+
+inline std::string CurrentFileName(const std::string& dbpath) {
+  return dbpath + "/CURRENT";
+}
+
+/// Parses "<number>.<suffix>" / "MANIFEST-<number>" names. Returns true and
+/// sets *number and *suffix on success.
+bool ParseFileName(const std::string& name, uint64_t* number,
+                   std::string* suffix);
+
+}  // namespace talus
+
+#endif  // TALUS_LSM_FILENAME_H_

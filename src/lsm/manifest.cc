@@ -1,0 +1,171 @@
+#include "lsm/manifest.h"
+
+#include "lsm/filename.h"
+#include "util/coding.h"
+#include "wal/log_reader.h"
+#include "wal/log_writer.h"
+
+namespace talus {
+
+namespace {
+
+void EncodeFileMeta(std::string* dst, const FileMeta& f) {
+  PutVarint64(dst, f.number);
+  PutVarint64(dst, f.file_size);
+  PutVarint64(dst, f.num_entries);
+  PutVarint64(dst, f.payload_bytes);
+  PutVarint64(dst, f.oldest_seq);
+  PutLengthPrefixedSlice(dst, f.smallest.Encode());
+  PutLengthPrefixedSlice(dst, f.largest.Encode());
+}
+
+bool DecodeFileMeta(Slice* input, FileMeta* f) {
+  Slice smallest, largest;
+  if (!GetVarint64(input, &f->number) || !GetVarint64(input, &f->file_size) ||
+      !GetVarint64(input, &f->num_entries) ||
+      !GetVarint64(input, &f->payload_bytes) ||
+      !GetVarint64(input, &f->oldest_seq) ||
+      !GetLengthPrefixedSlice(input, &smallest) ||
+      !GetLengthPrefixedSlice(input, &largest)) {
+    return false;
+  }
+  f->smallest.DecodeFrom(smallest);
+  f->largest.DecodeFrom(largest);
+  return true;
+}
+
+std::string EncodeSnapshot(const ManifestData& data) {
+  std::string out;
+  PutVarint64(&out, data.next_file_number);
+  PutVarint64(&out, data.next_run_id);
+  PutVarint64(&out, data.last_sequence);
+  PutVarint64(&out, data.flush_count);
+  PutVarint64(&out, data.wal_number);
+  PutLengthPrefixedSlice(&out, Slice(data.policy_name));
+  PutLengthPrefixedSlice(&out, Slice(data.policy_state));
+  PutVarint64(&out, data.version.levels.size());
+  for (const LevelState& level : data.version.levels) {
+    PutVarint64(&out, level.runs.size());
+    for (const SortedRun& run : level.runs) {
+      PutVarint64(&out, run.run_id);
+      PutVarint64(&out, run.files.size());
+      for (const FileMetaPtr& f : run.files) {
+        EncodeFileMeta(&out, *f);
+      }
+    }
+  }
+  return out;
+}
+
+Status DecodeSnapshot(Slice input, ManifestData* data) {
+  Slice policy_name, policy_state;
+  uint64_t num_levels;
+  if (!GetVarint64(&input, &data->next_file_number) ||
+      !GetVarint64(&input, &data->next_run_id) ||
+      !GetVarint64(&input, &data->last_sequence) ||
+      !GetVarint64(&input, &data->flush_count) ||
+      !GetVarint64(&input, &data->wal_number) ||
+      !GetLengthPrefixedSlice(&input, &policy_name) ||
+      !GetLengthPrefixedSlice(&input, &policy_state) ||
+      !GetVarint64(&input, &num_levels)) {
+    return Status::Corruption("bad manifest header");
+  }
+  data->policy_name = policy_name.ToString();
+  data->policy_state = policy_state.ToString();
+  data->version.levels.clear();
+  data->version.levels.resize(num_levels);
+  for (uint64_t i = 0; i < num_levels; i++) {
+    uint64_t num_runs;
+    if (!GetVarint64(&input, &num_runs)) {
+      return Status::Corruption("bad manifest level");
+    }
+    for (uint64_t r = 0; r < num_runs; r++) {
+      SortedRun run;
+      uint64_t num_files;
+      if (!GetVarint64(&input, &run.run_id) ||
+          !GetVarint64(&input, &num_files)) {
+        return Status::Corruption("bad manifest run");
+      }
+      for (uint64_t f = 0; f < num_files; f++) {
+        auto meta = std::make_shared<FileMeta>();
+        if (!DecodeFileMeta(&input, meta.get())) {
+          return Status::Corruption("bad manifest file meta");
+        }
+        run.files.push_back(std::move(meta));
+      }
+      data->version.levels[i].runs.push_back(std::move(run));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteManifestSnapshot(Env* env, const std::string& dbpath,
+                             uint64_t manifest_number,
+                             const ManifestData& data) {
+  const std::string fname = ManifestFileName(dbpath, manifest_number);
+  std::unique_ptr<WritableFile> file;
+  Status s = env->NewWritableFile(fname, &file);
+  if (!s.ok()) return s;
+  wal::LogWriter writer(std::move(file));
+  s = writer.AddRecord(Slice(EncodeSnapshot(data)));
+  if (s.ok()) s = writer.Sync();
+  if (s.ok()) s = writer.Close();
+  if (!s.ok()) return s;
+
+  // Atomically repoint CURRENT via rename.
+  const std::string tmp = dbpath + "/CURRENT.tmp";
+  std::unique_ptr<WritableFile> cur;
+  s = env->NewWritableFile(tmp, &cur);
+  if (!s.ok()) return s;
+  std::string manifest_basename =
+      fname.substr(fname.find_last_of('/') + 1);
+  s = cur->Append(Slice(manifest_basename));
+  if (s.ok()) s = cur->Sync();
+  if (s.ok()) s = cur->Close();
+  if (!s.ok()) return s;
+  return env->RenameFile(tmp, CurrentFileName(dbpath));
+}
+
+Status ReadCurrentManifest(Env* env, const std::string& dbpath,
+                           ManifestData* data, uint64_t* manifest_number) {
+  const std::string current = CurrentFileName(dbpath);
+  if (!env->FileExists(current)) {
+    return Status::NotFound("no CURRENT file", dbpath);
+  }
+  std::unique_ptr<SequentialFile> cur;
+  Status s = env->NewSequentialFile(current, &cur);
+  if (!s.ok()) return s;
+  std::string name;
+  {
+    Slice chunk;
+    std::string scratch(256, '\0');
+    s = cur->Read(256, &chunk, scratch.data());
+    if (!s.ok()) return s;
+    name = chunk.ToString();
+  }
+  // Trim trailing whitespace/newlines.
+  while (!name.empty() && (name.back() == '\n' || name.back() == ' ')) {
+    name.pop_back();
+  }
+  uint64_t number = 0;
+  std::string suffix;
+  if (!ParseFileName(name, &number, &suffix) || suffix != "manifest") {
+    return Status::Corruption("CURRENT names a non-manifest file", name);
+  }
+
+  std::unique_ptr<SequentialFile> file;
+  s = env->NewSequentialFile(dbpath + "/" + name, &file);
+  if (!s.ok()) return s;
+  wal::LogReader reader(std::move(file));
+  std::string record;
+  if (!reader.ReadRecord(&record)) {
+    return Status::Corruption("manifest unreadable", name);
+  }
+  s = DecodeSnapshot(Slice(record), data);
+  if (s.ok() && manifest_number != nullptr) *manifest_number = number;
+  return s;
+}
+
+}  // namespace talus

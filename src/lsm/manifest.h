@@ -1,0 +1,37 @@
+// Manifest: durable snapshot of the tree structure plus engine counters.
+// Each structural change writes a complete snapshot to MANIFEST-<n> and
+// atomically repoints CURRENT — simple, crash-consistent, and cheap at
+// research scale (metadata is tiny relative to data).
+#ifndef TALUS_LSM_MANIFEST_H_
+#define TALUS_LSM_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "env/env.h"
+#include "lsm/version.h"
+
+namespace talus {
+
+struct ManifestData {
+  uint64_t next_file_number = 1;
+  uint64_t next_run_id = 1;
+  uint64_t last_sequence = 0;
+  uint64_t flush_count = 0;
+  uint64_t wal_number = 0;       // Live WAL file number (0 = none).
+  std::string policy_name;       // Sanity check on reopen.
+  std::string policy_state;      // Opaque GrowthPolicy::EncodeState() blob.
+  Version version;
+};
+
+/// Writes a full snapshot as MANIFEST-<manifest_number> and repoints CURRENT.
+Status WriteManifestSnapshot(Env* env, const std::string& dbpath,
+                             uint64_t manifest_number, const ManifestData& data);
+
+/// Loads the snapshot named by CURRENT. NotFound when no CURRENT exists.
+Status ReadCurrentManifest(Env* env, const std::string& dbpath,
+                           ManifestData* data, uint64_t* manifest_number);
+
+}  // namespace talus
+
+#endif  // TALUS_LSM_MANIFEST_H_

@@ -1,0 +1,47 @@
+// DbOptions: engine configuration. Defaults mirror the paper's experimental
+// setting scaled to simulator size (DESIGN.md §2): 1KB entries, buffer =
+// target file size, size ratio T = 6, 5 bits-per-key Bloom filters.
+#ifndef TALUS_LSM_OPTIONS_H_
+#define TALUS_LSM_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "env/env.h"
+#include "filter/filter_allocator.h"
+#include "policy/policy_config.h"
+
+namespace talus {
+
+struct DbOptions {
+  Env* env = nullptr;  // Required.
+  std::string path;    // Required: directory for SSTs, WAL, MANIFEST.
+
+  uint64_t write_buffer_size = 1 << 20;  // B: memtable capacity in bytes.
+  uint64_t target_file_size = 1 << 20;   // Max SST size (RocksDB-style).
+  size_t block_size = 4096;
+  int block_restart_interval = 16;
+
+  size_t block_cache_bytes = 8 << 20;
+
+  double bloom_bits_per_key = 5.0;
+  FilterLayout filter_layout = FilterLayout::kStatic;
+
+  bool enable_wal = true;
+  // Sync the WAL after every write (RocksDB's WriteOptions::sync). Off by
+  // default like production systems: a power loss may drop the unsynced
+  // WAL tail, but never flushed data and never consistency.
+  bool wal_sync_writes = false;
+  // Replay WAL / manifest on open when present.
+  bool create_if_missing = true;
+
+  GrowthPolicyConfig policy;
+
+  // CPU epsilons for the virtual clock (see env/io_stats.h).
+  double cpu_cost_per_write = 0.02;
+  double cpu_cost_per_read = 0.02;
+};
+
+}  // namespace talus
+
+#endif  // TALUS_LSM_OPTIONS_H_

@@ -1,0 +1,113 @@
+#include "lsm/version.h"
+
+#include <sstream>
+
+namespace talus {
+
+uint64_t SortedRun::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& f : files) total += f->file_size;
+  return total;
+}
+
+uint64_t SortedRun::TotalEntries() const {
+  uint64_t total = 0;
+  for (const auto& f : files) total += f->num_entries;
+  return total;
+}
+
+uint64_t SortedRun::PayloadBytes() const {
+  uint64_t total = 0;
+  for (const auto& f : files) total += f->payload_bytes;
+  return total;
+}
+
+std::vector<size_t> SortedRun::OverlappingFiles(const Slice& begin,
+                                                const Slice& end) const {
+  std::vector<size_t> result;
+  for (size_t i = 0; i < files.size(); i++) {
+    const FileMeta& f = *files[i];
+    if (!begin.empty() && f.largest.user_key().compare(begin) < 0) continue;
+    if (!end.empty() && f.smallest.user_key().compare(end) > 0) continue;
+    result.push_back(i);
+  }
+  return result;
+}
+
+uint64_t LevelState::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& r : runs) total += r.TotalBytes();
+  return total;
+}
+
+uint64_t LevelState::TotalEntries() const {
+  uint64_t total = 0;
+  for (const auto& r : runs) total += r.TotalEntries();
+  return total;
+}
+
+uint64_t LevelState::PayloadBytes() const {
+  uint64_t total = 0;
+  for (const auto& r : runs) total += r.PayloadBytes();
+  return total;
+}
+
+const SortedRun* LevelState::FindRun(uint64_t run_id) const {
+  for (const auto& r : runs) {
+    if (r.run_id == run_id) return &r;
+  }
+  return nullptr;
+}
+
+SortedRun* LevelState::FindRun(uint64_t run_id) {
+  for (auto& r : runs) {
+    if (r.run_id == run_id) return &r;
+  }
+  return nullptr;
+}
+
+int Version::BottommostNonEmptyLevel() const {
+  for (int i = static_cast<int>(levels.size()) - 1; i >= 0; i--) {
+    if (!levels[i].empty()) return i;
+  }
+  return -1;
+}
+
+uint64_t Version::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& l : levels) total += l.TotalBytes();
+  return total;
+}
+
+uint64_t Version::TotalEntries() const {
+  uint64_t total = 0;
+  for (const auto& l : levels) total += l.TotalEntries();
+  return total;
+}
+
+size_t Version::TotalRuns() const {
+  size_t total = 0;
+  for (const auto& l : levels) total += l.runs.size();
+  return total;
+}
+
+std::string Version::DebugString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < levels.size(); i++) {
+    const LevelState& level = levels[i];
+    out << "L" << i << ":";
+    if (level.empty()) {
+      out << " (empty)\n";
+      continue;
+    }
+    out << "\n";
+    for (const auto& run : level.runs) {
+      out << "  run " << run.run_id << ": " << run.files.size() << " files, "
+          << run.TotalBytes() << " bytes, " << run.TotalEntries()
+          << " entries\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace talus

@@ -1,0 +1,86 @@
+// Version: the on-disk shape of the tree — levels of sorted runs of files.
+//
+// A *sorted run* is a sequence of key-disjoint files that together form one
+// sorted key space (a leveled level is one run; a tiered level holds many).
+// Runs within a level are ordered newest-first: run 0 holds the most recently
+// written data, so point lookups may stop at the first run that decides a
+// key. Growth policies manipulate this structure only through
+// CompactionRequests (policy/growth_policy.h).
+#ifndef TALUS_LSM_VERSION_H_
+#define TALUS_LSM_VERSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lsm/dbformat.h"
+
+namespace talus {
+
+struct FileMeta {
+  uint64_t number = 0;       // Unique file number (names the .sst file).
+  uint64_t file_size = 0;    // Physical bytes.
+  uint64_t num_entries = 0;  // Internal-key entries.
+  uint64_t payload_bytes = 0;  // Sum of user key+value bytes (logical size).
+  InternalKey smallest;
+  InternalKey largest;
+  // Smallest sequence number in the file; used by the
+  // kOldestSmallestSeqFirst file picking policy (RocksDB-Tuned).
+  uint64_t oldest_seq = 0;
+};
+
+using FileMetaPtr = std::shared_ptr<FileMeta>;
+
+struct SortedRun {
+  uint64_t run_id = 0;
+  std::vector<FileMetaPtr> files;  // Sorted by smallest key, disjoint ranges.
+
+  uint64_t TotalBytes() const;
+  uint64_t TotalEntries() const;
+  uint64_t PayloadBytes() const;
+
+  /// Indices of files whose key range overlaps [begin, end] (user keys).
+  /// Empty `begin`/`end` mean unbounded.
+  std::vector<size_t> OverlappingFiles(const Slice& begin,
+                                       const Slice& end) const;
+};
+
+struct LevelState {
+  std::vector<SortedRun> runs;  // Index 0 = newest run.
+
+  uint64_t TotalBytes() const;
+  uint64_t TotalEntries() const;
+  uint64_t PayloadBytes() const;
+  size_t NumRuns() const { return runs.size(); }
+  bool empty() const { return runs.empty(); }
+
+  const SortedRun* FindRun(uint64_t run_id) const;
+  SortedRun* FindRun(uint64_t run_id);
+};
+
+class Version {
+ public:
+  std::vector<LevelState> levels;
+
+  /// Ensures at least n levels exist.
+  void EnsureLevels(size_t n) {
+    if (levels.size() < n) levels.resize(n);
+  }
+
+  /// Index of the deepest non-empty level, or -1 when the tree is empty.
+  int BottommostNonEmptyLevel() const;
+
+  uint64_t TotalBytes() const;
+  uint64_t TotalEntries() const;
+
+  /// Total number of sorted runs across all levels.
+  size_t TotalRuns() const;
+
+  /// Multi-line structural dump for debugging and the visualizer example.
+  std::string DebugString() const;
+};
+
+}  // namespace talus
+
+#endif  // TALUS_LSM_VERSION_H_

@@ -1,0 +1,102 @@
+#include "lsm/write_batch.h"
+
+#include "util/coding.h"
+
+namespace talus {
+
+void WriteBatch::Put(const Slice& key, const Slice& value) {
+  rep_.push_back(static_cast<char>(kTypeValue));
+  PutLengthPrefixedSlice(&rep_, key);
+  PutLengthPrefixedSlice(&rep_, value);
+  count_++;
+  payload_bytes_ += key.size() + value.size();
+}
+
+void WriteBatch::Delete(const Slice& key) {
+  rep_.push_back(static_cast<char>(kTypeDeletion));
+  PutLengthPrefixedSlice(&rep_, key);
+  count_++;
+  payload_bytes_ += key.size();
+}
+
+void WriteBatch::Clear() {
+  rep_.clear();
+  count_ = 0;
+  payload_bytes_ = 0;
+}
+
+Status WriteBatch::Iterate(Handler* handler) const {
+  Slice input(rep_);
+  uint32_t found = 0;
+  while (!input.empty()) {
+    const uint8_t tag = static_cast<uint8_t>(input[0]);
+    input.remove_prefix(1);
+    Slice key, value;
+    switch (tag) {
+      case kTypeValue:
+        if (!GetLengthPrefixedSlice(&input, &key) ||
+            !GetLengthPrefixedSlice(&input, &value)) {
+          return Status::Corruption("bad WriteBatch Put record");
+        }
+        handler->Put(key, value);
+        break;
+      case kTypeDeletion:
+        if (!GetLengthPrefixedSlice(&input, &key)) {
+          return Status::Corruption("bad WriteBatch Delete record");
+        }
+        handler->Delete(key);
+        break;
+      default:
+        return Status::Corruption("unknown WriteBatch op tag");
+    }
+    found++;
+  }
+  if (found != count_) {
+    return Status::Corruption("WriteBatch count mismatch");
+  }
+  return Status::OK();
+}
+
+Status WriteBatch::FromRep(const Slice& rep, WriteBatch* batch) {
+  batch->Clear();
+  // Validate and count by replaying into the batch.
+  class Builder : public Handler {
+   public:
+    explicit Builder(WriteBatch* b) : b_(b) {}
+    void Put(const Slice& key, const Slice& value) override {
+      b_->Put(key, value);
+    }
+    void Delete(const Slice& key) override { b_->Delete(key); }
+
+   private:
+    WriteBatch* b_;
+  };
+  WriteBatch probe;
+  probe.rep_.assign(rep.data(), rep.size());
+  // Count unknown: walk the rep directly.
+  Slice input(rep);
+  uint32_t count = 0;
+  while (!input.empty()) {
+    const uint8_t tag = static_cast<uint8_t>(input[0]);
+    input.remove_prefix(1);
+    Slice key, value;
+    if (tag == kTypeValue) {
+      if (!GetLengthPrefixedSlice(&input, &key) ||
+          !GetLengthPrefixedSlice(&input, &value)) {
+        return Status::Corruption("bad batch rep");
+      }
+    } else if (tag == kTypeDeletion) {
+      if (!GetLengthPrefixedSlice(&input, &key)) {
+        return Status::Corruption("bad batch rep");
+      }
+    } else {
+      return Status::Corruption("bad batch tag");
+    }
+    count++;
+  }
+  probe.count_ = count;
+  Builder builder(batch);
+  return probe.Iterate(&builder);
+}
+
+}  // namespace talus

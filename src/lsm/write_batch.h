@@ -1,0 +1,53 @@
+// WriteBatch: an atomic group of updates. The whole batch is committed with
+// one WAL record and one sequence-number range, so either every operation
+// survives a crash or none does.
+#ifndef TALUS_LSM_WRITE_BATCH_H_
+#define TALUS_LSM_WRITE_BATCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "lsm/dbformat.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace talus {
+
+class WriteBatch {
+ public:
+  WriteBatch() = default;
+
+  void Put(const Slice& key, const Slice& value);
+  void Delete(const Slice& key);
+  void Clear();
+
+  /// Number of operations in the batch.
+  uint32_t Count() const { return count_; }
+  /// Sum of key+value bytes across operations.
+  uint64_t PayloadBytes() const { return payload_bytes_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Visitor over the operations, in insertion order.
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    virtual void Put(const Slice& key, const Slice& value) = 0;
+    virtual void Delete(const Slice& key) = 0;
+  };
+  Status Iterate(Handler* handler) const;
+
+  /// Raw record payload (ops only, no sequence header). Used by the WAL
+  /// encoding in db.cc.
+  const std::string& rep() const { return rep_; }
+  /// Reconstructs a batch from a raw record payload (WAL replay).
+  static Status FromRep(const Slice& rep, WriteBatch* batch);
+
+ private:
+  std::string rep_;  // Sequence of: type byte | key lp | [value lp].
+  uint32_t count_ = 0;
+  uint64_t payload_bytes_ = 0;
+};
+
+}  // namespace talus
+
+#endif  // TALUS_LSM_WRITE_BATCH_H_

@@ -1,0 +1,114 @@
+#include "mem/memtable.h"
+
+#include "util/coding.h"
+
+namespace talus {
+
+namespace {
+
+// Entries in the skiplist are:
+//   klen varint32 | internal key (klen bytes) | vlen varint32 | value
+Slice GetLengthPrefixed(const char* data) {
+  uint32_t len;
+  const char* p = GetVarint32Ptr(data, data + 5, &len);
+  return Slice(p, len);
+}
+
+}  // namespace
+
+int MemTable::KeyComparator::operator()(const char* aptr,
+                                        const char* bptr) const {
+  Slice a = GetLengthPrefixed(aptr);
+  Slice b = GetLengthPrefixed(bptr);
+  return comparator.Compare(a, b);
+}
+
+MemTable::MemTable() : table_(comparator_, &arena_) {}
+
+void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& key,
+                   const Slice& value) {
+  const size_t key_size = key.size();
+  const size_t val_size = value.size();
+  const size_t internal_key_size = key_size + 8;
+  const size_t encoded_len = VarintLength(internal_key_size) +
+                             internal_key_size + VarintLength(val_size) +
+                             val_size;
+  char* buf = arena_.Allocate(encoded_len);
+  std::string tmp;
+  tmp.reserve(encoded_len);
+  PutVarint32(&tmp, static_cast<uint32_t>(internal_key_size));
+  tmp.append(key.data(), key_size);
+  PutFixed64BE(&tmp, ~PackSequenceAndType(seq, type));
+  PutVarint32(&tmp, static_cast<uint32_t>(val_size));
+  tmp.append(value.data(), val_size);
+  memcpy(buf, tmp.data(), encoded_len);
+  table_.Insert(buf);
+  num_entries_++;
+  payload_bytes_ += key_size + val_size;
+}
+
+bool MemTable::Get(const LookupKey& lkey, std::string* value, Status* s) {
+  Table::Iterator iter(&table_);
+  // Seek to the first entry >= the lookup internal key.
+  std::string seek_target;
+  Slice ik = lkey.internal_key();
+  PutVarint32(&seek_target, static_cast<uint32_t>(ik.size()));
+  seek_target.append(ik.data(), ik.size());
+  iter.Seek(seek_target.data());
+  if (!iter.Valid()) return false;
+
+  const char* entry = iter.key();
+  Slice found_ikey = GetLengthPrefixed(entry);
+  if (ExtractUserKey(found_ikey) != lkey.user_key()) return false;
+
+  switch (ExtractValueType(found_ikey)) {
+    case kTypeValue: {
+      const char* value_start = found_ikey.data() + found_ikey.size();
+      uint32_t vlen;
+      const char* p = GetVarint32Ptr(value_start, value_start + 5, &vlen);
+      value->assign(p, vlen);
+      *s = Status::OK();
+      return true;
+    }
+    case kTypeDeletion:
+      *s = Status::NotFound(Slice());
+      return true;
+  }
+  return false;
+}
+
+class MemTableIterator final : public Iterator {
+ public:
+  explicit MemTableIterator(MemTable::Table* table) : iter_(table) {}
+
+  bool Valid() const override { return iter_.Valid(); }
+  void Seek(const Slice& k) override {
+    scratch_.clear();
+    PutVarint32(&scratch_, static_cast<uint32_t>(k.size()));
+    scratch_.append(k.data(), k.size());
+    iter_.Seek(scratch_.data());
+  }
+  void SeekToFirst() override { iter_.SeekToFirst(); }
+  void SeekToLast() override { iter_.SeekToLast(); }
+  void Next() override { iter_.Next(); }
+  void Prev() override { iter_.Prev(); }
+  Slice key() const override { return GetLengthPrefixed(iter_.key()); }
+  Slice value() const override {
+    Slice k = GetLengthPrefixed(iter_.key());
+    const char* value_start = k.data() + k.size();
+    uint32_t vlen;
+    const char* p = GetVarint32Ptr(value_start, value_start + 5, &vlen);
+    return Slice(p, vlen);
+  }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  MemTable::Table::Iterator iter_;
+  std::string scratch_;  // For Seek target encoding.
+};
+
+std::unique_ptr<Iterator> MemTable::NewIterator() {
+  return std::make_unique<MemTableIterator>(&table_);
+}
+
+}  // namespace talus

@@ -1,0 +1,62 @@
+// MemTable: the in-memory write buffer. Entries are stored in a skiplist over
+// length-prefixed internal keys; flushing iterates in internal-key order.
+#ifndef TALUS_MEM_MEMTABLE_H_
+#define TALUS_MEM_MEMTABLE_H_
+
+#include <memory>
+#include <string>
+
+#include "lsm/dbformat.h"
+#include "mem/skiplist.h"
+#include "table/iterator.h"
+#include "util/arena.h"
+
+namespace talus {
+
+class MemTable {
+ public:
+  MemTable();
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  /// Adds an entry (kTypeValue) or a tombstone (kTypeDeletion).
+  void Add(SequenceNumber seq, ValueType type, const Slice& key,
+           const Slice& value);
+
+  /// If the memtable contains the newest entry for key visible at `lkey`'s
+  /// sequence: returns true and sets *value (found) or *s to NotFound
+  /// (tombstone). Returns false if the key is not in the memtable at all.
+  bool Get(const LookupKey& lkey, std::string* value, Status* s);
+
+  /// Iterator over internal keys; value() is the user value. The memtable
+  /// must outlive the iterator.
+  std::unique_ptr<Iterator> NewIterator();
+
+  /// Approximate bytes used (arena blocks).
+  size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+
+  uint64_t num_entries() const { return num_entries_; }
+  /// Sum of user key + value bytes added (logical payload size).
+  uint64_t payload_bytes() const { return payload_bytes_; }
+
+ private:
+  friend class MemTableIterator;
+
+  struct KeyComparator {
+    InternalKeyComparator comparator;
+    // Keys are length-prefixed internal keys allocated in the arena.
+    int operator()(const char* a, const char* b) const;
+  };
+
+  using Table = SkipList<const char*, KeyComparator>;
+
+  KeyComparator comparator_;
+  Arena arena_;
+  Table table_;
+  uint64_t num_entries_ = 0;
+  uint64_t payload_bytes_ = 0;
+};
+
+}  // namespace talus
+
+#endif  // TALUS_MEM_MEMTABLE_H_

@@ -1,0 +1,187 @@
+// Arena-backed skiplist, the memtable's core index. Single-writer,
+// multi-reader (the engine is single-threaded per DB; the skiplist is still
+// written with the standard lock-free-read discipline for clarity).
+#ifndef TALUS_MEM_SKIPLIST_H_
+#define TALUS_MEM_SKIPLIST_H_
+
+#include <cassert>
+#include <cstdlib>
+
+#include "util/arena.h"
+#include "util/random.h"
+
+namespace talus {
+
+template <typename Key, class Comparator>
+class SkipList {
+ private:
+  struct Node;
+
+ public:
+  SkipList(Comparator cmp, Arena* arena)
+      : compare_(cmp),
+        arena_(arena),
+        head_(NewNode(0 /* any key */, kMaxHeight)),
+        max_height_(1),
+        rnd_(0xdeadbeef) {
+    for (int i = 0; i < kMaxHeight; i++) {
+      head_->SetNext(i, nullptr);
+    }
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// REQUIRES: nothing that compares equal to key is currently in the list.
+  void Insert(const Key& key) {
+    Node* prev[kMaxHeight];
+    Node* x = FindGreaterOrEqual(key, prev);
+    assert(x == nullptr || !Equal(key, x->key));
+
+    int height = RandomHeight();
+    if (height > max_height_) {
+      for (int i = max_height_; i < height; i++) {
+        prev[i] = head_;
+      }
+      max_height_ = height;
+    }
+
+    x = NewNode(key, height);
+    for (int i = 0; i < height; i++) {
+      x->SetNext(i, prev[i]->Next(i));
+      prev[i]->SetNext(i, x);
+    }
+  }
+
+  bool Contains(const Key& key) const {
+    Node* x = FindGreaterOrEqual(key, nullptr);
+    return x != nullptr && Equal(key, x->key);
+  }
+
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    const Key& key() const {
+      assert(Valid());
+      return node_->key;
+    }
+    void Next() {
+      assert(Valid());
+      node_ = node_->Next(0);
+    }
+    void Prev() {
+      assert(Valid());
+      node_ = list_->FindLessThan(node_->key);
+      if (node_ == list_->head_) node_ = nullptr;
+    }
+    void Seek(const Key& target) {
+      node_ = list_->FindGreaterOrEqual(target, nullptr);
+    }
+    void SeekToFirst() { node_ = list_->head_->Next(0); }
+    void SeekToLast() {
+      node_ = list_->FindLast();
+      if (node_ == list_->head_) node_ = nullptr;
+    }
+
+   private:
+    const SkipList* list_;
+    Node* node_;
+  };
+
+ private:
+  static constexpr int kMaxHeight = 12;
+  static constexpr int kBranching = 4;
+
+  struct Node {
+    explicit Node(const Key& k) : key(k) {}
+    Key const key;
+
+    Node* Next(int n) {
+      assert(n >= 0);
+      return next_[n];
+    }
+    void SetNext(int n, Node* x) {
+      assert(n >= 0);
+      next_[n] = x;
+    }
+
+   private:
+    // Flexible array: actual length equals the node's height.
+    Node* next_[1];
+  };
+
+  Node* NewNode(const Key& key, int height) {
+    char* mem = arena_->AllocateAligned(sizeof(Node) +
+                                        sizeof(Node*) * (height - 1));
+    return new (mem) Node(key);
+  }
+
+  int RandomHeight() {
+    int height = 1;
+    while (height < kMaxHeight && rnd_.OneIn(kBranching)) {
+      height++;
+    }
+    return height;
+  }
+
+  bool Equal(const Key& a, const Key& b) const { return compare_(a, b) == 0; }
+
+  bool KeyIsAfterNode(const Key& key, Node* n) const {
+    return (n != nullptr) && (compare_(n->key, key) < 0);
+  }
+
+  Node* FindGreaterOrEqual(const Key& key, Node** prev) const {
+    Node* x = head_;
+    int level = max_height_ - 1;
+    while (true) {
+      Node* next = x->Next(level);
+      if (KeyIsAfterNode(key, next)) {
+        x = next;
+      } else {
+        if (prev != nullptr) prev[level] = x;
+        if (level == 0) return next;
+        level--;
+      }
+    }
+  }
+
+  Node* FindLessThan(const Key& key) const {
+    Node* x = head_;
+    int level = max_height_ - 1;
+    while (true) {
+      Node* next = x->Next(level);
+      if (next == nullptr || compare_(next->key, key) >= 0) {
+        if (level == 0) return x;
+        level--;
+      } else {
+        x = next;
+      }
+    }
+  }
+
+  Node* FindLast() const {
+    Node* x = head_;
+    int level = max_height_ - 1;
+    while (true) {
+      Node* next = x->Next(level);
+      if (next == nullptr) {
+        if (level == 0) return x;
+        level--;
+      } else {
+        x = next;
+      }
+    }
+  }
+
+  Comparator const compare_;
+  Arena* const arena_;
+  Node* const head_;
+  int max_height_;
+  Random rnd_;
+};
+
+}  // namespace talus
+
+#endif  // TALUS_MEM_SKIPLIST_H_

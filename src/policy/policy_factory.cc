@@ -1,0 +1,150 @@
+// Factory and named presets for the growth policies (the paper's Figure 7
+// method roster).
+#include "policy/lazy_leveling_policy.h"
+#include "policy/policy_config.h"
+#include "policy/universal_policy.h"
+#include "policy/vertical_policy.h"
+#include "policy/vertiorizon_policy.h"
+
+namespace talus {
+
+std::string GrowthPolicyConfig::Label() const {
+  switch (scheme) {
+    case GrowthScheme::kVertical:
+      if (dynamic_level_bytes) return "RocksDB-Tuned";
+      if (merge == MergePolicy::kLeveling) {
+        return granularity == Granularity::kPartial ? "VT-Level-Part"
+                                                    : "VT-Level-Full";
+      }
+      return granularity == Granularity::kPartial ? "VT-Tier-Part"
+                                                  : "VT-Tier-Full";
+    case GrowthScheme::kHorizontalLeveling:
+      return "HR-Level";
+    case GrowthScheme::kHorizontalTiering:
+      return "HR-Tier";
+    case GrowthScheme::kLazyLeveling:
+      return lazy_embed_vertiorizon ? "Lazy-Level+VRN" : "Lazy-Level";
+    case GrowthScheme::kUniversal:
+      return "Universal";
+    case GrowthScheme::kVertiorizon:
+      if (vrn_self_tuning) return "Vertiorizon";
+      return vrn_fixed_merge == MergePolicy::kTiering ? "VRN-Tier"
+                                                      : "VRN-Level";
+  }
+  return "unknown";
+}
+
+GrowthPolicyConfig GrowthPolicyConfig::VTLevelPart(double T) {
+  GrowthPolicyConfig c;
+  c.scheme = GrowthScheme::kVertical;
+  c.merge = MergePolicy::kLeveling;
+  c.granularity = Granularity::kPartial;
+  c.size_ratio = T;
+  return c;
+}
+
+GrowthPolicyConfig GrowthPolicyConfig::VTLevelFull(double T) {
+  GrowthPolicyConfig c = VTLevelPart(T);
+  c.granularity = Granularity::kFull;
+  return c;
+}
+
+GrowthPolicyConfig GrowthPolicyConfig::VTTierPart(double T) {
+  GrowthPolicyConfig c = VTLevelPart(T);
+  c.merge = MergePolicy::kTiering;
+  return c;
+}
+
+GrowthPolicyConfig GrowthPolicyConfig::VTTierFull(double T) {
+  GrowthPolicyConfig c = VTTierPart(T);
+  c.granularity = Granularity::kFull;
+  return c;
+}
+
+GrowthPolicyConfig GrowthPolicyConfig::RocksDBTuned() {
+  // Mirrors the paper's tuned baseline: dynamic level bytes, T = 10,
+  // kOldestSmallestSeqFirst file picking, partial leveling.
+  GrowthPolicyConfig c = VTLevelPart(10.0);
+  c.dynamic_level_bytes = true;
+  c.file_pick = FilePick::kOldestSmallestSeqFirst;
+  return c;
+}
+
+GrowthPolicyConfig GrowthPolicyConfig::Universal() {
+  GrowthPolicyConfig c;
+  c.scheme = GrowthScheme::kUniversal;
+  return c;
+}
+
+GrowthPolicyConfig GrowthPolicyConfig::HRLevel(int levels) {
+  GrowthPolicyConfig c;
+  c.scheme = GrowthScheme::kHorizontalLeveling;
+  c.horizontal_levels = levels;
+  return c;
+}
+
+GrowthPolicyConfig GrowthPolicyConfig::HRTier(int levels,
+                                              uint64_t data_size) {
+  GrowthPolicyConfig c;
+  c.scheme = GrowthScheme::kHorizontalTiering;
+  c.horizontal_levels = levels;
+  c.horizontal_data_size = data_size;
+  return c;
+}
+
+GrowthPolicyConfig GrowthPolicyConfig::VRNLevel(double T) {
+  GrowthPolicyConfig c;
+  c.scheme = GrowthScheme::kVertiorizon;
+  c.size_ratio = T;
+  c.vrn_self_tuning = false;
+  c.vrn_fixed_merge = MergePolicy::kLeveling;
+  c.vrn_fixed_levels = 2;
+  return c;
+}
+
+GrowthPolicyConfig GrowthPolicyConfig::VRNTier(double T) {
+  GrowthPolicyConfig c = VRNLevel(T);
+  c.vrn_fixed_merge = MergePolicy::kTiering;
+  return c;
+}
+
+GrowthPolicyConfig GrowthPolicyConfig::Vertiorizon(double T,
+                                                   WorkloadMix mix) {
+  GrowthPolicyConfig c;
+  c.scheme = GrowthScheme::kVertiorizon;
+  c.size_ratio = T;
+  c.vrn_self_tuning = true;
+  c.expected_mix = mix;
+  return c;
+}
+
+GrowthPolicyConfig GrowthPolicyConfig::LazyLeveling(double T, int levels,
+                                                    bool embed) {
+  GrowthPolicyConfig c;
+  c.scheme = GrowthScheme::kLazyLeveling;
+  c.size_ratio = T;
+  c.lazy_levels = levels;
+  c.lazy_embed_vertiorizon = embed;
+  return c;
+}
+
+std::unique_ptr<GrowthPolicy> CreateGrowthPolicy(
+    const GrowthPolicyConfig& config, const PolicyContext& ctx) {
+  switch (config.scheme) {
+    case GrowthScheme::kVertical:
+      return std::make_unique<VerticalPolicy>(config, ctx);
+    case GrowthScheme::kHorizontalLeveling:
+      return std::make_unique<HorizontalLevelingPolicy>(config, ctx);
+    case GrowthScheme::kHorizontalTiering:
+      return std::make_unique<HorizontalTieringPolicy>(config, ctx);
+    case GrowthScheme::kLazyLeveling:
+      return std::make_unique<LazyLevelingPolicy>(config, ctx);
+    case GrowthScheme::kUniversal:
+      return std::make_unique<UniversalPolicy>(config, ctx);
+    case GrowthScheme::kVertiorizon:
+      return std::make_unique<VertiorizonPolicy>(config, ctx);
+  }
+  return nullptr;
+}
+
+}  // namespace talus

@@ -1,0 +1,75 @@
+#include "policy/universal_policy.h"
+
+#include <algorithm>
+
+namespace talus {
+
+std::optional<CompactionRequest> UniversalPolicy::PickCompaction(
+    const Version& v) {
+  if (v.levels.empty()) return std::nullopt;
+  const LevelState& level = v.levels[0];
+  const size_t trigger =
+      static_cast<size_t>(std::max(2, config_.universal_run_trigger));
+  if (level.NumRuns() < trigger) return std::nullopt;
+
+  const auto& runs = level.runs;  // Index 0 = newest.
+
+  auto make_request = [&](size_t first, size_t last,
+                          const std::string& why) {
+    CompactionRequest req;
+    for (size_t i = first; i <= last; i++) {
+      req.inputs.push_back({0, runs[i].run_id, {}});
+    }
+    req.output_level = 0;
+    req.placement = CompactionRequest::Placement::kReplaceInputs;
+    req.reason = "universal-" + why;
+    return req;
+  };
+
+  // Rule 1: space amplification — young data vs the oldest run.
+  uint64_t young_bytes = 0;
+  for (size_t i = 0; i + 1 < runs.size(); i++) {
+    young_bytes += runs[i].TotalBytes();
+  }
+  const uint64_t oldest_bytes = runs.back().TotalBytes();
+  if (oldest_bytes > 0 &&
+      static_cast<double>(young_bytes) >
+          config_.universal_max_size_amp * static_cast<double>(oldest_bytes)) {
+    return make_request(0, runs.size() - 1, "space-amp");
+  }
+
+  // Rule 2: size ratio — from each starting position (newest first), grow a
+  // window while the next run is no larger than the accumulated size
+  // (RocksDB's size_ratio check, ratio ≈ 1). Take the first window of
+  // length ≥ 2. Scanning all starts keeps merges between similar-sized
+  // runs, which is what bounds universal's write amplification.
+  for (size_t start = 0; start + 1 < runs.size(); start++) {
+    uint64_t accumulated = runs[start].TotalBytes();
+    size_t end = start;
+    while (end + 1 < runs.size() &&
+           runs[end + 1].TotalBytes() <= accumulated) {
+      end++;
+      accumulated += runs[end].TotalBytes();
+    }
+    if (end > start) {
+      return make_request(start, end, "size-ratio");
+    }
+  }
+
+  // Rule 3: run count — merge the age-adjacent pair with the smallest
+  // combined size (cheapest way to get back under the trigger without
+  // rewriting a large old run).
+  size_t best = 0;
+  uint64_t best_bytes = ~0ull;
+  for (size_t i = 0; i + 1 < runs.size(); i++) {
+    const uint64_t combined =
+        runs[i].TotalBytes() + runs[i + 1].TotalBytes();
+    if (combined < best_bytes) {
+      best_bytes = combined;
+      best = i;
+    }
+  }
+  return make_request(best, best + 1, "run-count");
+}
+
+}  // namespace talus

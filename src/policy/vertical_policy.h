@@ -1,0 +1,59 @@
+// VerticalPolicy: the vertical growth scheme of §3 — fixed level capacities
+// B·T^(i+1) (0-based level i), a new level appended as data grows. Covers
+// the paper's four vertical baselines and RocksDB-Tuned:
+//
+//   * leveling × {full, partial}:  VT-Level-Full / VT-Level-Part
+//   * tiering  × {full, partial}:  VT-Tier-Full  / VT-Tier-Part
+//   * dynamic_level_bytes + kOldestSmallestSeqFirst: RocksDB-Tuned
+//
+// Partial granularity moves one file per compaction (round-robin key cursor
+// or oldest-sequence-first). Partial tiering drains the oldest run of an
+// over-trigger level file-by-file into an "accumulation run" at the next
+// level; lingering partially-drained runs are exactly why the paper finds
+// VT-Tier-Part read-amplification heavy.
+#ifndef TALUS_POLICY_VERTICAL_POLICY_H_
+#define TALUS_POLICY_VERTICAL_POLICY_H_
+
+#include <map>
+
+#include "policy/growth_policy.h"
+#include "policy/policy_config.h"
+
+namespace talus {
+
+class VerticalPolicy : public GrowthPolicy {
+ public:
+  VerticalPolicy(const GrowthPolicyConfig& config, const PolicyContext& ctx);
+
+  std::string name() const override;
+  MergeMode FlushMode(const Version& v) const override;
+  int RequiredLevels(const Version& v) const override;
+  std::optional<CompactionRequest> PickCompaction(const Version& v) override;
+  void OnCompactionCompleted(const CompactionRequest& req,
+                             const Version& v) override;
+  std::vector<LevelFilterInfo> FilterInfo(const Version& v) const override;
+  std::string EncodeState() const override;
+  bool DecodeState(const std::string& state) override;
+
+  /// Capacity of level i in bytes under the current sizing mode.
+  uint64_t LevelCapacity(const Version& v, int level) const;
+
+ private:
+  std::optional<CompactionRequest> PickLeveling(const Version& v);
+  std::optional<CompactionRequest> PickTiering(const Version& v);
+  /// Chooses one file from `run` honoring the configured FilePick.
+  const FileMetaPtr& PickFile(const SortedRun& run, int level);
+
+  GrowthPolicyConfig config_;
+  uint64_t buffer_bytes_;
+
+  // Partial-compaction round-robin cursors: per-level largest user key of
+  // the last picked file.
+  std::map<int, std::string> cursors_;
+  // Partial tiering: per-target-level open accumulation run id (0 = none).
+  std::map<int, uint64_t> accumulation_run_;
+};
+
+}  // namespace talus
+
+#endif  // TALUS_POLICY_VERTICAL_POLICY_H_

@@ -1,0 +1,40 @@
+// Iterator: the engine-wide ordered cursor abstraction. Positions are over
+// internal keys (user key ⊕ sequence ⊕ type) unless documented otherwise.
+#ifndef TALUS_TABLE_ITERATOR_H_
+#define TALUS_TABLE_ITERATOR_H_
+
+#include <memory>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace talus {
+
+class Iterator {
+ public:
+  Iterator() = default;
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+  virtual ~Iterator() = default;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void SeekToLast() = 0;
+  /// Positions at the first entry with key >= target.
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+  virtual void Prev() = 0;
+
+  /// REQUIRES: Valid().
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+
+  virtual Status status() const = 0;
+};
+
+/// An iterator over an empty sequence, optionally carrying an error status.
+std::unique_ptr<Iterator> NewEmptyIterator(Status s = Status::OK());
+
+}  // namespace talus
+
+#endif  // TALUS_TABLE_ITERATOR_H_

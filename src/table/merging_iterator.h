@@ -1,0 +1,23 @@
+// MergingIterator: k-way merge over child iterators in internal-key order.
+// Used by compactions (merge inputs) and range scans (memtable + all runs).
+#ifndef TALUS_TABLE_MERGING_ITERATOR_H_
+#define TALUS_TABLE_MERGING_ITERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "lsm/dbformat.h"
+#include "table/iterator.h"
+
+namespace talus {
+
+/// Takes ownership of the children. Children yielding equal internal keys is
+/// impossible (sequence numbers are unique); ties on user keys are resolved
+/// by the internal-key ordering (newest first).
+std::unique_ptr<Iterator> NewMergingIterator(
+    InternalKeyComparator comparator,
+    std::vector<std::unique_ptr<Iterator>> children);
+
+}  // namespace talus
+
+#endif  // TALUS_TABLE_MERGING_ITERATOR_H_

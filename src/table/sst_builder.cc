@@ -1,0 +1,94 @@
+#include "table/sst_builder.h"
+
+namespace talus {
+
+SstBuilder::SstBuilder(const SstBuilderOptions& options,
+                       std::unique_ptr<WritableFile> file)
+    : options_(options),
+      file_(std::move(file)),
+      data_block_(options.restart_interval, /*internal_key_order=*/true),
+      index_block_(1, /*internal_key_order=*/true),
+      filter_(options.bits_per_key) {}
+
+void SstBuilder::Add(const Slice& internal_key, const Slice& value) {
+  if (!status_.ok()) return;
+  if (pending_index_entry_) {
+    // The previous block's index entry uses its last key as separator; any
+    // key ≥ it and < the new first key would work, the last key is simplest.
+    std::string handle_encoding;
+    pending_handle_.EncodeTo(&handle_encoding);
+    index_block_.Add(Slice(last_key_), Slice(handle_encoding));
+    pending_index_entry_ = false;
+  }
+
+  if (num_entries_ == 0) {
+    smallest_.DecodeFrom(internal_key);
+  }
+  largest_.DecodeFrom(internal_key);
+
+  filter_.AddKey(ExtractUserKey(internal_key));
+  last_key_.assign(internal_key.data(), internal_key.size());
+  data_block_.Add(internal_key, value);
+  num_entries_++;
+
+  if (data_block_.CurrentSizeEstimate() >= options_.block_size) {
+    FlushDataBlock();
+  }
+}
+
+void SstBuilder::FlushDataBlock() {
+  if (data_block_.empty()) return;
+  Slice contents = data_block_.Finish();
+  status_ = WriteBlock(contents, &pending_handle_);
+  data_block_.Reset();
+  if (status_.ok()) {
+    pending_index_entry_ = true;
+  }
+}
+
+Status SstBuilder::WriteBlock(const Slice& contents, BlockHandle* handle) {
+  handle->offset = offset_;
+  handle->size = contents.size();
+  Status s = file_->Append(contents);
+  if (s.ok()) {
+    offset_ += contents.size();
+  }
+  return s;
+}
+
+Status SstBuilder::Finish() {
+  FlushDataBlock();
+  if (!status_.ok()) return status_;
+  if (pending_index_entry_) {
+    std::string handle_encoding;
+    pending_handle_.EncodeTo(&handle_encoding);
+    index_block_.Add(Slice(last_key_), Slice(handle_encoding));
+    pending_index_entry_ = false;
+  }
+
+  Footer footer;
+
+  std::string filter_contents = filter_.Finish();
+  status_ = WriteBlock(Slice(filter_contents), &footer.filter_handle);
+  if (!status_.ok()) return status_;
+
+  Slice index_contents = index_block_.Finish();
+  status_ = WriteBlock(index_contents, &footer.index_handle);
+  if (!status_.ok()) return status_;
+
+  std::string footer_encoding;
+  footer.EncodeTo(&footer_encoding);
+  status_ = file_->Append(Slice(footer_encoding));
+  if (status_.ok()) {
+    offset_ += footer_encoding.size();
+    // Durability ordering: the file must be stable before the manifest
+    // can reference it.
+    status_ = file_->Sync();
+  }
+  if (status_.ok()) {
+    status_ = file_->Close();
+  }
+  return status_;
+}
+
+}  // namespace talus

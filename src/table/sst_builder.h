@@ -1,0 +1,67 @@
+// SstBuilder: streams sorted internal-key entries into the SST layout
+// described in sst_format.h.
+#ifndef TALUS_TABLE_SST_BUILDER_H_
+#define TALUS_TABLE_SST_BUILDER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "env/env.h"
+#include "filter/bloom.h"
+#include "format/block_builder.h"
+#include "lsm/dbformat.h"
+#include "table/sst_format.h"
+
+namespace talus {
+
+struct SstBuilderOptions {
+  size_t block_size = 4096;
+  int restart_interval = 16;
+  double bits_per_key = 5.0;  // Bloom filter budget for this file's run.
+};
+
+class SstBuilder {
+ public:
+  SstBuilder(const SstBuilderOptions& options,
+             std::unique_ptr<WritableFile> file);
+  SstBuilder(const SstBuilder&) = delete;
+  SstBuilder& operator=(const SstBuilder&) = delete;
+
+  /// REQUIRES: internal keys added in strictly increasing order.
+  void Add(const Slice& internal_key, const Slice& value);
+
+  /// Writes filter, index, and footer; closes the file.
+  Status Finish();
+
+  uint64_t NumEntries() const { return num_entries_; }
+  /// Bytes written so far (approximate until Finish()).
+  uint64_t FileSize() const { return offset_; }
+
+  const InternalKey& smallest() const { return smallest_; }
+  const InternalKey& largest() const { return largest_; }
+
+ private:
+  void FlushDataBlock();
+  Status WriteBlock(const Slice& contents, BlockHandle* handle);
+
+  SstBuilderOptions options_;
+  std::unique_ptr<WritableFile> file_;
+  uint64_t offset_ = 0;
+  uint64_t num_entries_ = 0;
+
+  BlockBuilder data_block_;
+  BlockBuilder index_block_;
+  BloomFilterBuilder filter_;
+
+  std::string last_key_;
+  bool pending_index_entry_ = false;
+  BlockHandle pending_handle_;
+
+  InternalKey smallest_;
+  InternalKey largest_;
+  Status status_;
+};
+
+}  // namespace talus
+
+#endif  // TALUS_TABLE_SST_BUILDER_H_

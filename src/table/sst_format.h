@@ -1,0 +1,71 @@
+// SST physical layout:
+//
+//   [data block 0] ... [data block N-1]
+//   [filter block]   — Bloom filter over user keys of the whole file
+//   [index block]    — key: separator ≥ last key of block; value: BlockHandle
+//   [footer]         — filter handle | index handle | padding | magic
+//
+// Index and filter blocks are pinned in memory by the reader at open time
+// (the paper's cost model assumes fence pointers and Bloom filters are
+// memory-resident), so a point lookup costs at most one data-block I/O per
+// sorted run.
+#ifndef TALUS_TABLE_SST_FORMAT_H_
+#define TALUS_TABLE_SST_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/coding.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace talus {
+
+struct BlockHandle {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+
+  void EncodeTo(std::string* dst) const {
+    PutVarint64(dst, offset);
+    PutVarint64(dst, size);
+  }
+  bool DecodeFrom(Slice* input) {
+    return GetVarint64(input, &offset) && GetVarint64(input, &size);
+  }
+};
+
+struct Footer {
+  static constexpr uint64_t kMagic = 0x74616c75735f7373ull;  // "talus_ss"
+  static constexpr size_t kEncodedLength = 48;
+
+  BlockHandle filter_handle;
+  BlockHandle index_handle;
+
+  void EncodeTo(std::string* dst) const {
+    const size_t original = dst->size();
+    filter_handle.EncodeTo(dst);
+    index_handle.EncodeTo(dst);
+    dst->resize(original + kEncodedLength - 8);  // Pad handles to fixed size.
+    PutFixed64(dst, kMagic);
+  }
+
+  Status DecodeFrom(Slice input) {
+    if (input.size() < kEncodedLength) {
+      return Status::Corruption("footer too short");
+    }
+    const char* magic_ptr = input.data() + kEncodedLength - 8;
+    if (DecodeFixed64(magic_ptr) != kMagic) {
+      return Status::Corruption("bad sst magic number");
+    }
+    Slice handles(input.data(), kEncodedLength - 8);
+    if (!filter_handle.DecodeFrom(&handles) ||
+        !index_handle.DecodeFrom(&handles)) {
+      return Status::Corruption("bad footer handles");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace talus
+
+#endif  // TALUS_TABLE_SST_FORMAT_H_

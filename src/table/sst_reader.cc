@@ -1,0 +1,256 @@
+#include "table/sst_reader.h"
+
+#include <cassert>
+
+#include "util/coding.h"
+
+namespace talus {
+
+Status SstReader::Open(Env* env, const std::string& fname,
+                       uint64_t file_number, LruCache* block_cache,
+                       std::unique_ptr<SstReader>* reader) {
+  std::unique_ptr<RandomAccessFile> file;
+  Status s = env->NewRandomAccessFile(fname, &file);
+  if (!s.ok()) return s;
+
+  uint64_t size = file->Size();
+  if (size < Footer::kEncodedLength) {
+    return Status::Corruption("file too short to be an sstable", fname);
+  }
+
+  char footer_space[Footer::kEncodedLength];
+  Slice footer_input;
+  s = file->Read(size - Footer::kEncodedLength, Footer::kEncodedLength,
+                 &footer_input, footer_space);
+  if (!s.ok()) return s;
+
+  Footer footer;
+  s = footer.DecodeFrom(footer_input);
+  if (!s.ok()) return s;
+
+  auto r = std::unique_ptr<SstReader>(new SstReader());
+  r->env_ = env;
+  r->file_ = std::move(file);
+  r->file_number_ = file_number;
+  r->block_cache_ = block_cache;
+
+  // Pin the index block.
+  {
+    std::string scratch(footer.index_handle.size, '\0');
+    Slice contents;
+    s = r->file_->Read(footer.index_handle.offset, footer.index_handle.size,
+                       &contents, scratch.data());
+    if (!s.ok()) return s;
+    if (contents.size() != footer.index_handle.size) {
+      return Status::Corruption("truncated index block", fname);
+    }
+    r->index_block_ = std::make_unique<Block>(contents.ToString());
+  }
+
+  // Pin the filter block.
+  {
+    r->filter_data_.resize(footer.filter_handle.size);
+    Slice contents;
+    s = r->file_->Read(footer.filter_handle.offset, footer.filter_handle.size,
+                       &contents, r->filter_data_.data());
+    if (!s.ok()) return s;
+    if (contents.data() != r->filter_data_.data()) {
+      r->filter_data_.assign(contents.data(), contents.size());
+    }
+    r->filter_ = std::make_unique<BloomFilterReader>(Slice(r->filter_data_));
+  }
+
+  *reader = std::move(r);
+  return Status::OK();
+}
+
+Status SstReader::ReadDataBlock(const BlockHandle& handle,
+                                std::shared_ptr<Block>* block,
+                                bool* cache_hit) {
+  *cache_hit = false;
+  std::string cache_key;
+  if (block_cache_ != nullptr) {
+    PutFixed64(&cache_key, file_number_);
+    PutFixed64(&cache_key, handle.offset);
+    auto cached = block_cache_->Lookup(cache_key);
+    if (cached != nullptr) {
+      *block = std::static_pointer_cast<Block>(cached);
+      *cache_hit = true;
+      return Status::OK();
+    }
+  }
+
+  std::string scratch(handle.size, '\0');
+  Slice contents;
+  Status s = file_->Read(handle.offset, handle.size, &contents,
+                         scratch.data());
+  if (!s.ok()) return s;
+  if (contents.size() != handle.size) {
+    return Status::Corruption("truncated data block");
+  }
+  data_blocks_read_++;
+  auto b = std::make_shared<Block>(contents.ToString());
+  if (block_cache_ != nullptr) {
+    block_cache_->Insert(cache_key, b, b->size());
+  }
+  *block = std::move(b);
+  return Status::OK();
+}
+
+bool SstReader::Get(const LookupKey& lkey, std::string* value, Status* s,
+                    GetStats* stats) {
+  Slice ikey = lkey.internal_key();
+
+  if (!filter_->KeyMayMatch(lkey.user_key())) {
+    if (stats != nullptr) stats->filter_negative = true;
+    return false;
+  }
+
+  auto index_iter = index_block_->NewIterator(/*internal_key_order=*/true);
+  index_iter->Seek(ikey);
+  if (!index_iter->Valid()) return false;
+
+  BlockHandle handle;
+  Slice handle_value = index_iter->value();
+  if (!handle.DecodeFrom(&handle_value)) {
+    *s = Status::Corruption("bad index entry");
+    return true;  // Treat as decided with an error status.
+  }
+
+  std::shared_ptr<Block> block;
+  bool cache_hit = false;
+  Status rs = ReadDataBlock(handle, &block, &cache_hit);
+  if (stats != nullptr) {
+    stats->block_read = !cache_hit;
+    stats->cache_hit = cache_hit;
+  }
+  if (!rs.ok()) {
+    *s = rs;
+    return true;
+  }
+
+  auto block_iter = block->NewIterator(/*internal_key_order=*/true);
+  block_iter->Seek(ikey);
+  if (!block_iter->Valid()) return false;
+
+  ParsedInternalKey parsed;
+  if (!ParseInternalKey(block_iter->key(), &parsed)) {
+    *s = Status::Corruption("bad internal key in data block");
+    return true;
+  }
+  if (parsed.user_key != lkey.user_key()) return false;
+
+  if (parsed.type == kTypeDeletion) {
+    *s = Status::NotFound(Slice());
+  } else {
+    value->assign(block_iter->value().data(), block_iter->value().size());
+    *s = Status::OK();
+  }
+  return true;
+}
+
+// Iterates index entries, materializing one data block at a time.
+class SstReader::TwoLevelIterator final : public Iterator {
+ public:
+  explicit TwoLevelIterator(SstReader* reader)
+      : reader_(reader),
+        index_iter_(reader->index_block_->NewIterator(true)) {}
+
+  bool Valid() const override {
+    return block_iter_ != nullptr && block_iter_->Valid();
+  }
+
+  void Seek(const Slice& target) override {
+    index_iter_->Seek(target);
+    InitDataBlock();
+    if (block_iter_ != nullptr) block_iter_->Seek(target);
+    SkipEmptyBlocksForward();
+  }
+  void SeekToFirst() override {
+    index_iter_->SeekToFirst();
+    InitDataBlock();
+    if (block_iter_ != nullptr) block_iter_->SeekToFirst();
+    SkipEmptyBlocksForward();
+  }
+  void SeekToLast() override {
+    index_iter_->SeekToLast();
+    InitDataBlock();
+    if (block_iter_ != nullptr) block_iter_->SeekToLast();
+    SkipEmptyBlocksBackward();
+  }
+  void Next() override {
+    assert(Valid());
+    block_iter_->Next();
+    SkipEmptyBlocksForward();
+  }
+  void Prev() override {
+    assert(Valid());
+    block_iter_->Prev();
+    SkipEmptyBlocksBackward();
+  }
+
+  Slice key() const override { return block_iter_->key(); }
+  Slice value() const override { return block_iter_->value(); }
+  Status status() const override {
+    if (!status_.ok()) return status_;
+    if (!index_iter_->status().ok()) return index_iter_->status();
+    if (block_iter_ != nullptr) return block_iter_->status();
+    return Status::OK();
+  }
+
+ private:
+  void InitDataBlock() {
+    block_.reset();
+    block_iter_.reset();
+    if (!index_iter_->Valid()) return;
+    BlockHandle handle;
+    Slice handle_value = index_iter_->value();
+    if (!handle.DecodeFrom(&handle_value)) {
+      status_ = Status::Corruption("bad index entry");
+      return;
+    }
+    bool cache_hit = false;
+    Status s = reader_->ReadDataBlock(handle, &block_, &cache_hit);
+    if (!s.ok()) {
+      status_ = s;
+      return;
+    }
+    block_iter_ = block_->NewIterator(/*internal_key_order=*/true);
+  }
+
+  void SkipEmptyBlocksForward() {
+    while (block_iter_ == nullptr || !block_iter_->Valid()) {
+      if (!index_iter_->Valid()) {
+        block_iter_.reset();
+        return;
+      }
+      index_iter_->Next();
+      InitDataBlock();
+      if (block_iter_ != nullptr) block_iter_->SeekToFirst();
+    }
+  }
+
+  void SkipEmptyBlocksBackward() {
+    while (block_iter_ == nullptr || !block_iter_->Valid()) {
+      if (!index_iter_->Valid()) {
+        block_iter_.reset();
+        return;
+      }
+      index_iter_->Prev();
+      InitDataBlock();
+      if (block_iter_ != nullptr) block_iter_->SeekToLast();
+    }
+  }
+
+  SstReader* reader_;
+  std::unique_ptr<Iterator> index_iter_;
+  std::shared_ptr<Block> block_;
+  std::unique_ptr<Iterator> block_iter_;
+  Status status_;
+};
+
+std::unique_ptr<Iterator> SstReader::NewIterator() {
+  return std::make_unique<TwoLevelIterator>(this);
+}
+
+}  // namespace talus

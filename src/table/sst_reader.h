@@ -1,0 +1,67 @@
+// SstReader: read side of the SST format. The index and filter blocks are
+// pinned in memory at open (the engine-wide assumption that fence pointers
+// and Bloom filters are memory resident — at most one data-block I/O per run
+// per point lookup). Data blocks go through the shared block cache.
+#ifndef TALUS_TABLE_SST_READER_H_
+#define TALUS_TABLE_SST_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cache/lru_cache.h"
+#include "env/env.h"
+#include "filter/bloom.h"
+#include "format/block.h"
+#include "lsm/dbformat.h"
+#include "table/sst_format.h"
+
+namespace talus {
+
+class SstReader {
+ public:
+  /// Opens an SST. `block_cache` may be nullptr (no caching). file_number
+  /// namespaces block-cache keys.
+  static Status Open(Env* env, const std::string& fname, uint64_t file_number,
+                     LruCache* block_cache, std::unique_ptr<SstReader>* reader);
+
+  struct GetStats {
+    bool filter_negative = false;  // Bloom filter excluded the run.
+    bool block_read = false;       // A data block was fetched from disk.
+    bool cache_hit = false;        // Served from block cache.
+  };
+
+  /// Point lookup for the newest entry visible at `lkey`. Returns true if
+  /// this run decides the key (value found or tombstone). Sets *s to OK or
+  /// NotFound accordingly.
+  bool Get(const LookupKey& lkey, std::string* value, Status* s,
+           GetStats* stats = nullptr);
+
+  /// Iterator over the whole file (internal keys).
+  std::unique_ptr<Iterator> NewIterator();
+
+  uint64_t num_data_blocks_read() const { return data_blocks_read_; }
+
+ private:
+  SstReader() = default;
+
+  Status ReadDataBlock(const BlockHandle& handle,
+                       std::shared_ptr<Block>* block, bool* cache_hit);
+
+  class TwoLevelIterator;
+
+  Env* env_ = nullptr;
+  std::unique_ptr<RandomAccessFile> file_;
+  uint64_t file_number_ = 0;
+  LruCache* block_cache_ = nullptr;
+
+  std::unique_ptr<Block> index_block_;
+  std::string filter_data_;
+  std::unique_ptr<BloomFilterReader> filter_;
+
+  uint64_t data_blocks_read_ = 0;
+};
+
+}  // namespace talus
+
+#endif  // TALUS_TABLE_SST_READER_H_

@@ -1,0 +1,64 @@
+#include "theory/binomial.h"
+
+namespace talus {
+namespace theory {
+
+uint64_t Binomial(uint64_t n, uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  // Multiplicative formula; result * (n-k+i) / i is exact at every step
+  // because a product of i consecutive integers is divisible by i!.
+  __uint128_t result = 1;
+  for (uint64_t i = 1; i <= k; i++) {
+    const uint64_t num = n - k + i;
+    if (result > (static_cast<__uint128_t>(kBinomialInf) << 32)) {
+      return kBinomialInf;  // Far past saturation; stop before overflow.
+    }
+    result = result * num / i;
+  }
+  if (result > kBinomialInf - 1) return kBinomialInf;
+  return static_cast<uint64_t>(result);
+}
+
+uint64_t FindM(uint64_t n, uint64_t l) {
+  if (n == 0 || l == 0) return l;
+  // C(m, l) grows monotonically in m; bracket then binary search.
+  uint64_t lo = l, hi = l;
+  while (Binomial(hi, l) <= n && hi < (1ull << 62)) {
+    lo = hi;
+    hi *= 2;
+  }
+  // Invariant: C(lo, l) <= n < C(hi, l).
+  while (lo + 1 < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (Binomial(mid, l) <= n) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+uint64_t FindK(uint64_t n, uint64_t l) {
+  if (n <= 1) return 1;
+  if (l == 0) return n;
+  uint64_t lo = 0, hi = 1;
+  while (Binomial(hi + l - 1, l) < n && hi < (1ull << 62)) {
+    lo = hi;
+    hi *= 2;
+  }
+  // Invariant: C(lo+l-1, l) < n <= C(hi+l-1, l).
+  while (lo + 1 < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (Binomial(mid + l - 1, l) < n) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace theory
+}  // namespace talus

@@ -1,0 +1,29 @@
+// Exact binomial coefficients with overflow saturation, plus the inverse
+// queries the paper's formulas need:
+//   * m with C(m, ℓ) ≤ n ≤ C(m+1, ℓ)               (Lemmas 5.1/5.2/9.4)
+//   * smallest k with C(k+ℓ-1, ℓ) ≥ n              (Algorithm 2, line 2)
+#ifndef TALUS_THEORY_BINOMIAL_H_
+#define TALUS_THEORY_BINOMIAL_H_
+
+#include <cstdint>
+
+namespace talus {
+namespace theory {
+
+/// Saturating value for binomials that exceed uint64.
+inline constexpr uint64_t kBinomialInf = ~0ull;
+
+/// C(n, k), saturating at kBinomialInf. C(n, k) = 0 for n < k.
+uint64_t Binomial(uint64_t n, uint64_t k);
+
+/// Largest m with C(m, l) <= n (requires n >= 1, l >= 1; C(l, l) = 1 so the
+/// result is >= l). The paper's "integer m satisfying C(m,ℓ) ≤ n ≤ C(m+1,ℓ)".
+uint64_t FindM(uint64_t n, uint64_t l);
+
+/// Smallest k with C(k + l - 1, l) >= n (Algorithm 2 initialization).
+uint64_t FindK(uint64_t n, uint64_t l);
+
+}  // namespace theory
+}  // namespace talus
+
+#endif  // TALUS_THEORY_BINOMIAL_H_

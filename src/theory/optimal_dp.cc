@@ -1,0 +1,70 @@
+#include "theory/optimal_dp.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "theory/binomial.h"
+
+namespace talus {
+namespace theory {
+
+uint64_t OptimalReadCostDp::Cost(uint64_t n, int levels) {
+  return Solve(n, levels);
+}
+
+uint64_t OptimalReadCostDp::Solve(uint64_t n, int levels) {
+  if (n <= 1) return 0;
+  if (levels <= 1) return Binomial(n, 2);
+  auto it = memo_.find(Key(n, levels));
+  if (it != memo_.end()) return it->second;
+
+  uint64_t best = ~0ull;
+  for (uint64_t i = 1; i <= n - 1; i++) {
+    const uint64_t c = Solve(i, levels - 1) + (n - i) + Solve(n - i, levels);
+    if (c < best) best = c;
+  }
+  memo_[Key(n, levels)] = best;
+  return best;
+}
+
+uint64_t OptimalReadCostDp::BestSplit(uint64_t n, int levels) {
+  assert(n > 1 && levels > 1);
+  uint64_t best = ~0ull, best_i = 1;
+  for (uint64_t i = 1; i <= n - 1; i++) {
+    const uint64_t c = Solve(i, levels - 1) + (n - i) + Solve(n - i, levels);
+    if (c < best) {
+      best = c;
+      best_i = i;
+    }
+  }
+  return best_i;
+}
+
+void OptimalReadCostDp::BuildSequence(uint64_t n, int levels,
+                                      uint64_t flush_offset,
+                                      std::vector<CompactionEvent>* out) {
+  if (n <= 1 || levels <= 1) return;  // Trivial subproblems: no compactions.
+  const uint64_t i = BestSplit(n, levels);
+  // S1: optimal schedule for the first i flushes over levels 1..ℓ-1.
+  BuildSequence(i, levels - 1, flush_offset, out);
+  // p*_f: after flush i, everything in levels 1..ℓ-1 merges into level ℓ.
+  out->push_back(CompactionEvent{flush_offset + i, levels});
+  // S2: the remaining n-i flushes over all ℓ levels.
+  BuildSequence(n - i, levels, flush_offset + i, out);
+}
+
+std::vector<CompactionEvent> OptimalReadCostDp::Sequence(uint64_t n,
+                                                         int levels) {
+  std::vector<CompactionEvent> out;
+  BuildSequence(n, levels, 0, &out);
+  std::sort(out.begin(), out.end(),
+            [](const CompactionEvent& a, const CompactionEvent& b) {
+              return a.flush_index < b.flush_index ||
+                     (a.flush_index == b.flush_index &&
+                      a.to_level < b.to_level);
+            });
+  return out;
+}
+
+}  // namespace theory
+}  // namespace talus

@@ -1,0 +1,50 @@
+// OptimalReadCostDp: exact dynamic program for Problem 1 (ψ(n, ℓ)) following
+// Lemma 9.2:
+//
+//   τ(1, ℓ) = 0
+//   τ(n, 1) = C(n, 2) · r
+//   τ(n, ℓ) = min_{1 ≤ i ≤ n−1} { τ(i, ℓ−1) + (n−i)·r + τ(n−i, ℓ) }
+//
+// Used by the property tests to certify Theorem 4.2 (Algorithm 2 achieves
+// the optimum) and Lemma 9.4 (the closed form equals the DP), and by the
+// theory bench to regenerate the optimality tables. r = 1 throughout;
+// multiply externally for other lookup rates.
+#ifndef TALUS_THEORY_OPTIMAL_DP_H_
+#define TALUS_THEORY_OPTIMAL_DP_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "theory/schemes.h"
+
+namespace talus {
+namespace theory {
+
+class OptimalReadCostDp {
+ public:
+  /// Optimal total read cost τ(n, levels) with r = 1.
+  uint64_t Cost(uint64_t n, int levels);
+
+  /// One optimal compaction sequence for ψ(n, levels), as flush-indexed
+  /// events (to_level is 1-based, events sorted by flush index).
+  std::vector<CompactionEvent> Sequence(uint64_t n, int levels);
+
+ private:
+  uint64_t Solve(uint64_t n, int levels);
+  /// argmin index i for the recurrence at (n, levels); requires n>1,levels>1.
+  uint64_t BestSplit(uint64_t n, int levels);
+  void BuildSequence(uint64_t n, int levels, uint64_t flush_offset,
+                     std::vector<CompactionEvent>* out);
+
+  static uint64_t Key(uint64_t n, int levels) {
+    return (n << 5) | static_cast<uint64_t>(levels);
+  }
+
+  std::unordered_map<uint64_t, uint64_t> memo_;
+};
+
+}  // namespace theory
+}  // namespace talus
+
+#endif  // TALUS_THEORY_OPTIMAL_DP_H_

@@ -1,0 +1,139 @@
+#include "theory/schemes.h"
+
+#include <cmath>
+
+#include "theory/binomial.h"
+
+namespace talus {
+namespace theory {
+
+TieringSimResult SimulateHorizontalTiering(uint64_t n, int levels,
+                                           uint64_t k) {
+  TieringSimResult result;
+  std::vector<uint64_t> counters(levels, k);
+  // Birth flush index of every live run, per level (0-based level index).
+  std::vector<std::vector<uint64_t>> runs(levels);
+
+  for (uint64_t t = 1; t <= n; t++) {
+    runs[0].push_back(t);  // Buffer flush lands as a new run in level 1.
+    if (counters[0] > 0) counters[0]--;
+
+    // Scan ascending; triggered levels form a consecutive prefix [0..e]
+    // which we merge into one (I, 1, e+2) op (footnote-6 style, and exactly
+    // the multi-level compactions of Problem 1).
+    int cascade_end = -1;
+    for (int i = 0; i + 1 < levels; i++) {
+      if (counters[i] == 0) {
+        cascade_end = i;
+        if (counters[i + 1] > 0) counters[i + 1]--;
+        for (int j = 0; j <= i; j++) counters[j] = counters[i + 1];
+      } else {
+        break;  // Triggers are always a prefix (see analysis in tests).
+      }
+    }
+    if (cascade_end >= 0) {
+      const int target = cascade_end + 1;  // 0-based target level.
+      for (int lvl = 0; lvl <= cascade_end; lvl++) {
+        for (uint64_t birth : runs[lvl]) {
+          result.read_cost += t - birth;
+        }
+        runs[lvl].clear();
+      }
+      runs[target].push_back(t);
+      result.events.push_back(CompactionEvent{t, target + 1});
+    }
+
+    if (result.drained_at == 0) {
+      bool all_zero = true;
+      for (uint64_t c : counters) {
+        if (c != 0) {
+          all_zero = false;
+          break;
+        }
+      }
+      if (all_zero) result.drained_at = t;
+    }
+  }
+
+  for (int lvl = 0; lvl < levels; lvl++) {
+    for (uint64_t birth : runs[lvl]) {
+      result.read_cost += n - birth;
+    }
+    result.final_runs_per_level.push_back(runs[lvl].size());
+  }
+  return result;
+}
+
+LevelingSimResult SimulateHorizontalLeveling(uint64_t n, int levels,
+                                             uint64_t delta) {
+  LevelingSimResult result;
+  std::vector<uint64_t> counters(levels, 0);
+  std::vector<uint64_t> sizes(levels, 0);  // In buffers.
+
+  for (uint64_t t = 1; t <= n; t++) {
+    counters[0]++;
+    // Determine the triggered prefix [0..e]; counter updates are exactly
+    // Algorithm 1's (they do not depend on how the data moves).
+    int cascade_end = -1;
+    for (int i = 0; i + 1 < levels; i++) {
+      const uint64_t relax = (i == 0) ? delta : 0;
+      if (counters[i] > counters[i + 1] + relax) {
+        cascade_end = i;
+        counters[i + 1]++;
+        counters[i] = 0;
+      } else {
+        break;
+      }
+    }
+
+    if (cascade_end >= 0) {
+      // Footnote 6: one merged op writes buffer + levels 1..e+1 (0-based
+      // 0..cascade_end) plus the existing target data, once.
+      const int target = cascade_end + 1;
+      uint64_t moved = 1;  // The buffer.
+      for (int lvl = 0; lvl <= cascade_end; lvl++) {
+        moved += sizes[lvl];
+        sizes[lvl] = 0;
+      }
+      result.write_cost += moved + sizes[target];
+      sizes[target] += moved;
+      result.events.push_back(CompactionEvent{t, target + 1});
+    } else {
+      // Plain flush: merge the buffer with level 1's existing run.
+      result.write_cost += sizes[0] + 1;
+      sizes[0] += 1;
+    }
+  }
+  result.final_level_sizes = sizes;
+  return result;
+}
+
+uint64_t TieringReadCostClosedForm(uint64_t n, int levels) {
+  if (n <= 1 || levels < 1) return 0;
+  const uint64_t l = static_cast<uint64_t>(levels);
+  const uint64_t m = FindM(n, l);
+  return l * Binomial(m, l + 1) + (m - l + 1) * (n - Binomial(m, l));
+}
+
+uint64_t LevelingWriteCostClosedForm(uint64_t n, int levels) {
+  if (n == 0 || levels < 1) return 0;
+  const uint64_t l = static_cast<uint64_t>(levels);
+  const uint64_t m = FindM(n, l);
+  return l * Binomial(m + 1, l + 1) + (m + 1) * (n - Binomial(m, l)) -
+         (l - 1) * n;
+}
+
+uint64_t SkewDelta(double alpha) {
+  if (alpha <= 0) return 0;
+  if (alpha >= 1) alpha = 1 - 1e-9;
+  const double budget = alpha / (1.0 - alpha);
+  uint64_t delta = 0;
+  while (static_cast<double>((delta + 1) * (delta + 2)) / 2.0 <= budget) {
+    delta++;
+    if (delta > 1u << 20) break;  // Defensive bound.
+  }
+  return delta;
+}
+
+}  // namespace theory
+}  // namespace talus

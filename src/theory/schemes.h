@@ -1,0 +1,75 @@
+// Counter-simulators for the growth-scheme algorithms plus the paper's
+// closed-form cost formulas. These operate purely on the abstract model
+// (flush = 1 buffer, r lookups per flush interval) and are the reference
+// implementations the engine policies and the property tests check against.
+//
+//  * SimulateHorizontalLeveling — Algorithm 1, with the footnote-6 cascade
+//    accounting (consecutive triggered compactions merge into one op) and
+//    the §5.3 skew relaxation δ on the first level's trigger.
+//  * SimulateHorizontalTiering  — Algorithm 2 (counters start at k and count
+//    down; cascades merge into a single multi-level op, matching the
+//    (I, l1, l2) compactions of Problem 1).
+//  * Closed forms — Lemma 9.4 (tiering read cost) and Lemma 5.2's numerator
+//    (leveling write cost).
+#ifndef TALUS_THEORY_SCHEMES_H_
+#define TALUS_THEORY_SCHEMES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace talus {
+namespace theory {
+
+/// One compaction in a simulated schedule: after flush `flush_index`
+/// (1-based), all runs in levels [1, to_level-1] merge into `to_level`
+/// (levels 1-based, per the paper's Problem 1 triples (I, l1, l2) with
+/// l1 = 1 by Lemma 9.1).
+struct CompactionEvent {
+  uint64_t flush_index = 0;
+  int to_level = 0;
+};
+
+struct TieringSimResult {
+  /// Total read cost with r = 1 lookups per flush interval: each run alive
+  /// during an interval contributes one probe.
+  uint64_t read_cost = 0;
+  /// Flush index at which all counters reached zero (Lemma 4.1), or 0 if
+  /// the counters never fully drained within n flushes.
+  uint64_t drained_at = 0;
+  std::vector<CompactionEvent> events;
+  /// Runs alive at the end, per level (1-based index 0 = level 1).
+  std::vector<uint64_t> final_runs_per_level;
+};
+
+/// Simulates Algorithm 2 with `levels` ≥ 1, counters initialized to k, for
+/// exactly n buffer flushes.
+TieringSimResult SimulateHorizontalTiering(uint64_t n, int levels, uint64_t k);
+
+struct LevelingSimResult {
+  /// Total bytes written in buffer units under footnote-6 accounting.
+  uint64_t write_cost = 0;
+  std::vector<CompactionEvent> events;
+  /// Level sizes at the end, in buffers (index 0 = level 1).
+  std::vector<uint64_t> final_level_sizes;
+};
+
+/// Simulates Algorithm 1 with `levels` ≥ 1 for n flushes. `delta` relaxes
+/// the first level's trigger to C1 > C2 + δ (§5.3, Eq. 6).
+LevelingSimResult SimulateHorizontalLeveling(uint64_t n, int levels,
+                                             uint64_t delta = 0);
+
+/// Lemma 9.4 / Theorem 4.2: optimal total read cost τ(n, ℓ) with r = 1:
+///   τ(n,ℓ) = ℓ·C(m, ℓ+1) + (m−ℓ+1)·(n − C(m, ℓ)),  C(m,ℓ) ≤ n ≤ C(m+1,ℓ).
+uint64_t TieringReadCostClosedForm(uint64_t n, int levels);
+
+/// Lemma 5.2 numerator: total write cost (in buffers) of horizontal-leveling:
+///   ℓ·C(m+1, ℓ+1) + (m+1)·(n − C(m, ℓ)) − (ℓ−1)·n.
+uint64_t LevelingWriteCostClosedForm(uint64_t n, int levels);
+
+/// §5.3, Eq. 6: largest integer δ ≥ 0 with δ(δ+1)/2 ≤ α/(1−α).
+uint64_t SkewDelta(double alpha);
+
+}  // namespace theory
+}  // namespace talus
+
+#endif  // TALUS_THEORY_SCHEMES_H_

@@ -1,0 +1,49 @@
+// Analytical cost model for the *vertical* growth scheme (the classic
+// Monkey/Dostoevsky formulas), complementing the horizontal model in
+// cost_model.h. Used by the frontier bench to draw the model-space
+// trade-off curves behind Figure 10(a) and by tests certifying the paper's
+// qualitative claim: for matched read cost, the horizontal scheme's write
+// cost never exceeds the vertical scheme's (Bentley–Saxe optimality).
+//
+// With L levels, size ratio T, Bloom FPR f, page size P entries:
+//   leveling: W = L·(T+1)/(2P)   R = L·f      Q = L
+//   tiering:  W = L/P            R = L·T·f    Q = L·T
+#ifndef TALUS_TUNING_VERTICAL_COST_MODEL_H_
+#define TALUS_TUNING_VERTICAL_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "tuning/cost_model.h"
+
+namespace talus {
+namespace tuning {
+
+struct VerticalCostModel {
+  double size_ratio = 6.0;    // T.
+  double bloom_fpr = 0.1;     // f.
+  double page_entries = 4.0;  // P.
+  uint64_t data_buffers = 1024;  // N/B: total data in buffers.
+
+  /// Number of levels needed for the data volume: ceil(log_T(N/B)).
+  int Levels() const;
+
+  double PointLookupCost(HorizontalMerge merge) const;
+  double RangeLookupCost(HorizontalMerge merge) const;
+  double UpdateCost(HorizontalMerge merge) const;
+
+  double Zeta(HorizontalMerge merge, const WorkloadMix& mix) const;
+};
+
+/// Best vertical design (merge policy × T over `ratios`) for a mix.
+struct VerticalChoice {
+  HorizontalMerge merge = HorizontalMerge::kLeveling;
+  double size_ratio = 6.0;
+  double cost = 0;
+};
+VerticalChoice BestVertical(double bloom_fpr, double page_entries,
+                            uint64_t data_buffers, const WorkloadMix& mix);
+
+}  // namespace tuning
+}  // namespace talus
+
+#endif  // TALUS_TUNING_VERTICAL_COST_MODEL_H_

@@ -1,0 +1,54 @@
+// WorkloadMix: the (w, r, q) operation fractions of §5.2 — updates, point
+// lookups, range lookups — used to weight the cost model.
+#ifndef TALUS_TUNING_WORKLOAD_MIX_H_
+#define TALUS_TUNING_WORKLOAD_MIX_H_
+
+namespace talus {
+
+struct WorkloadMix {
+  double updates = 0.5;        // w
+  double point_lookups = 0.5;  // r
+  double range_lookups = 0.0;  // q
+
+  void Normalize() {
+    double total = updates + point_lookups + range_lookups;
+    if (total <= 0) {
+      updates = point_lookups = 0.5;
+      range_lookups = 0;
+      return;
+    }
+    updates /= total;
+    point_lookups /= total;
+    range_lookups /= total;
+  }
+};
+
+/// Online estimator: counts operations and yields the observed mix.
+class WorkloadMixTracker {
+ public:
+  void RecordUpdate() { updates_++; }
+  void RecordPointLookup() { points_++; }
+  void RecordRangeLookup() { ranges_++; }
+
+  unsigned long long total() const { return updates_ + points_ + ranges_; }
+
+  WorkloadMix Estimate() const {
+    WorkloadMix mix;
+    mix.updates = static_cast<double>(updates_);
+    mix.point_lookups = static_cast<double>(points_);
+    mix.range_lookups = static_cast<double>(ranges_);
+    mix.Normalize();
+    return mix;
+  }
+
+  void Reset() { updates_ = points_ = ranges_ = 0; }
+
+ private:
+  unsigned long long updates_ = 0;
+  unsigned long long points_ = 0;
+  unsigned long long ranges_ = 0;
+};
+
+}  // namespace talus
+
+#endif  // TALUS_TUNING_WORKLOAD_MIX_H_

@@ -1,0 +1,97 @@
+// Deterministic pseudo-random utilities used by tests, the skiplist, and the
+// workload generators. xorshift128+ core: fast, reproducible, and good enough
+// statistically for workload synthesis.
+#ifndef TALUS_UTIL_RANDOM_H_
+#define TALUS_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace talus {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    s_[0] = SplitMix(&seed);
+    s_[1] = SplitMix(&seed);
+    if (s_[0] == 0 && s_[1] == 0) s_[0] = 0x9E3779B97F4A7C15ull;
+  }
+
+  uint64_t Next64() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  uint32_t Next() { return static_cast<uint32_t>(Next64() >> 32); }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next64() % n; }
+
+  /// Returns true with probability 1/n.
+  bool OneIn(uint32_t n) { return Uniform(n) == 0; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Skewed: pick base uniformly from [0, max_log], then return a uniform
+  /// number of that many bits. Favors small numbers (LevelDB idiom).
+  uint64_t Skewed(int max_log) {
+    return Uniform(uint64_t{1} << Uniform(static_cast<uint64_t>(max_log + 1)));
+  }
+
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t s_[2];
+};
+
+/// FNV-1a 64-bit hash, used for key scrambling in workload generators.
+inline uint64_t FnvHash64(uint64_t v) {
+  uint64_t hash = 0xCBF29CE484222325ull;
+  for (int i = 0; i < 8; i++) {
+    hash ^= (v >> (i * 8)) & 0xFF;
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+/// 32-bit Murmur-style string hash used by the Bloom filter and block cache.
+inline uint32_t Hash32(const char* data, size_t n, uint32_t seed) {
+  const uint32_t m = 0xC6A4A793u;
+  const uint32_t r = 24;
+  const auto* p = reinterpret_cast<const unsigned char*>(data);
+  const unsigned char* limit = p + n;
+  uint32_t h = seed ^ (static_cast<uint32_t>(n) * m);
+  while (p + 4 <= limit) {
+    uint32_t w;
+    __builtin_memcpy(&w, p, 4);
+    p += 4;
+    h += w;
+    h *= m;
+    h ^= (h >> 16);
+  }
+  switch (limit - p) {
+    case 3: h += static_cast<uint32_t>(p[2]) << 16; [[fallthrough]];
+    case 2: h += static_cast<uint32_t>(p[1]) << 8; [[fallthrough]];
+    case 1:
+      h += p[0];
+      h *= m;
+      h ^= (h >> r);
+      break;
+  }
+  return h;
+}
+
+}  // namespace talus
+
+#endif  // TALUS_UTIL_RANDOM_H_

@@ -1,0 +1,23 @@
+#include "util/status.h"
+
+namespace talus {
+
+std::string Status::ToString() const {
+  if (state_ == nullptr) return "OK";
+  const char* type;
+  switch (state_->code) {
+    case Code::kOk: type = "OK"; break;
+    case Code::kNotFound: type = "NotFound: "; break;
+    case Code::kCorruption: type = "Corruption: "; break;
+    case Code::kNotSupported: type = "Not supported: "; break;
+    case Code::kInvalidArgument: type = "Invalid argument: "; break;
+    case Code::kIOError: type = "IO error: "; break;
+    case Code::kBusy: type = "Busy: "; break;
+    default: type = "Unknown: "; break;
+  }
+  std::string result(type);
+  result.append(state_->msg);
+  return result;
+}
+
+}  // namespace talus

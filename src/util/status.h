@@ -1,0 +1,96 @@
+// Status: result of an operation that may fail, in the RocksDB style.
+// Success is cheap (no allocation); failures carry a code and a message.
+#ifndef TALUS_UTIL_STATUS_H_
+#define TALUS_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "util/slice.h"
+
+namespace talus {
+
+class Status {
+ public:
+  Status() noexcept : state_(nullptr) {}
+  ~Status() = default;
+
+  Status(const Status& rhs) {
+    state_ = rhs.state_ == nullptr ? nullptr
+                                   : std::make_unique<State>(*rhs.state_);
+  }
+  Status& operator=(const Status& rhs) {
+    if (this != &rhs) {
+      state_ = rhs.state_ == nullptr ? nullptr
+                                     : std::make_unique<State>(*rhs.state_);
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kNotFound, msg, msg2);
+  }
+  static Status Corruption(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kCorruption, msg, msg2);
+  }
+  static Status NotSupported(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kNotSupported, msg, msg2);
+  }
+  static Status InvalidArgument(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kInvalidArgument, msg, msg2);
+  }
+  static Status IOError(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kIOError, msg, msg2);
+  }
+  static Status Busy(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kBusy, msg, msg2);
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  bool IsNotFound() const { return code() == Code::kNotFound; }
+  bool IsCorruption() const { return code() == Code::kCorruption; }
+  bool IsNotSupported() const { return code() == Code::kNotSupported; }
+  bool IsInvalidArgument() const { return code() == Code::kInvalidArgument; }
+  bool IsIOError() const { return code() == Code::kIOError; }
+  bool IsBusy() const { return code() == Code::kBusy; }
+
+  /// Human-readable representation, e.g. "IO error: <msg>".
+  std::string ToString() const;
+
+ private:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound,
+    kCorruption,
+    kNotSupported,
+    kInvalidArgument,
+    kIOError,
+    kBusy,
+  };
+
+  struct State {
+    Code code;
+    std::string msg;
+  };
+
+  Status(Code code, const Slice& msg, const Slice& msg2) {
+    std::string m = msg.ToString();
+    if (!msg2.empty()) {
+      m.append(": ");
+      m.append(msg2.data(), msg2.size());
+    }
+    state_ = std::make_unique<State>(State{code, std::move(m)});
+  }
+
+  Code code() const { return state_ == nullptr ? Code::kOk : state_->code; }
+
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace talus
+
+#endif  // TALUS_UTIL_STATUS_H_

@@ -1,0 +1,18 @@
+// Write-ahead log record framing:
+//   masked_crc32c fixed32 | length fixed32 | payload
+// Records are self-delimiting; replay stops at the first corrupt or
+// truncated record (standard torn-write handling).
+#ifndef TALUS_WAL_LOG_FORMAT_H_
+#define TALUS_WAL_LOG_FORMAT_H_
+
+#include <cstdint>
+
+namespace talus {
+namespace wal {
+
+static constexpr size_t kHeaderSize = 8;  // crc32c (4) + length (4).
+
+}  // namespace wal
+}  // namespace talus
+
+#endif  // TALUS_WAL_LOG_FORMAT_H_

@@ -1,0 +1,45 @@
+#include "wal/log_reader.h"
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace talus {
+namespace wal {
+
+bool LogReader::ReadFull(size_t n, std::string* out) {
+  out->clear();
+  out->reserve(n);
+  while (out->size() < n) {
+    Slice chunk;
+    // SequentialFile::Read may return fewer bytes than requested; scratch is
+    // only used by file-backed environments.
+    std::string scratch(n - out->size(), '\0');
+    Status s = file_->Read(n - out->size(), &chunk, scratch.data());
+    if (!s.ok() || chunk.empty()) return false;
+    out->append(chunk.data(), chunk.size());
+  }
+  return true;
+}
+
+bool LogReader::ReadRecord(std::string* record) {
+  std::string header;
+  if (!ReadFull(kHeaderSize, &header)) {
+    // Clean EOF (or torn header — indistinguishable, treated as end).
+    return false;
+  }
+  uint32_t masked_crc = DecodeFixed32(header.data());
+  uint32_t length = DecodeFixed32(header.data() + 4);
+  if (!ReadFull(length, record)) {
+    corruption_ = true;  // Torn payload.
+    return false;
+  }
+  uint32_t actual = crc32c::Value(record->data(), record->size());
+  if (crc32c::Unmask(masked_crc) != actual) {
+    corruption_ = true;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace wal
+}  // namespace talus

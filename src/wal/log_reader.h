@@ -1,0 +1,36 @@
+// LogReader: replays CRC-framed records. Stops cleanly at EOF or at the
+// first torn/corrupt record.
+#ifndef TALUS_WAL_LOG_READER_H_
+#define TALUS_WAL_LOG_READER_H_
+
+#include <memory>
+#include <string>
+
+#include "env/env.h"
+#include "wal/log_format.h"
+
+namespace talus {
+namespace wal {
+
+class LogReader {
+ public:
+  explicit LogReader(std::unique_ptr<SequentialFile> file)
+      : file_(std::move(file)) {}
+
+  /// Reads the next record into *record. Returns false at EOF or on a
+  /// corrupt/truncated tail (check corruption_detected() to distinguish).
+  bool ReadRecord(std::string* record);
+
+  bool corruption_detected() const { return corruption_; }
+
+ private:
+  bool ReadFull(size_t n, std::string* out);
+
+  std::unique_ptr<SequentialFile> file_;
+  bool corruption_ = false;
+};
+
+}  // namespace wal
+}  // namespace talus
+
+#endif  // TALUS_WAL_LOG_READER_H_

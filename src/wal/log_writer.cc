@@ -1,0 +1,23 @@
+#include "wal/log_writer.h"
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace talus {
+namespace wal {
+
+Status LogWriter::AddRecord(const Slice& payload) {
+  std::string header;
+  header.reserve(kHeaderSize);
+  uint32_t crc = crc32c::Value(payload.data(), payload.size());
+  PutFixed32(&header, crc32c::Mask(crc));
+  PutFixed32(&header, static_cast<uint32_t>(payload.size()));
+  Status s = file_->Append(Slice(header));
+  if (s.ok()) {
+    s = file_->Append(payload);
+  }
+  return s;
+}
+
+}  // namespace wal
+}  // namespace talus

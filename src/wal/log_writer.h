@@ -1,0 +1,29 @@
+// LogWriter: appends CRC-framed records to a WritableFile (WAL, MANIFEST).
+#ifndef TALUS_WAL_LOG_WRITER_H_
+#define TALUS_WAL_LOG_WRITER_H_
+
+#include <memory>
+
+#include "env/env.h"
+#include "wal/log_format.h"
+
+namespace talus {
+namespace wal {
+
+class LogWriter {
+ public:
+  explicit LogWriter(std::unique_ptr<WritableFile> file)
+      : file_(std::move(file)) {}
+
+  Status AddRecord(const Slice& payload);
+  Status Sync() { return file_->Sync(); }
+  Status Close() { return file_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> file_;
+};
+
+}  // namespace wal
+}  // namespace talus
+
+#endif  // TALUS_WAL_LOG_WRITER_H_

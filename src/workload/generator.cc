@@ -1,0 +1,162 @@
+#include "workload/generator.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace talus {
+namespace workload {
+
+namespace {
+
+class UniformPicker final : public KeyPicker {
+ public:
+  explicit UniformPicker(uint64_t n) : n_(n) {}
+  uint64_t Next(Random* rnd) override { return rnd->Uniform(n_); }
+
+ private:
+  uint64_t n_;
+};
+
+// YCSB Zipfian over [0, n) with scrambling so hot keys spread across the
+// key space (matching YCSB's ScrambledZipfianGenerator).
+class ZipfianPicker final : public KeyPicker {
+ public:
+  ZipfianPicker(uint64_t n, double theta) : n_(n), theta_(theta) {
+    zetan_ = Zeta(n_, theta_);
+    zeta2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next(Random* rnd) override {
+    const double u = rnd->NextDouble();
+    const double uz = u * zetan_;
+    uint64_t rank;
+    if (uz < 1.0) {
+      rank = 0;
+    } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+      rank = 1;
+    } else {
+      rank = static_cast<uint64_t>(
+          static_cast<double>(n_) *
+          std::pow(eta_ * u - eta_ + 1.0, alpha_));
+      if (rank >= n_) rank = n_ - 1;
+    }
+    return FnvHash64(rank) % n_;  // Scramble.
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    // Exact for small n; sampled tail approximation keeps construction O(1M)
+    // bounded for large key spaces.
+    double sum = 0;
+    const uint64_t exact = n < 10000000 ? n : 10000000;
+    for (uint64_t i = 1; i <= exact; i++) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    if (exact < n) {
+      // Integral approximation of the remainder.
+      const double a = static_cast<double>(exact);
+      const double b = static_cast<double>(n);
+      sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) /
+             (1.0 - theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+// §5.3 skewed distribution: two uniform distributions U_h (hot) and U_c
+// (cold). The hot set occupies the front of the scrambled index space.
+class HotColdPicker final : public KeyPicker {
+ public:
+  HotColdPicker(uint64_t n, uint64_t hot, double hot_probability)
+      : n_(n), hot_(hot < n ? hot : n), p_(hot_probability) {}
+
+  uint64_t Next(Random* rnd) override {
+    if (rnd->NextDouble() < p_) {
+      return FnvHash64(rnd->Uniform(hot_)) % n_;  // Hot: scrambled subset.
+    }
+    return rnd->Uniform(n_);
+  }
+
+ private:
+  uint64_t n_;
+  uint64_t hot_;
+  double p_;
+};
+
+}  // namespace
+
+std::unique_ptr<KeyPicker> NewKeyPicker(const KeySpaceSpec& spec) {
+  switch (spec.distribution) {
+    case Distribution::kUniform:
+      return std::make_unique<UniformPicker>(spec.num_keys);
+    case Distribution::kZipfian:
+      return std::make_unique<ZipfianPicker>(spec.num_keys,
+                                             spec.zipfian_theta);
+    case Distribution::kHotCold:
+      return std::make_unique<HotColdPicker>(spec.num_keys, spec.hot_keys,
+                                             spec.hot_probability);
+  }
+  return std::make_unique<UniformPicker>(spec.num_keys);
+}
+
+std::string FormatKey(uint64_t index, size_t key_size) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), "user%016llu",
+                              static_cast<unsigned long long>(index));
+  std::string key(buf, static_cast<size_t>(n));
+  if (key.size() < key_size) {
+    key.append(key_size - key.size(), '.');
+  }
+  return key;
+}
+
+std::string MakeValue(uint64_t index, uint64_t version, size_t value_size) {
+  std::string value;
+  value.reserve(value_size);
+  char buf[48];
+  const int n = std::snprintf(buf, sizeof(buf), "v%llu.%llu|",
+                              static_cast<unsigned long long>(index),
+                              static_cast<unsigned long long>(version));
+  value.assign(buf, static_cast<size_t>(n));
+  // Deterministic filler derived from (index, version).
+  uint64_t state = index * 0x9E3779B97F4A7C15ull + version;
+  while (value.size() < value_size) {
+    state = Random::SplitMix(&state);
+    value.push_back('a' + static_cast<char>(state % 26));
+  }
+  value.resize(value_size);
+  return value;
+}
+
+OpMix ReadHeavyMix() { return OpMix{0.1, 0.9, 0.0}; }
+OpMix BalancedMix() { return OpMix{0.5, 0.5, 0.0}; }
+OpMix WriteHeavyMix() { return OpMix{0.9, 0.1, 0.0}; }
+OpMix RangeScanMix() { return OpMix{0.75, 0.0, 0.25}; }
+
+OpStream::OpStream(const KeySpaceSpec& keys, const OpMix& mix, uint64_t seed)
+    : spec_(keys), mix_(mix), rnd_(seed), picker_(NewKeyPicker(keys)) {}
+
+Op OpStream::Next() {
+  const double total =
+      mix_.updates + mix_.point_lookups + mix_.range_lookups;
+  const double u = rnd_.NextDouble() * (total > 0 ? total : 1.0);
+  OpType type;
+  if (u < mix_.updates) {
+    type = OpType::kUpdate;
+  } else if (u < mix_.updates + mix_.point_lookups) {
+    type = OpType::kPointLookup;
+  } else {
+    type = OpType::kRangeLookup;
+  }
+  return Op{type, picker_->Next(&rnd_)};
+}
+
+}  // namespace workload
+}  // namespace talus

@@ -1,0 +1,86 @@
+// YCSB-style workload synthesis: key distributions (uniform, scrambled
+// Zipfian, §5.3 hot/cold two-uniform mixture), operation mixes, and a
+// deterministic operation stream.
+#ifndef TALUS_WORKLOAD_GENERATOR_H_
+#define TALUS_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/random.h"
+
+namespace talus {
+namespace workload {
+
+enum class Distribution {
+  kUniform,
+  kZipfian,  // YCSB scrambled Zipfian, theta = 0.99.
+  kHotCold,  // §5.3: a small hot set hit with probability hot_fraction.
+};
+
+struct KeySpaceSpec {
+  uint64_t num_keys = 100000;  // Distinct logical keys.
+  size_t key_size = 16;        // Bytes (padded, >= 12).
+  size_t value_size = 100;     // Bytes.
+  Distribution distribution = Distribution::kUniform;
+  double zipfian_theta = 0.99;
+  // Hot/cold parameters (kHotCold): |U_h| keys receive `hot_probability`
+  // of all accesses.
+  uint64_t hot_keys = 1000;
+  double hot_probability = 0.9;
+};
+
+/// Picks key indices in [0, num_keys) under the configured distribution.
+class KeyPicker {
+ public:
+  virtual ~KeyPicker() = default;
+  virtual uint64_t Next(Random* rnd) = 0;
+};
+
+std::unique_ptr<KeyPicker> NewKeyPicker(const KeySpaceSpec& spec);
+
+/// Formats key index i as a fixed-width key ("user" + zero-padded decimal,
+/// padded with '.' to key_size). Lexicographic order == numeric order.
+std::string FormatKey(uint64_t index, size_t key_size);
+
+/// Deterministic value payload for (key index, version).
+std::string MakeValue(uint64_t index, uint64_t version, size_t value_size);
+
+enum class OpType { kUpdate, kPointLookup, kRangeLookup };
+
+struct OpMix {
+  double updates = 0.5;
+  double point_lookups = 0.5;
+  double range_lookups = 0.0;
+};
+
+/// Paper workload presets (§7): percentages of (updates, points, ranges).
+OpMix ReadHeavyMix();    // 10% updates, 90% point lookups.
+OpMix BalancedMix();     // 50% / 50%.
+OpMix WriteHeavyMix();   // 90% updates, 10% point lookups.
+OpMix RangeScanMix();    // 75% updates, 25% range lookups.
+
+struct Op {
+  OpType type;
+  uint64_t key_index;
+};
+
+/// Deterministic operation stream: same seed → same ops.
+class OpStream {
+ public:
+  OpStream(const KeySpaceSpec& keys, const OpMix& mix, uint64_t seed);
+
+  Op Next();
+
+ private:
+  KeySpaceSpec spec_;
+  OpMix mix_;
+  Random rnd_;
+  std::unique_ptr<KeyPicker> picker_;
+};
+
+}  // namespace workload
+}  // namespace talus
+
+#endif  // TALUS_WORKLOAD_GENERATOR_H_

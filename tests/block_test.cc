@@ -1,0 +1,151 @@
+#include "format/block.h"
+#include "format/block_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "util/random.h"
+
+namespace talus {
+namespace {
+
+std::map<std::string, std::string> MakeEntries(int n, int seed = 42) {
+  std::map<std::string, std::string> entries;
+  Random rnd(seed);
+  for (int i = 0; i < n; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%08d", static_cast<int>(rnd.Uniform(1000000)));
+    entries[key] = "value-" + std::to_string(rnd.Next());
+  }
+  return entries;
+}
+
+std::string BuildBlock(const std::map<std::string, std::string>& entries,
+                       int restart_interval = 16) {
+  BlockBuilder builder(restart_interval);
+  for (const auto& [k, v] : entries) {
+    builder.Add(Slice(k), Slice(v));
+  }
+  return builder.Finish().ToString();
+}
+
+TEST(Block, EmptyBlock) {
+  BlockBuilder builder(16);
+  Block block(builder.Finish().ToString());
+  auto iter = block.NewIterator();
+  iter->SeekToFirst();
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST(Block, ForwardIteration) {
+  auto entries = MakeEntries(500);
+  Block block(BuildBlock(entries));
+  auto iter = block.NewIterator();
+  iter->SeekToFirst();
+  for (const auto& [k, v] : entries) {
+    ASSERT_TRUE(iter->Valid());
+    EXPECT_EQ(iter->key().ToString(), k);
+    EXPECT_EQ(iter->value().ToString(), v);
+    iter->Next();
+  }
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST(Block, BackwardIteration) {
+  auto entries = MakeEntries(300);
+  Block block(BuildBlock(entries));
+  auto iter = block.NewIterator();
+  iter->SeekToLast();
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    ASSERT_TRUE(iter->Valid());
+    EXPECT_EQ(iter->key().ToString(), it->first);
+    EXPECT_EQ(iter->value().ToString(), it->second);
+    iter->Prev();
+  }
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST(Block, SeekExisting) {
+  auto entries = MakeEntries(400);
+  Block block(BuildBlock(entries));
+  auto iter = block.NewIterator();
+  for (const auto& [k, v] : entries) {
+    iter->Seek(Slice(k));
+    ASSERT_TRUE(iter->Valid()) << k;
+    EXPECT_EQ(iter->key().ToString(), k);
+    EXPECT_EQ(iter->value().ToString(), v);
+  }
+}
+
+TEST(Block, SeekBetweenKeys) {
+  std::map<std::string, std::string> entries = {
+      {"b", "1"}, {"d", "2"}, {"f", "3"}};
+  Block block(BuildBlock(entries));
+  auto iter = block.NewIterator();
+
+  iter->Seek(Slice("a"));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key().ToString(), "b");
+
+  iter->Seek(Slice("c"));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key().ToString(), "d");
+
+  iter->Seek(Slice("g"));
+  EXPECT_FALSE(iter->Valid());
+}
+
+class BlockRestartTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlockRestartTest, RoundTripAcrossRestartIntervals) {
+  auto entries = MakeEntries(257, GetParam());
+  Block block(BuildBlock(entries, GetParam()));
+  auto iter = block.NewIterator();
+  iter->SeekToFirst();
+  size_t count = 0;
+  for (const auto& [k, v] : entries) {
+    ASSERT_TRUE(iter->Valid());
+    EXPECT_EQ(iter->key().ToString(), k);
+    EXPECT_EQ(iter->value().ToString(), v);
+    iter->Next();
+    count++;
+  }
+  EXPECT_EQ(count, entries.size());
+  // And seek every key.
+  for (const auto& [k, v] : entries) {
+    iter->Seek(Slice(k));
+    ASSERT_TRUE(iter->Valid());
+    EXPECT_EQ(iter->value().ToString(), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RestartIntervals, BlockRestartTest,
+                         ::testing::Values(1, 2, 3, 8, 16, 64, 1000));
+
+TEST(Block, CorruptContentsReported) {
+  Block block(std::string("\x01\x02", 2));
+  auto iter = block.NewIterator();
+  iter->SeekToFirst();
+  EXPECT_FALSE(iter->Valid());
+  EXPECT_FALSE(iter->status().ok());
+}
+
+TEST(Block, PrefixCompressionEffective) {
+  // Long shared prefixes should compress well.
+  std::map<std::string, std::string> entries;
+  const std::string prefix(100, 'p');
+  for (int i = 0; i < 100; i++) {
+    char suffix[8];
+    snprintf(suffix, sizeof(suffix), "%04d", i);
+    entries[prefix + suffix] = "v";
+  }
+  std::string block_data = BuildBlock(entries);
+  size_t raw_size = 0;
+  for (const auto& [k, v] : entries) raw_size += k.size() + v.size();
+  EXPECT_LT(block_data.size(), raw_size / 2);
+}
+
+}  // namespace
+}  // namespace talus

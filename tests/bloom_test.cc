@@ -1,0 +1,129 @@
+#include "filter/bloom.h"
+#include "filter/filter_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace talus {
+namespace {
+
+std::string Key(int i) { return "key" + std::to_string(i); }
+
+TEST(Bloom, NoFalseNegatives) {
+  BloomFilterBuilder builder(10.0);
+  for (int i = 0; i < 10000; i++) builder.AddKey(Key(i));
+  std::string data = builder.Finish();
+  BloomFilterReader reader{Slice(data)};
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_TRUE(reader.KeyMayMatch(Key(i))) << i;
+  }
+}
+
+TEST(Bloom, FalsePositiveRateNearTheory) {
+  BloomFilterBuilder builder(10.0);
+  for (int i = 0; i < 20000; i++) builder.AddKey(Key(i));
+  std::string data = builder.Finish();
+  BloomFilterReader reader{Slice(data)};
+  int fp = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; i++) {
+    if (reader.KeyMayMatch(Key(1000000 + i))) fp++;
+  }
+  const double rate = static_cast<double>(fp) / probes;
+  const double expected = BloomFalsePositiveRate(10.0);  // ~0.0082
+  EXPECT_LT(rate, expected * 3 + 0.01);
+  EXPECT_GT(rate, 0.0);  // A 10-bpk filter over 20k keys should not be perfect.
+}
+
+class BloomBpkTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BloomBpkTest, FprDecreasesWithBits) {
+  const double bpk = GetParam();
+  BloomFilterBuilder builder(bpk);
+  for (int i = 0; i < 5000; i++) builder.AddKey(Key(i));
+  std::string data = builder.Finish();
+  BloomFilterReader reader{Slice(data)};
+  int fp = 0;
+  for (int i = 0; i < 5000; i++) {
+    if (reader.KeyMayMatch(Key(900000 + i))) fp++;
+  }
+  const double rate = fp / 5000.0;
+  // Within a loose factor of the theoretical rate.
+  EXPECT_LT(rate, BloomFalsePositiveRate(bpk) * 4 + 0.02) << "bpk=" << bpk;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BloomBpkTest,
+                         ::testing::Values(2.0, 4.0, 5.0, 8.0, 12.0, 16.0,
+                                           20.0));
+
+TEST(Bloom, EmptyFilterMatchesNothingClaimed) {
+  BloomFilterBuilder builder(10.0);
+  std::string data = builder.Finish();
+  BloomFilterReader reader{Slice(data)};
+  // An empty filter has all bits zero: everything is definitely absent.
+  EXPECT_FALSE(reader.KeyMayMatch("anything"));
+}
+
+TEST(FilterAllocator, StaticUniform) {
+  auto alloc = NewStaticFilterAllocator(7.5);
+  std::vector<LevelFilterInfo> levels(3);
+  EXPECT_DOUBLE_EQ(alloc->BitsForLevel(levels, 0), 7.5);
+  EXPECT_DOUBLE_EQ(alloc->BitsForLevel(levels, 2), 7.5);
+}
+
+TEST(FilterAllocator, MonkeyGivesSmallLevelsMoreBits) {
+  auto alloc = NewMonkeyFilterAllocator(5.0);
+  std::vector<LevelFilterInfo> levels(3);
+  levels[0].capacity_entries = 1000;
+  levels[1].capacity_entries = 10000;
+  levels[2].capacity_entries = 100000;
+  const double b0 = alloc->BitsForLevel(levels, 0);
+  const double b1 = alloc->BitsForLevel(levels, 1);
+  const double b2 = alloc->BitsForLevel(levels, 2);
+  EXPECT_GT(b0, b1);
+  EXPECT_GT(b1, b2);
+  // Memory budget approximately preserved.
+  const double total_budget = 5.0 * (1000 + 10000 + 100000);
+  const double spent = b0 * 1000 + b1 * 10000 + b2 * 100000;
+  EXPECT_NEAR(spent, total_budget, total_budget * 0.05);
+}
+
+TEST(FilterAllocator, MonkeyFprProportionalToLevelSize) {
+  auto alloc = NewMonkeyFilterAllocator(8.0);
+  std::vector<LevelFilterInfo> levels(2);
+  levels[0].capacity_entries = 1000;
+  levels[1].capacity_entries = 8000;
+  const double p0 = BloomFalsePositiveRate(alloc->BitsForLevel(levels, 0));
+  const double p1 = BloomFalsePositiveRate(alloc->BitsForLevel(levels, 1));
+  // Lagrangian optimum: p_i ∝ n_i.
+  EXPECT_NEAR(p1 / p0, 8.0, 0.5);
+}
+
+TEST(FilterAllocator, DynamicUsesExpectedFill) {
+  auto monkey = NewMonkeyFilterAllocator(5.0);
+  auto dynamic = NewDynamicFilterAllocator(5.0);
+  std::vector<LevelFilterInfo> levels(2);
+  levels[0].capacity_entries = 10000;
+  levels[0].expected_fill = 0.5;  // Emptied by full compactions.
+  levels[0].current_entries = 100;
+  levels[1].capacity_entries = 60000;
+  levels[1].expected_fill = 1.0;
+  levels[1].current_entries = 60000;
+  // The dynamic layout sees a smaller effective level 0, so it grants level
+  // 0 MORE bits per key than capacity-based Monkey does.
+  EXPECT_GT(dynamic->BitsForLevel(levels, 0), monkey->BitsForLevel(levels, 0));
+}
+
+TEST(FilterAllocator, ZeroBudgetGivesZeroBits) {
+  auto alloc = NewMonkeyFilterAllocator(0.0);
+  std::vector<LevelFilterInfo> levels(2);
+  levels[0].capacity_entries = 100;
+  levels[1].capacity_entries = 1000;
+  EXPECT_EQ(alloc->BitsForLevel(levels, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace talus

@@ -1,0 +1,114 @@
+#include "util/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace talus {
+namespace {
+
+TEST(Coding, Fixed32RoundTrip) {
+  std::string s;
+  for (uint32_t v = 0; v < 100000; v += 7777) {
+    PutFixed32(&s, v);
+  }
+  const char* p = s.data();
+  for (uint32_t v = 0; v < 100000; v += 7777) {
+    EXPECT_EQ(DecodeFixed32(p), v);
+    p += 4;
+  }
+}
+
+TEST(Coding, Fixed64RoundTrip) {
+  std::string s;
+  std::vector<uint64_t> values = {0, 1, 255, 256, 1ull << 32, 1ull << 63,
+                                  std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) PutFixed64(&s, v);
+  Slice input(s);
+  for (uint64_t v : values) {
+    uint64_t decoded;
+    ASSERT_TRUE(GetFixed64(&input, &decoded));
+    EXPECT_EQ(decoded, v);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(Coding, Varint32RoundTrip) {
+  std::string s;
+  std::vector<uint32_t> values;
+  for (uint32_t i = 0; i < 32; i++) {
+    values.push_back(1u << i);
+    values.push_back((1u << i) - 1);
+    values.push_back((1u << i) + 1);
+  }
+  for (uint32_t v : values) PutVarint32(&s, v);
+  Slice input(s);
+  for (uint32_t v : values) {
+    uint32_t decoded;
+    ASSERT_TRUE(GetVarint32(&input, &decoded));
+    EXPECT_EQ(decoded, v);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(Coding, Varint64RoundTrip) {
+  std::string s;
+  std::vector<uint64_t> values = {0, 1, 127, 128, 16383, 16384,
+                                  std::numeric_limits<uint64_t>::max()};
+  for (uint64_t i = 0; i < 64; i++) values.push_back(1ull << i);
+  for (uint64_t v : values) PutVarint64(&s, v);
+  Slice input(s);
+  for (uint64_t v : values) {
+    uint64_t decoded;
+    ASSERT_TRUE(GetVarint64(&input, &decoded));
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(Coding, VarintLengthMatchesEncoding) {
+  for (uint64_t i = 0; i < 64; i++) {
+    const uint64_t v = 1ull << i;
+    std::string s;
+    PutVarint64(&s, v);
+    EXPECT_EQ(static_cast<int>(s.size()), VarintLength(v));
+  }
+}
+
+TEST(Coding, LengthPrefixedSlice) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, Slice(""));
+  PutLengthPrefixedSlice(&s, Slice("abc"));
+  PutLengthPrefixedSlice(&s, Slice(std::string(10000, 'x')));
+  Slice input(s);
+  Slice v;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &v));
+  EXPECT_EQ(v.ToString(), "");
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &v));
+  EXPECT_EQ(v.ToString(), "abc");
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &v));
+  EXPECT_EQ(v.size(), 10000u);
+  EXPECT_FALSE(GetLengthPrefixedSlice(&input, &v));
+}
+
+TEST(Coding, TruncatedVarintFails) {
+  std::string s;
+  PutVarint64(&s, std::numeric_limits<uint64_t>::max());
+  for (size_t keep = 0; keep + 1 < s.size(); keep++) {
+    Slice input(s.data(), keep);
+    uint64_t v;
+    EXPECT_FALSE(GetVarint64(&input, &v)) << "prefix length " << keep;
+  }
+}
+
+TEST(Slice, CompareAndPrefix) {
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+  EXPECT_TRUE(Slice("abcdef").starts_with(Slice("abc")));
+  EXPECT_FALSE(Slice("ab").starts_with(Slice("abc")));
+}
+
+}  // namespace
+}  // namespace talus

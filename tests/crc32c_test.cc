@@ -1,0 +1,46 @@
+#include "util/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace talus {
+namespace crc32c {
+namespace {
+
+TEST(Crc32c, StandardVectors) {
+  // Known CRC32C test vectors (RFC 3720 / LevelDB test suite).
+  char buf[32];
+
+  memset(buf, 0, sizeof(buf));
+  EXPECT_EQ(Value(buf, sizeof(buf)), 0x8a9136aau);
+
+  memset(buf, 0xff, sizeof(buf));
+  EXPECT_EQ(Value(buf, sizeof(buf)), 0x62a8ab43u);
+
+  for (int i = 0; i < 32; i++) buf[i] = static_cast<char>(i);
+  EXPECT_EQ(Value(buf, sizeof(buf)), 0x46dd794eu);
+
+  for (int i = 0; i < 32; i++) buf[i] = static_cast<char>(31 - i);
+  EXPECT_EQ(Value(buf, sizeof(buf)), 0x113fdb5cu);
+}
+
+TEST(Crc32c, Values) {
+  EXPECT_NE(Value("a", 1), Value("foo", 3));
+}
+
+TEST(Crc32c, Extend) {
+  EXPECT_EQ(Value("hello world", 11), Extend(Value("hello ", 6), "world", 5));
+}
+
+TEST(Crc32c, Mask) {
+  uint32_t crc = Value("foo", 3);
+  EXPECT_NE(crc, Mask(crc));
+  EXPECT_NE(crc, Mask(Mask(crc)));
+  EXPECT_EQ(crc, Unmask(Mask(crc)));
+  EXPECT_EQ(crc, Unmask(Unmask(Mask(Mask(crc)))));
+}
+
+}  // namespace
+}  // namespace crc32c
+}  // namespace talus

@@ -1,0 +1,209 @@
+// Iterator semantics across the stack: merging iterator ordering and
+// direction changes, DB iterator tombstone/version skipping, and cross-run
+// merge correctness under every merge-relevant policy.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "env/env.h"
+#include "lsm/db.h"
+#include "mem/memtable.h"
+#include "table/merging_iterator.h"
+#include "util/random.h"
+#include "workload/generator.h"
+
+namespace talus {
+namespace {
+
+std::unique_ptr<MemTable> MakeMem(
+    const std::vector<std::tuple<std::string, std::string, SequenceNumber>>&
+        entries) {
+  auto mem = std::make_unique<MemTable>();
+  for (const auto& [k, v, seq] : entries) {
+    mem->Add(seq, kTypeValue, k, v);
+  }
+  return mem;
+}
+
+TEST(MergingIterator, InterleavesSources) {
+  auto mem1 = MakeMem({{"a", "1", 1}, {"c", "3", 3}, {"e", "5", 5}});
+  auto mem2 = MakeMem({{"b", "2", 2}, {"d", "4", 4}, {"f", "6", 6}});
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(mem1->NewIterator());
+  children.push_back(mem2->NewIterator());
+  auto merged = NewMergingIterator(InternalKeyComparator(),
+                                   std::move(children));
+
+  std::vector<std::string> keys;
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    keys.push_back(ExtractUserKey(merged->key()).ToString());
+  }
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "b", "c", "d", "e", "f"}));
+}
+
+TEST(MergingIterator, NewestVersionFirstWithinKey) {
+  auto older = MakeMem({{"k", "old", 10}});
+  auto newer = MakeMem({{"k", "new", 20}});
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(older->NewIterator());
+  children.push_back(newer->NewIterator());
+  auto merged = NewMergingIterator(InternalKeyComparator(),
+                                   std::move(children));
+  merged->SeekToFirst();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(merged->value().ToString(), "new");
+  merged->Next();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(merged->value().ToString(), "old");
+}
+
+TEST(MergingIterator, SeekLandsOnLowerBound) {
+  auto mem1 = MakeMem({{"apple", "1", 1}, {"mango", "2", 2}});
+  auto mem2 = MakeMem({{"banana", "3", 3}, {"peach", "4", 4}});
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(mem1->NewIterator());
+  children.push_back(mem2->NewIterator());
+  auto merged = NewMergingIterator(InternalKeyComparator(),
+                                   std::move(children));
+
+  LookupKey lkey("b", kMaxSequenceNumber);
+  merged->Seek(lkey.internal_key());
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(ExtractUserKey(merged->key()).ToString(), "banana");
+}
+
+TEST(MergingIterator, BackwardIteration) {
+  auto mem1 = MakeMem({{"a", "1", 1}, {"c", "3", 3}});
+  auto mem2 = MakeMem({{"b", "2", 2}, {"d", "4", 4}});
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(mem1->NewIterator());
+  children.push_back(mem2->NewIterator());
+  auto merged = NewMergingIterator(InternalKeyComparator(),
+                                   std::move(children));
+  merged->SeekToLast();
+  std::vector<std::string> keys;
+  while (merged->Valid()) {
+    keys.push_back(ExtractUserKey(merged->key()).ToString());
+    merged->Prev();
+  }
+  EXPECT_EQ(keys, (std::vector<std::string>{"d", "c", "b", "a"}));
+}
+
+TEST(MergingIterator, DirectionSwitches) {
+  auto mem1 = MakeMem({{"a", "1", 1}, {"c", "3", 3}, {"e", "5", 5}});
+  auto mem2 = MakeMem({{"b", "2", 2}, {"d", "4", 4}});
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(mem1->NewIterator());
+  children.push_back(mem2->NewIterator());
+  auto merged = NewMergingIterator(InternalKeyComparator(),
+                                   std::move(children));
+
+  merged->SeekToFirst();  // a
+  merged->Next();         // b
+  merged->Next();         // c
+  EXPECT_EQ(ExtractUserKey(merged->key()).ToString(), "c");
+  merged->Prev();  // b
+  EXPECT_EQ(ExtractUserKey(merged->key()).ToString(), "b");
+  merged->Next();  // c
+  EXPECT_EQ(ExtractUserKey(merged->key()).ToString(), "c");
+  merged->Next();  // d
+  EXPECT_EQ(ExtractUserKey(merged->key()).ToString(), "d");
+}
+
+TEST(DbIterator, SkipsTombstonesAndOldVersions) {
+  auto env = NewMemEnv();
+  DbOptions opts;
+  opts.env = env.get();
+  opts.path = "/it";
+  opts.write_buffer_size = 2 << 10;
+  opts.block_size = 512;
+  opts.policy = GrowthPolicyConfig::VTTierFull(3);
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(opts, &db).ok());
+
+  std::map<std::string, std::string> model;
+  Random rnd(31);
+  for (int i = 0; i < 1200; i++) {
+    std::string key = workload::FormatKey(rnd.Uniform(80), 12);
+    if (rnd.OneIn(3)) {
+      db->Delete(key);
+      model.erase(key);
+    } else {
+      std::string value = "i" + std::to_string(i);
+      db->Put(key, value);
+      model[key] = value;
+    }
+  }
+
+  auto iter = db->NewIterator();
+  auto mit = model.begin();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++mit) {
+    ASSERT_NE(mit, model.end());
+    EXPECT_EQ(iter->key().ToString(), mit->first);
+    EXPECT_EQ(iter->value().ToString(), mit->second);
+  }
+  EXPECT_EQ(mit, model.end());
+  EXPECT_TRUE(iter->status().ok());
+}
+
+TEST(DbIterator, SeekMidRange) {
+  auto env = NewMemEnv();
+  DbOptions opts;
+  opts.env = env.get();
+  opts.path = "/it2";
+  opts.write_buffer_size = 2 << 10;
+  opts.policy = GrowthPolicyConfig::HRLevel(3);
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(opts, &db).ok());
+  for (int i = 0; i < 300; i += 3) {  // Keys 0, 3, 6, ...
+    ASSERT_TRUE(db->Put(workload::FormatKey(i, 12), std::to_string(i)).ok());
+  }
+  auto iter = db->NewIterator();
+  iter->Seek(workload::FormatKey(100, 12));  // Not present: lands on 102.
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key().ToString(), workload::FormatKey(102, 12));
+  iter->Seek(workload::FormatKey(297, 12));
+  ASSERT_TRUE(iter->Valid());
+  iter->Next();
+  EXPECT_FALSE(iter->Valid());  // Past the end.
+}
+
+TEST(DbIterator, EmptyDb) {
+  auto env = NewMemEnv();
+  DbOptions opts;
+  opts.env = env.get();
+  opts.path = "/it3";
+  opts.policy = GrowthPolicyConfig::VTLevelPart(3);
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(opts, &db).ok());
+  auto iter = db->NewIterator();
+  iter->SeekToFirst();
+  EXPECT_FALSE(iter->Valid());
+  iter->Seek("anything");
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST(DbIterator, AllDeletedYieldsEmpty) {
+  auto env = NewMemEnv();
+  DbOptions opts;
+  opts.env = env.get();
+  opts.path = "/it4";
+  opts.write_buffer_size = 2 << 10;
+  opts.policy = GrowthPolicyConfig::VTLevelPart(3);
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(opts, &db).ok());
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(db->Put(workload::FormatKey(i, 12), "x").ok());
+  }
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(db->Delete(workload::FormatKey(i, 12)).ok());
+  }
+  auto iter = db->NewIterator();
+  iter->SeekToFirst();
+  EXPECT_FALSE(iter->Valid());
+}
+
+}  // namespace
+}  // namespace talus

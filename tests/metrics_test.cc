@@ -1,0 +1,89 @@
+#include "metrics/throughput.h"
+
+#include <gtest/gtest.h>
+
+#include "util/histogram.h"
+
+namespace talus {
+namespace {
+
+TEST(ThroughputMeter, AverageOverWholeRun) {
+  metrics::ThroughputMeter meter(10);
+  for (int i = 0; i <= 100; i++) {
+    meter.RecordOp(i * 2.0);  // One op every 2 clock units.
+  }
+  EXPECT_NEAR(meter.AverageThroughput(), 0.5, 1e-9);
+}
+
+TEST(ThroughputMeter, WorstCaseCatchesStall) {
+  metrics::ThroughputMeter meter(10);
+  double clock = 0;
+  for (int i = 0; i < 50; i++) {
+    clock += 1.0;
+    meter.RecordOp(clock);
+  }
+  clock += 500.0;  // A long compaction stall.
+  meter.RecordOp(clock);
+  for (int i = 0; i < 50; i++) {
+    clock += 1.0;
+    meter.RecordOp(clock);
+  }
+  // Average barely notices; worst-case window does.
+  EXPECT_GT(meter.AverageThroughput(), 0.15);
+  EXPECT_LT(meter.WorstCaseThroughput(), 0.02);
+  EXPECT_GT(meter.WorstCaseThroughput(), 0.0);
+}
+
+TEST(ThroughputMeter, UniformLoadWorstEqualsAverage) {
+  metrics::ThroughputMeter meter(100);
+  for (int i = 0; i <= 10000; i++) {
+    meter.RecordOp(static_cast<double>(i));
+  }
+  EXPECT_NEAR(meter.WorstCaseThroughput(), meter.AverageThroughput(), 1e-6);
+}
+
+TEST(ThroughputMeter, FewOpsDegenerate) {
+  metrics::ThroughputMeter meter(1000);
+  EXPECT_EQ(meter.AverageThroughput(), 0.0);
+  EXPECT_EQ(meter.WorstCaseThroughput(), 0.0);
+  meter.RecordOp(1.0);
+  EXPECT_EQ(meter.WorstCaseThroughput(), 0.0);
+  meter.RecordOp(2.0);
+  EXPECT_GT(meter.AverageThroughput(), 0.0);
+}
+
+TEST(Histogram, BasicStatistics) {
+  Histogram h;
+  for (int i = 1; i <= 100; i++) {
+    h.Add(i);
+  }
+  EXPECT_EQ(h.Count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 100.0);
+  EXPECT_NEAR(h.Average(), 50.5, 1e-9);
+  EXPECT_NEAR(h.Median(), 50, 10);
+  EXPECT_GT(h.Percentile(99), h.Percentile(50));
+  EXPECT_GT(h.StandardDeviation(), 0);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  for (int i = 0; i < 50; i++) a.Add(10);
+  for (int i = 0; i < 50; i++) b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 100u);
+  EXPECT_DOUBLE_EQ(a.Min(), 10.0);
+  EXPECT_DOUBLE_EQ(a.Max(), 1000.0);
+  EXPECT_NEAR(a.Average(), 505.0, 1e-9);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.Add(42);
+  h.Clear();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Average(), 0.0);
+}
+
+}  // namespace
+}  // namespace talus

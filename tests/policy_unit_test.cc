@@ -1,0 +1,287 @@
+// White-box unit tests for policy internals, on hand-built Version shapes
+// (no engine in the loop): universal's rule precedence, vertical capacity
+// math (incl. RocksDB-Tuned dynamic level bytes), cascade request assembly,
+// counter encode/decode round-trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "policy/horizontal_policy.h"
+#include "policy/policy_config.h"
+#include "policy/universal_policy.h"
+#include "policy/vertical_policy.h"
+#include "policy/vertiorizon_policy.h"
+#include "workload/generator.h"
+
+namespace talus {
+namespace {
+
+FileMetaPtr File(uint64_t number, uint64_t size, const std::string& lo = "a",
+                 const std::string& hi = "z") {
+  auto f = std::make_shared<FileMeta>();
+  f->number = number;
+  f->file_size = size;
+  f->num_entries = size / 100;
+  f->payload_bytes = size * 9 / 10;
+  f->smallest = InternalKey(lo, 2, kTypeValue);
+  f->largest = InternalKey(hi, 1, kTypeValue);
+  return f;
+}
+
+SortedRun MakeRun(uint64_t id, uint64_t bytes) {
+  SortedRun run;
+  run.run_id = id;
+  run.files = {File(id * 100, bytes)};
+  return run;
+}
+
+PolicyContext Ctx(uint64_t buffer = 4096) {
+  PolicyContext ctx;
+  ctx.buffer_bytes = buffer;
+  return ctx;
+}
+
+// ---------------------------------------------------------------------------
+// UniversalPolicy rule precedence.
+// ---------------------------------------------------------------------------
+
+TEST(UniversalRules, BelowTriggerDoesNothing) {
+  UniversalPolicy policy(GrowthPolicyConfig::Universal(), Ctx());
+  Version v;
+  v.EnsureLevels(1);
+  v.levels[0].runs = {MakeRun(1, 100), MakeRun(2, 100), MakeRun(3, 100)};
+  EXPECT_FALSE(policy.PickCompaction(v).has_value());
+}
+
+TEST(UniversalRules, SpaceAmpCompactsEverything) {
+  UniversalPolicy policy(GrowthPolicyConfig::Universal(), Ctx());
+  Version v;
+  v.EnsureLevels(1);
+  // Young runs total 900 > 2 × oldest (100): full merge.
+  v.levels[0].runs = {MakeRun(1, 300), MakeRun(2, 300), MakeRun(3, 300), MakeRun(4, 100)};
+  auto req = policy.PickCompaction(v);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->inputs.size(), 4u);
+  EXPECT_EQ(req->reason, "universal-space-amp");
+  EXPECT_EQ(req->placement, CompactionRequest::Placement::kReplaceInputs);
+}
+
+TEST(UniversalRules, SizeRatioMergesSimilarRuns) {
+  UniversalPolicy policy(GrowthPolicyConfig::Universal(), Ctx());
+  Version v;
+  v.EnsureLevels(1);
+  // Oldest run dominates → no space-amp; the three young equal runs merge.
+  v.levels[0].runs = {MakeRun(1, 100), MakeRun(2, 100), MakeRun(3, 100), MakeRun(4, 10000)};
+  auto req = policy.PickCompaction(v);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->reason, "universal-size-ratio");
+  EXPECT_EQ(req->inputs.size(), 3u);
+  EXPECT_EQ(req->inputs[0].run_id, 1u);
+  EXPECT_EQ(req->inputs[2].run_id, 3u);
+}
+
+TEST(UniversalRules, SizeRatioScansStartPositions) {
+  UniversalPolicy policy(GrowthPolicyConfig::Universal(), Ctx());
+  Version v;
+  v.EnsureLevels(1);
+  // The window cannot start at run 1 (run 2 is larger); runs 2 and 3 form
+  // the first valid ratio window.
+  v.levels[0].runs = {MakeRun(1, 100), MakeRun(2, 300), MakeRun(3, 200), MakeRun(4, 50000)};
+  auto req = policy.PickCompaction(v);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->reason, "universal-size-ratio");
+  ASSERT_EQ(req->inputs.size(), 2u);
+  EXPECT_EQ(req->inputs[0].run_id, 2u);
+  EXPECT_EQ(req->inputs[1].run_id, 3u);
+}
+
+TEST(UniversalRules, RunCountFallsBackToCheapestPair) {
+  UniversalPolicy policy(GrowthPolicyConfig::Universal(), Ctx());
+  Version v;
+  v.EnsureLevels(1);
+  // Strictly decreasing sizes: no size-ratio window anywhere; the cheapest
+  // adjacent pair is the two newest runs (100+400).
+  v.levels[0].runs = {MakeRun(1, 100), MakeRun(2, 400), MakeRun(3, 1600), MakeRun(4, 6400)};
+  auto req = policy.PickCompaction(v);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->reason, "universal-run-count");
+  ASSERT_EQ(req->inputs.size(), 2u);
+  EXPECT_EQ(req->inputs[0].run_id, 1u);
+  EXPECT_EQ(req->inputs[1].run_id, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// VerticalPolicy capacity math.
+// ---------------------------------------------------------------------------
+
+TEST(VerticalCapacity, ExponentialDefault) {
+  VerticalPolicy policy(GrowthPolicyConfig::VTLevelPart(4), Ctx(1000));
+  Version v;
+  v.EnsureLevels(4);
+  EXPECT_EQ(policy.LevelCapacity(v, 0), 4000u);
+  EXPECT_EQ(policy.LevelCapacity(v, 1), 16000u);
+  EXPECT_EQ(policy.LevelCapacity(v, 2), 64000u);
+}
+
+TEST(VerticalCapacity, DynamicLevelBytesAnchorsToLastLevel) {
+  auto config = GrowthPolicyConfig::RocksDBTuned();  // T = 10, dynamic.
+  VerticalPolicy policy(config, Ctx(1000));
+  Version v;
+  v.EnsureLevels(4);
+  v.levels[3].runs = {MakeRun(1, 1000000)};  // Bottom holds 1MB.
+  // Upper capacities descend by T from the actual bottom size.
+  EXPECT_EQ(policy.LevelCapacity(v, 2), 100000u);
+  EXPECT_EQ(policy.LevelCapacity(v, 1), 10000u);
+  // Floored at B·T.
+  EXPECT_EQ(policy.LevelCapacity(v, 0), 10000u);
+}
+
+TEST(VerticalPick, OldestSmallestSeqFirstHonored) {
+  auto config = GrowthPolicyConfig::RocksDBTuned();
+  VerticalPolicy policy(config, Ctx(100));
+  Version v;
+  v.EnsureLevels(2);
+  SortedRun run;
+  run.run_id = 9;
+  auto f1 = File(1, 5000, "a", "f");
+  auto f2 = File(2, 5000, "g", "p");
+  auto f3 = File(3, 5000, "q", "z");
+  f1->oldest_seq = 30;
+  f2->oldest_seq = 10;  // Oldest data: must be picked first.
+  f3->oldest_seq = 20;
+  run.files = {f1, f2, f3};
+  v.levels[0].runs = {run};
+
+  auto req = policy.PickCompaction(v);
+  ASSERT_TRUE(req.has_value());
+  ASSERT_EQ(req->inputs[0].file_numbers.size(), 1u);
+  EXPECT_EQ(req->inputs[0].file_numbers[0], 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Cascade request assembly.
+// ---------------------------------------------------------------------------
+
+TEST(CascadeRequest, CollectsAllRunsInRange) {
+  Version v;
+  v.EnsureLevels(4);
+  v.levels[0].runs = {MakeRun(1, 100), MakeRun(2, 100)};
+  v.levels[1].runs = {MakeRun(3, 400)};
+  v.levels[2].runs = {MakeRun(4, 1600)};
+
+  auto req = MakeCascadeRequest(v, 0, 1, /*merge_into_existing=*/true, "t");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->inputs.size(), 3u);  // Levels 0..1: runs 1, 2, 3.
+  EXPECT_EQ(req->output_level, 2);
+  ASSERT_TRUE(req->output_run_id.has_value());
+  EXPECT_EQ(*req->output_run_id, 4u);
+}
+
+TEST(CascadeRequest, NewRunWhenTieringOrEmptyTarget) {
+  Version v;
+  v.EnsureLevels(3);
+  v.levels[0].runs = {MakeRun(1, 100)};
+  v.levels[1].runs = {MakeRun(2, 400)};
+
+  auto tier = MakeCascadeRequest(v, 0, 0, /*merge_into_existing=*/false, "t");
+  ASSERT_TRUE(tier.has_value());
+  EXPECT_FALSE(tier->output_run_id.has_value());
+
+  auto empty_target =
+      MakeCascadeRequest(v, 0, 1, /*merge_into_existing=*/true, "t");
+  ASSERT_TRUE(empty_target.has_value());
+  EXPECT_EQ(empty_target->output_level, 2);
+  EXPECT_FALSE(empty_target->output_run_id.has_value());  // L2 is empty.
+}
+
+TEST(CascadeRequest, EmptyLevelsYieldNothing) {
+  Version v;
+  v.EnsureLevels(3);
+  EXPECT_FALSE(
+      MakeCascadeRequest(v, 0, 1, true, "t").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Counter machinery and state round-trips.
+// ---------------------------------------------------------------------------
+
+TEST(HorizontalCountersUnit, LevelingTriggerPrefix) {
+  HorizontalCounters counters(3, /*tiering=*/false, 0, 0);
+  // Flush 1: [1,0,0] → L0 fires → [0,1,0] → L1 fires (1>0) → [0,0,1]:
+  // Algorithm 1 cascades all the way on the very first flush.
+  EXPECT_EQ(counters.OnFlush(), 1);
+  EXPECT_EQ(counters.counters()[2], 1u);
+  // Flush 2: [1,0,1] → L0 fires → [0,1,1]; L1: 1 > 1 fails → end = 0.
+  EXPECT_EQ(counters.OnFlush(), 0);
+  // Flush 3: [1,1,1] → no trigger.
+  EXPECT_EQ(counters.OnFlush(), -1);
+  // Flush 4: [2,1,1] → cascade through levels 0 and 1 → [0,0,2].
+  EXPECT_EQ(counters.OnFlush(), 1);
+  EXPECT_EQ(counters.counters()[2], 2u);
+}
+
+TEST(HorizontalCountersUnit, TieringCountdown) {
+  HorizontalCounters counters(2, /*tiering=*/true, 3, 0);
+  EXPECT_EQ(counters.OnFlush(), -1);  // C1: 3→2.
+  EXPECT_EQ(counters.OnFlush(), -1);  // 2→1.
+  EXPECT_EQ(counters.OnFlush(), 0);   // 1→0: compact; C2 3→2, C1 ← 2.
+  EXPECT_EQ(counters.counters()[0], 2u);
+  EXPECT_EQ(counters.counters()[1], 2u);
+  EXPECT_FALSE(counters.Drained());
+}
+
+TEST(HorizontalCountersUnit, EncodeDecodeRoundTrip) {
+  HorizontalCounters counters(4, true, 7, 2);
+  counters.OnFlush();
+  counters.OnFlush();
+  std::string encoded;
+  counters.EncodeTo(&encoded);
+
+  HorizontalCounters decoded(1, false, 0, 0);
+  Slice input(encoded);
+  ASSERT_TRUE(decoded.DecodeFrom(&input));
+  EXPECT_TRUE(input.empty());
+  EXPECT_EQ(decoded.levels(), 4);
+  EXPECT_EQ(decoded.counters(), counters.counters());
+}
+
+TEST(PolicyLabels, PresetsNameThemselves) {
+  EXPECT_EQ(GrowthPolicyConfig::VTLevelPart(6).Label(), "VT-Level-Part");
+  EXPECT_EQ(GrowthPolicyConfig::VTTierFull(6).Label(), "VT-Tier-Full");
+  EXPECT_EQ(GrowthPolicyConfig::RocksDBTuned().Label(), "RocksDB-Tuned");
+  EXPECT_EQ(GrowthPolicyConfig::Universal().Label(), "Universal");
+  EXPECT_EQ(GrowthPolicyConfig::HRLevel(3).Label(), "HR-Level");
+  EXPECT_EQ(GrowthPolicyConfig::HRTier(3).Label(), "HR-Tier");
+  EXPECT_EQ(GrowthPolicyConfig::VRNLevel(6).Label(), "VRN-Level");
+  EXPECT_EQ(GrowthPolicyConfig::VRNTier(6).Label(), "VRN-Tier");
+  EXPECT_EQ(GrowthPolicyConfig::Vertiorizon(6).Label(), "Vertiorizon");
+  EXPECT_EQ(GrowthPolicyConfig::LazyLeveling(6, 4, false).Label(),
+            "Lazy-Level");
+  EXPECT_EQ(GrowthPolicyConfig::LazyLeveling(6, 4, true).Label(),
+            "Lazy-Level+VRN");
+}
+
+TEST(VertiorizonUnit, CapacityMathUsesEq2Ratio) {
+  auto config = GrowthPolicyConfig::VRNTier(8.0);
+  config.vrn_initial_capacity_buffers = 10;
+  VertiorizonPolicy policy(config, Ctx(1000));
+  // T' = 8/√2 ≈ 5.657. V1 cap = 10·1000·T'; V2 = 10·1000·64.
+  EXPECT_EQ(policy.capacity_buffers(), 10u);
+  EXPECT_EQ(policy.v1_level(), VertiorizonPolicy::kMaxHorizontalLevels);
+  EXPECT_EQ(policy.v2_level(), VertiorizonPolicy::kMaxHorizontalLevels + 1);
+}
+
+TEST(VertiorizonUnit, StateRoundTripThroughEncodeDecode) {
+  auto config = GrowthPolicyConfig::Vertiorizon(6.0);
+  VertiorizonPolicy a(config, Ctx(4096));
+  const std::string state = a.EncodeState();
+  VertiorizonPolicy b(config, Ctx(4096));
+  ASSERT_TRUE(b.DecodeState(state));
+  EXPECT_EQ(b.horizontal_levels(), a.horizontal_levels());
+  EXPECT_EQ(b.horizontal_merge(), a.horizontal_merge());
+  EXPECT_EQ(b.capacity_buffers(), a.capacity_buffers());
+  EXPECT_EQ(b.EncodeState(), state);
+}
+
+}  // namespace
+}  // namespace talus

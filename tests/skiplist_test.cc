@@ -1,0 +1,106 @@
+#include "mem/skiplist.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/arena.h"
+#include "util/random.h"
+
+namespace talus {
+namespace {
+
+struct IntComparator {
+  int operator()(const uint64_t& a, const uint64_t& b) const {
+    if (a < b) return -1;
+    if (a > b) return +1;
+    return 0;
+  }
+};
+
+using IntSkipList = SkipList<uint64_t, IntComparator>;
+
+TEST(SkipList, EmptyList) {
+  Arena arena;
+  IntSkipList list(IntComparator(), &arena);
+  EXPECT_FALSE(list.Contains(10));
+  IntSkipList::Iterator iter(&list);
+  EXPECT_FALSE(iter.Valid());
+  iter.SeekToFirst();
+  EXPECT_FALSE(iter.Valid());
+  iter.SeekToLast();
+  EXPECT_FALSE(iter.Valid());
+  iter.Seek(100);
+  EXPECT_FALSE(iter.Valid());
+}
+
+TEST(SkipList, InsertAndLookup) {
+  Arena arena;
+  IntSkipList list(IntComparator(), &arena);
+  Random rnd(2000);
+  std::set<uint64_t> keys;
+  for (int i = 0; i < 2000; i++) {
+    const uint64_t key = rnd.Uniform(5000);
+    if (keys.insert(key).second) {
+      list.Insert(key);
+    }
+  }
+
+  for (uint64_t i = 0; i < 5000; i++) {
+    EXPECT_EQ(list.Contains(i), keys.count(i) > 0) << i;
+  }
+
+  // Forward iteration matches the ordered set.
+  IntSkipList::Iterator iter(&list);
+  iter.SeekToFirst();
+  for (uint64_t key : keys) {
+    ASSERT_TRUE(iter.Valid());
+    EXPECT_EQ(iter.key(), key);
+    iter.Next();
+  }
+  EXPECT_FALSE(iter.Valid());
+
+  // Backward iteration.
+  iter.SeekToLast();
+  for (auto it = keys.rbegin(); it != keys.rend(); ++it) {
+    ASSERT_TRUE(iter.Valid());
+    EXPECT_EQ(iter.key(), *it);
+    iter.Prev();
+  }
+  EXPECT_FALSE(iter.Valid());
+}
+
+TEST(SkipList, SeekSemantics) {
+  Arena arena;
+  IntSkipList list(IntComparator(), &arena);
+  for (uint64_t k : {10, 20, 30, 40, 50}) list.Insert(k);
+
+  IntSkipList::Iterator iter(&list);
+  iter.Seek(25);
+  ASSERT_TRUE(iter.Valid());
+  EXPECT_EQ(iter.key(), 30u);
+  iter.Seek(30);
+  ASSERT_TRUE(iter.Valid());
+  EXPECT_EQ(iter.key(), 30u);
+  iter.Seek(51);
+  EXPECT_FALSE(iter.Valid());
+  iter.Seek(5);
+  ASSERT_TRUE(iter.Valid());
+  EXPECT_EQ(iter.key(), 10u);
+}
+
+TEST(SkipList, LargeSequentialInsert) {
+  Arena arena;
+  IntSkipList list(IntComparator(), &arena);
+  for (uint64_t i = 0; i < 50000; i++) {
+    list.Insert(i * 2);
+  }
+  EXPECT_TRUE(list.Contains(0));
+  EXPECT_TRUE(list.Contains(99998));
+  EXPECT_FALSE(list.Contains(99999));
+  EXPECT_FALSE(list.Contains(12345));
+  EXPECT_TRUE(list.Contains(12346));
+}
+
+}  // namespace
+}  // namespace talus

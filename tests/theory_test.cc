@@ -1,0 +1,338 @@
+// Property tests for the paper's theory: Lemma 4.1, Theorem 4.2 /
+// Lemma 9.4, Lemma 5.1's simulation counterpart, and Lemma 5.2.
+#include <gtest/gtest.h>
+
+#include "theory/binomial.h"
+#include "theory/optimal_dp.h"
+#include "theory/schemes.h"
+
+namespace talus {
+namespace theory {
+namespace {
+
+TEST(Binomial, SmallValues) {
+  EXPECT_EQ(Binomial(0, 0), 1u);
+  EXPECT_EQ(Binomial(5, 0), 1u);
+  EXPECT_EQ(Binomial(5, 1), 5u);
+  EXPECT_EQ(Binomial(5, 2), 10u);
+  EXPECT_EQ(Binomial(5, 5), 1u);
+  EXPECT_EQ(Binomial(4, 5), 0u);
+  EXPECT_EQ(Binomial(10, 3), 120u);
+  EXPECT_EQ(Binomial(52, 5), 2598960u);
+}
+
+TEST(Binomial, PascalIdentity) {
+  for (uint64_t n = 1; n < 40; n++) {
+    for (uint64_t k = 1; k <= n; k++) {
+      EXPECT_EQ(Binomial(n, k), Binomial(n - 1, k - 1) + Binomial(n - 1, k));
+    }
+  }
+}
+
+TEST(Binomial, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(Binomial(1000, 500), kBinomialInf);
+  EXPECT_EQ(Binomial(68, 34), kBinomialInf);  // ~2.8e19 > 2^64.
+  EXPECT_LT(Binomial(64, 32), kBinomialInf);  // ~1.8e18 < 2^64.
+}
+
+TEST(Binomial, FindMBrackets) {
+  for (uint64_t l = 1; l <= 6; l++) {
+    for (uint64_t n = 1; n <= 2000; n += 7) {
+      const uint64_t m = FindM(n, l);
+      EXPECT_LE(Binomial(m, l), n) << "n=" << n << " l=" << l;
+      EXPECT_GT(Binomial(m + 1, l), n) << "n=" << n << " l=" << l;
+    }
+  }
+}
+
+TEST(Binomial, FindKIsSmallest) {
+  for (uint64_t l = 1; l <= 6; l++) {
+    for (uint64_t n = 2; n <= 2000; n += 13) {
+      const uint64_t k = FindK(n, l);
+      EXPECT_GE(Binomial(k + l - 1, l), n);
+      if (k > 1) {
+        EXPECT_LT(Binomial(k - 1 + l - 1, l), n);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 4.1: with counters initialized to k, Algorithm 2 drains all
+// counters to zero after exactly C(k+ℓ-1, ℓ) buffer flushes.
+// ---------------------------------------------------------------------------
+
+struct KL {
+  uint64_t k;
+  int l;
+};
+
+class Lemma41Test : public ::testing::TestWithParam<KL> {};
+
+TEST_P(Lemma41Test, CountersDrainAtBinomial) {
+  const auto [k, l] = GetParam();
+  const uint64_t expected = Binomial(k + l - 1, l);
+  auto result = SimulateHorizontalTiering(expected + 5, l, k);
+  EXPECT_EQ(result.drained_at, expected) << "k=" << k << " l=" << l;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Lemma41Test,
+    ::testing::Values(KL{1, 1}, KL{5, 1}, KL{1, 2}, KL{3, 2}, KL{7, 2},
+                      KL{2, 3}, KL{4, 3}, KL{6, 3}, KL{3, 4}, KL{5, 4},
+                      KL{2, 5}, KL{4, 5}, KL{8, 2}, KL{10, 3}, KL{12, 2},
+                      KL{2, 6}, KL{3, 6}));
+
+// ---------------------------------------------------------------------------
+// Lemma 9.4: the DP optimum τ(n, ℓ) equals the closed form for all n.
+// ---------------------------------------------------------------------------
+
+class ClosedFormTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClosedFormTest, DpMatchesClosedForm) {
+  const int l = GetParam();
+  OptimalReadCostDp dp;
+  for (uint64_t n = 1; n <= 300; n++) {
+    EXPECT_EQ(dp.Cost(n, l), TieringReadCostClosedForm(n, l))
+        << "n=" << n << " l=" << l;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, ClosedFormTest, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Theorem 4.2: Algorithm 2's schedule achieves the DP optimum at the
+// binomial boundaries N = C(k+ℓ-1, ℓ)·B, and never beats it elsewhere.
+// ---------------------------------------------------------------------------
+
+class Theorem42Test : public ::testing::TestWithParam<KL> {};
+
+TEST_P(Theorem42Test, Algorithm2IsOptimalAtBoundary) {
+  const auto [k, l] = GetParam();
+  const uint64_t n = Binomial(k + l - 1, l);
+  ASSERT_LT(n, 2000u) << "test parameter too large";
+  auto sim = SimulateHorizontalTiering(n, l, k);
+  OptimalReadCostDp dp;
+  EXPECT_EQ(sim.read_cost, dp.Cost(n, l)) << "k=" << k << " l=" << l;
+  EXPECT_EQ(sim.read_cost, TieringReadCostClosedForm(n, l));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem42Test,
+    ::testing::Values(KL{1, 2}, KL{2, 2}, KL{3, 2}, KL{5, 2}, KL{10, 2},
+                      KL{20, 2}, KL{2, 3}, KL{3, 3}, KL{5, 3}, KL{8, 3},
+                      KL{2, 4}, KL{3, 4}, KL{5, 4}, KL{2, 5}, KL{3, 5},
+                      KL{1, 6}, KL{2, 6}));
+
+TEST(Theorem42, Algorithm2NeverBeatsTheDp) {
+  OptimalReadCostDp dp;
+  for (int l = 2; l <= 4; l++) {
+    for (uint64_t n = 2; n <= 120; n++) {
+      const uint64_t k = FindK(n, l);
+      auto sim = SimulateHorizontalTiering(n, l, k);
+      EXPECT_GE(sim.read_cost, dp.Cost(n, l)) << "n=" << n << " l=" << l;
+    }
+  }
+}
+
+// The strongest form of Theorem 4.2: Algorithm 2's compaction schedule is
+// not merely cost-equal to the optimum — it is the SAME sequence of
+// (flush index, target level) events the DP extracts, except for one
+// zero-cost full cascade at the very last flush (the counters drain at
+// flush n, scheduling a compaction that no lookup ever observes).
+TEST(Theorem42, Algorithm2SequenceIsTheDpSequence) {
+  for (int l = 2; l <= 4; l++) {
+    for (uint64_t k = 1; k <= 5; k++) {
+      const uint64_t n = Binomial(k + l - 1, l);
+      if (n < 2 || n > 300) continue;
+      auto sim = SimulateHorizontalTiering(n, l, k);
+      OptimalReadCostDp dp;
+      auto seq = dp.Sequence(n, l);
+      ASSERT_EQ(sim.events.size(), seq.size() + 1)
+          << "l=" << l << " k=" << k;
+      for (size_t i = 0; i < seq.size(); i++) {
+        EXPECT_EQ(sim.events[i].flush_index, seq[i].flush_index)
+            << "l=" << l << " k=" << k << " event " << i;
+        EXPECT_EQ(sim.events[i].to_level, seq[i].to_level)
+            << "l=" << l << " k=" << k << " event " << i;
+      }
+      // The extra event is the zero-cost drain cascade at flush n.
+      EXPECT_EQ(sim.events.back().flush_index, n);
+      EXPECT_EQ(sim.events.back().to_level, l);
+    }
+  }
+}
+
+TEST(Theorem42, DpSequenceCostConsistent) {
+  // The extracted optimal sequence must contain C(m, l)-ish compactions and
+  // reproduce the optimal cost when replayed.
+  OptimalReadCostDp dp;
+  const uint64_t n = 56;  // C(8,3) boundary for l=3 with k=6.
+  const int l = 3;
+  auto seq = dp.Sequence(n, l);
+  // Replay: maintain per-level run birth times.
+  std::vector<std::vector<uint64_t>> runs(l);
+  uint64_t cost = 0;
+  size_t next_event = 0;
+  for (uint64_t t = 1; t <= n; t++) {
+    runs[0].push_back(t);
+    while (next_event < seq.size() && seq[next_event].flush_index == t) {
+      const int target = seq[next_event].to_level;  // 1-based.
+      for (int lvl = 0; lvl + 1 < target; lvl++) {
+        for (uint64_t birth : runs[lvl]) cost += t - birth;
+        runs[lvl].clear();
+      }
+      runs[target - 1].push_back(t);
+      next_event++;
+    }
+  }
+  for (int lvl = 0; lvl < l; lvl++) {
+    for (uint64_t birth : runs[lvl]) cost += n - birth;
+  }
+  EXPECT_EQ(cost, dp.Cost(n, l));
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 5.2. The closed form is the OPTIMAL total write cost of Problem 2
+// under the paper's §9.4 accounting: a flush costs D1-after-flush; a
+// compaction (I, 1, l2) costs Σ_{j≤l2} D_j. We certify it three ways:
+//   1. brute force over all compaction schedules == closed form (small n);
+//   2. the engine's footnote-6 merged-cascade simulator never exceeds the
+//      closed form (merging "slightly reduces write amplification");
+//   3. the two agree exactly at binomial boundaries n = C(m, ℓ).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Exhaustive minimum write cost over all schedules. After each flush we may
+// run one compaction from level 1 to any level l2 (multi-level ops subsume
+// chains). Unmerged accounting per the paper's Problem 2.
+uint64_t BruteForceWriteCost(std::vector<uint64_t> sizes, uint64_t flushes_left,
+                             int levels) {
+  if (flushes_left == 0) return 0;
+  // Flush: merge buffer into level 1.
+  sizes[0] += 1;
+  const uint64_t flush_cost = sizes[0];
+  // Option: no compaction.
+  uint64_t best = BruteForceWriteCost(sizes, flushes_left - 1, levels);
+  // Option: compact levels [1..l2-1] into l2.
+  for (int l2 = 2; l2 <= levels; l2++) {
+    std::vector<uint64_t> next = sizes;
+    uint64_t moved = 0;
+    for (int j = 0; j < l2 - 1; j++) {
+      moved += next[j];
+      next[j] = 0;
+    }
+    if (moved == 0) continue;
+    const uint64_t cost = moved + next[l2 - 1];
+    next[l2 - 1] += moved;
+    best = std::min(best,
+                    cost + BruteForceWriteCost(next, flushes_left - 1, levels));
+  }
+  return flush_cost + best;
+}
+
+uint64_t BruteForceWriteCost(uint64_t n, int levels) {
+  return BruteForceWriteCost(std::vector<uint64_t>(levels, 0), n, levels);
+}
+
+}  // namespace
+
+TEST(Lemma52, ClosedFormIsTheOptimum) {
+  for (int l = 1; l <= 3; l++) {
+    const uint64_t max_n = l == 3 ? 9 : 12;
+    for (uint64_t n = 1; n <= max_n; n++) {
+      EXPECT_EQ(BruteForceWriteCost(n, l), LevelingWriteCostClosedForm(n, l))
+          << "n=" << n << " l=" << l;
+    }
+  }
+}
+
+class Lemma52Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma52Test, MergedSimulatorNeverExceedsClosedForm) {
+  const int l = GetParam();
+  for (uint64_t n = 1; n <= 500; n++) {
+    auto sim = SimulateHorizontalLeveling(n, l);
+    EXPECT_LE(sim.write_cost, LevelingWriteCostClosedForm(n, l))
+        << "n=" << n << " l=" << l;
+  }
+}
+
+TEST_P(Lemma52Test, ExactAtBinomialBoundaries) {
+  const int l = GetParam();
+  for (uint64_t m = l; m <= static_cast<uint64_t>(l) + 8; m++) {
+    const uint64_t n = Binomial(m, l);
+    if (n < 1 || n > 3000) continue;
+    auto sim = SimulateHorizontalLeveling(n, l);
+    EXPECT_EQ(sim.write_cost, LevelingWriteCostClosedForm(n, l))
+        << "n=" << n << " l=" << l;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, Lemma52Test,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Lemma52, HandWorkedExample) {
+  // Worked by hand in the design notes: ℓ=2, n∈{3,6} are boundaries.
+  EXPECT_EQ(SimulateHorizontalLeveling(3, 2).write_cost, 5u);
+  EXPECT_EQ(SimulateHorizontalLeveling(6, 2).write_cost, 14u);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5's running example: ℓ=2, k=3.
+// ---------------------------------------------------------------------------
+
+TEST(Figure5, RunningExample) {
+  auto sim = SimulateHorizontalTiering(6, 2, 3);
+  // Compactions after flushes 3, 5 and 6 (Figure 5).
+  ASSERT_EQ(sim.events.size(), 3u);
+  EXPECT_EQ(sim.events[0].flush_index, 3u);
+  EXPECT_EQ(sim.events[1].flush_index, 5u);
+  EXPECT_EQ(sim.events[2].flush_index, 6u);
+  EXPECT_EQ(sim.drained_at, 6u);  // C(4,2) = 6 (Lemma 4.1).
+  EXPECT_EQ(sim.read_cost, TieringReadCostClosedForm(6, 2));
+}
+
+// ---------------------------------------------------------------------------
+// §5.3 Eq. 6: δ(α).
+// ---------------------------------------------------------------------------
+
+TEST(SkewDelta, Thresholds) {
+  EXPECT_EQ(SkewDelta(0.0), 0u);
+  EXPECT_EQ(SkewDelta(0.3), 0u);   // 0.3/0.7 ≈ 0.43 < 1.
+  EXPECT_EQ(SkewDelta(0.5), 1u);   // budget 1: δ(δ+1)/2 = 1 ≤ 1.
+  EXPECT_EQ(SkewDelta(0.75), 2u);  // budget 3: 2·3/2 = 3 ≤ 3 < 3·4/2.
+  EXPECT_EQ(SkewDelta(0.9), 3u);   // budget 9: 3·4/2 = 6 ≤ 9 < 4·5/2.
+}
+
+TEST(SkewDelta, Monotone) {
+  uint64_t prev = 0;
+  for (double alpha = 0.0; alpha < 0.99; alpha += 0.01) {
+    const uint64_t d = SkewDelta(alpha);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(SkewDelta, DefinitionHolds) {
+  for (double alpha = 0.01; alpha < 0.99; alpha += 0.007) {
+    const uint64_t d = SkewDelta(alpha);
+    const double budget = alpha / (1 - alpha);
+    EXPECT_LE(static_cast<double>(d * (d + 1)) / 2.0, budget);
+    const uint64_t d1 = d + 1;
+    EXPECT_GT(static_cast<double>(d1 * (d1 + 1)) / 2.0, budget);
+  }
+}
+
+// Skewed workloads should compact less often: larger δ defers first-level
+// compactions, reducing write cost when duplicates slow level growth.
+TEST(SkewDelta, LargerDeltaFewerCompactions) {
+  auto base = SimulateHorizontalLeveling(500, 3, 0);
+  auto relaxed = SimulateHorizontalLeveling(500, 3, 2);
+  EXPECT_LT(relaxed.events.size(), base.events.size());
+}
+
+}  // namespace
+}  // namespace theory
+}  // namespace talus

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/arena.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace talus {
+namespace {
+
+TEST(Status, OkIsCheapAndCopyable) {
+  Status s = Status::OK();
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+  Status copy = s;
+  EXPECT_TRUE(copy.ok());
+}
+
+TEST(Status, ErrorsCarryCodeAndMessage) {
+  Status s = Status::NotFound("missing", "key42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: missing: key42");
+
+  Status io = Status::IOError("disk gone");
+  EXPECT_TRUE(io.IsIOError());
+  EXPECT_FALSE(io.IsNotFound());
+
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::Busy("x").IsBusy());
+}
+
+TEST(Status, CopyAndMovePreserveState) {
+  Status s = Status::Corruption("bad block", "file 7");
+  Status copy = s;
+  EXPECT_TRUE(copy.IsCorruption());
+  EXPECT_EQ(copy.ToString(), s.ToString());
+  Status moved = std::move(copy);
+  EXPECT_TRUE(moved.IsCorruption());
+}
+
+TEST(Arena, SmallAllocationsPacked) {
+  Arena arena;
+  std::vector<char*> ptrs;
+  for (int i = 1; i <= 100; i++) {
+    char* p = arena.Allocate(i);
+    ASSERT_NE(p, nullptr);
+    memset(p, i, i);  // Must be writable.
+    ptrs.push_back(p);
+  }
+  // Contents intact (no overlap).
+  for (int i = 1; i <= 100; i++) {
+    for (int j = 0; j < i; j++) {
+      EXPECT_EQ(ptrs[i - 1][j], static_cast<char>(i));
+    }
+  }
+  EXPECT_GT(arena.MemoryUsage(), 0u);
+}
+
+TEST(Arena, AlignedAllocations) {
+  Arena arena;
+  for (int i = 0; i < 50; i++) {
+    arena.Allocate(1);  // Misalign the bump pointer.
+    char* p = arena.AllocateAligned(16);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 8, 0u);
+  }
+}
+
+TEST(Arena, LargeAllocationsGetOwnBlocks) {
+  Arena arena;
+  const size_t before = arena.MemoryUsage();
+  char* big = arena.Allocate(100000);
+  memset(big, 7, 100000);
+  EXPECT_GE(arena.MemoryUsage(), before + 100000);
+}
+
+TEST(Random, DeterministicPerSeed) {
+  Random a(42), b(42), c(43);
+  bool diverged = false;
+  for (int i = 0; i < 100; i++) {
+    const uint64_t va = a.Next64();
+    EXPECT_EQ(va, b.Next64());
+    if (va != c.Next64()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Random, UniformInRange) {
+  Random rnd(7);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(rnd.Uniform(17), 17u);
+  }
+}
+
+TEST(Random, UniformCoversRange) {
+  Random rnd(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; i++) {
+    seen.insert(rnd.Uniform(10));
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Random, NextDoubleInUnitInterval) {
+  Random rnd(11);
+  double min = 1, max = 0;
+  for (int i = 0; i < 10000; i++) {
+    const double d = rnd.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    min = std::min(min, d);
+    max = std::max(max, d);
+  }
+  EXPECT_LT(min, 0.05);
+  EXPECT_GT(max, 0.95);
+}
+
+TEST(Random, OneInRoughlyCalibrated) {
+  Random rnd(13);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; i++) {
+    if (rnd.OneIn(10)) hits++;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(trials), 0.1, 0.01);
+}
+
+TEST(Hash32, StableAndSpread) {
+  const uint32_t h1 = Hash32("hello", 5, 1);
+  EXPECT_EQ(h1, Hash32("hello", 5, 1));
+  EXPECT_NE(h1, Hash32("hello", 5, 2));  // Seed matters.
+  EXPECT_NE(h1, Hash32("hellp", 5, 1));  // Content matters.
+  // Empty input is fine.
+  (void)Hash32("", 0, 1);
+}
+
+TEST(FnvHash64, PermutesDistinctInputs) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 10000; i++) {
+    outputs.insert(FnvHash64(i));
+  }
+  EXPECT_EQ(outputs.size(), 10000u);  // No collisions in a small range.
+}
+
+}  // namespace
+}  // namespace talus
