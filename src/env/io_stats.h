@@ -15,10 +15,17 @@
 //    realistic rates; with a symmetric model every write-optimized scheme
 //    would win every workload.
 //  * CPU epsilons keep memory-only operations from having zero cost.
+//
+// Thread safety: every method takes an internal mutex, because in background
+// execution mode (exec/job_scheduler.h) flush/compaction jobs perform I/O
+// concurrently with foreground reads and WAL appends against the same Env.
+// The mutex is uncontended in inline mode, so the deterministic single-thread
+// experiments are unaffected.
 #ifndef TALUS_ENV_IO_STATS_H_
 #define TALUS_ENV_IO_STATS_H_
 
 #include <cstdint>
+#include <mutex>
 
 namespace talus {
 
@@ -35,6 +42,7 @@ struct IoCostModel {
 class IoStats {
  public:
   void RecordRead(uint64_t bytes) {
+    std::lock_guard<std::mutex> l(mu_);
     read_requests_++;
     bytes_read_ += bytes;
     if (sequential_depth_ > 0) {
@@ -48,12 +56,20 @@ class IoStats {
 
   /// RAII marker for streaming access (compaction merges): reads inside the
   /// scope are charged sequential bandwidth instead of random-read latency.
+  /// The flag is per-IoStats, not per-thread: in background mode a flush
+  /// job's scope may briefly discount a concurrent foreground read, which
+  /// only perturbs the virtual clock (wall-clock metrics are unaffected and
+  /// inline mode never overlaps scopes).
   class SequentialScope {
    public:
     explicit SequentialScope(IoStats* stats) : stats_(stats) {
+      std::lock_guard<std::mutex> l(stats_->mu_);
       stats_->sequential_depth_++;
     }
-    ~SequentialScope() { stats_->sequential_depth_--; }
+    ~SequentialScope() {
+      std::lock_guard<std::mutex> l(stats_->mu_);
+      stats_->sequential_depth_--;
+    }
     SequentialScope(const SequentialScope&) = delete;
     SequentialScope& operator=(const SequentialScope&) = delete;
 
@@ -61,6 +77,7 @@ class IoStats {
     IoStats* stats_;
   };
   void RecordWrite(uint64_t bytes) {
+    std::lock_guard<std::mutex> l(mu_);
     write_requests_++;
     bytes_written_ += bytes;
     clock_ += model_.write_page_cost * static_cast<double>(bytes) /
@@ -68,42 +85,78 @@ class IoStats {
   }
   /// CPU-side work (memtable ops, filter probes) advances the clock a little
   /// so infinitely cheap operations do not yield infinite throughput.
-  void RecordCpu(double units) { clock_ += units; }
+  void RecordCpu(double units) {
+    std::lock_guard<std::mutex> l(mu_);
+    clock_ += units;
+  }
 
   /// Storage footprint tracking (space amplification). MemEnv reports every
   /// byte appended/removed; peak_storage_bytes is the paper's "peak disk
   /// space occupied during runtime".
   void RecordStorageGrowth(uint64_t bytes) {
+    std::lock_guard<std::mutex> l(mu_);
     storage_bytes_ += bytes;
     if (storage_bytes_ > peak_storage_bytes_) {
       peak_storage_bytes_ = storage_bytes_;
     }
   }
   void RecordStorageShrink(uint64_t bytes) {
+    std::lock_guard<std::mutex> l(mu_);
     storage_bytes_ = bytes > storage_bytes_ ? 0 : storage_bytes_ - bytes;
   }
 
-  uint64_t bytes_read() const { return bytes_read_; }
-  uint64_t bytes_written() const { return bytes_written_; }
-  uint64_t read_requests() const { return read_requests_; }
-  uint64_t write_requests() const { return write_requests_; }
-  uint64_t storage_bytes() const { return storage_bytes_; }
-  uint64_t peak_storage_bytes() const { return peak_storage_bytes_; }
+  uint64_t bytes_read() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return bytes_read_;
+  }
+  uint64_t bytes_written() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return bytes_written_;
+  }
+  uint64_t read_requests() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return read_requests_;
+  }
+  uint64_t write_requests() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return write_requests_;
+  }
+  uint64_t storage_bytes() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return storage_bytes_;
+  }
+  uint64_t peak_storage_bytes() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return peak_storage_bytes_;
+  }
 
   /// Virtual time elapsed, in cost-model units.
-  double clock() const { return clock_; }
+  double clock() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return clock_;
+  }
 
-  void set_cost_model(const IoCostModel& m) { model_ = m; }
-  const IoCostModel& cost_model() const { return model_; }
+  void set_cost_model(const IoCostModel& m) {
+    std::lock_guard<std::mutex> l(mu_);
+    model_ = m;
+  }
+  IoCostModel cost_model() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return model_;
+  }
 
   void Reset() {
+    std::lock_guard<std::mutex> l(mu_);
     bytes_read_ = bytes_written_ = 0;
     read_requests_ = write_requests_ = 0;
     clock_ = 0;
     // Storage footprint intentionally survives Reset(): files persist across
     // measurement phases; call ResetPeak() to re-arm peak tracking.
   }
-  void ResetPeak() { peak_storage_bytes_ = storage_bytes_; }
+  void ResetPeak() {
+    std::lock_guard<std::mutex> l(mu_);
+    peak_storage_bytes_ = storage_bytes_;
+  }
 
  private:
   static double WholePages(uint64_t bytes) {
@@ -111,6 +164,7 @@ class IoStats {
                                IoCostModel::kPageSize);
   }
 
+  mutable std::mutex mu_;
   IoCostModel model_;
   int sequential_depth_ = 0;
   uint64_t bytes_read_ = 0;

@@ -1,5 +1,5 @@
 // In-memory Env with deterministic, byte-exact I/O accounting. This is the
-// substrate for all benchmark experiments (see DESIGN.md §2).
+// substrate for all benchmark experiments (see DESIGN.md §3).
 #include <algorithm>
 #include <map>
 #include <memory>
@@ -11,8 +11,23 @@ namespace talus {
 
 namespace {
 
+// Contents are guarded by a per-file mutex: background flush/compaction jobs
+// append SSTs while foreground threads stat or scan the namespace. Readers
+// hand out Slices into `contents`, which stays safe because the engine never
+// appends to a file after opening it for reading (SSTs are immutable once
+// built; the WAL is only replayed after the writer is closed).
 struct FileState {
+  mutable std::mutex mu;
   std::string contents;
+
+  void Append(const Slice& data) {
+    std::lock_guard<std::mutex> l(mu);
+    contents.append(data.data(), data.size());
+  }
+  uint64_t Size() const {
+    std::lock_guard<std::mutex> l(mu);
+    return contents.size();
+  }
 };
 
 using FileMap = std::map<std::string, std::shared_ptr<FileState>>;
@@ -23,7 +38,7 @@ class MemWritableFile final : public WritableFile {
       : file_(std::move(file)), stats_(stats) {}
 
   Status Append(const Slice& data) override {
-    file_->contents.append(data.data(), data.size());
+    file_->Append(data);
     stats_->RecordWrite(data.size());
     stats_->RecordStorageGrowth(data.size());
     return Status::OK();
@@ -44,6 +59,7 @@ class MemRandomAccessFile final : public RandomAccessFile {
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
+    std::lock_guard<std::mutex> l(file_->mu);
     const std::string& c = file_->contents;
     if (offset > c.size()) {
       return Status::IOError("read past end of file");
@@ -53,7 +69,7 @@ class MemRandomAccessFile final : public RandomAccessFile {
     stats_->RecordRead(avail);
     return Status::OK();
   }
-  uint64_t Size() const override { return file_->contents.size(); }
+  uint64_t Size() const override { return file_->Size(); }
 
  private:
   std::shared_ptr<FileState> file_;
@@ -66,6 +82,7 @@ class MemSequentialFile final : public SequentialFile {
       : file_(std::move(file)), stats_(stats) {}
 
   Status Read(size_t n, Slice* result, char* scratch) override {
+    std::lock_guard<std::mutex> l(file_->mu);
     const std::string& c = file_->contents;
     if (pos_ >= c.size()) {
       *result = Slice();
@@ -78,7 +95,7 @@ class MemSequentialFile final : public SequentialFile {
     return Status::OK();
   }
   Status Skip(uint64_t n) override {
-    pos_ = std::min(file_->contents.size(),
+    pos_ = std::min(static_cast<size_t>(file_->Size()),
                     pos_ + static_cast<size_t>(n));
     return Status::OK();
   }
@@ -143,7 +160,7 @@ class MemEnv final : public Env {
     std::lock_guard<std::mutex> l(mu_);
     auto it = files_.find(fname);
     if (it == files_.end()) return Status::IOError(fname, "not found");
-    stats_.RecordStorageShrink(it->second->contents.size());
+    stats_.RecordStorageShrink(it->second->Size());
     files_.erase(it);
     return Status::OK();
   }
@@ -156,7 +173,7 @@ class MemEnv final : public Env {
     std::lock_guard<std::mutex> l(mu_);
     auto it = files_.find(fname);
     if (it == files_.end()) return Status::IOError(fname, "not found");
-    *size = it->second->contents.size();
+    *size = it->second->Size();
     return Status::OK();
   }
 
@@ -179,7 +196,7 @@ class MemEnv final : public Env {
     uint64_t total = 0;
     for (const auto& [name, file] : files_) {
       if (name.compare(0, prefix.size(), prefix) == 0) {
-        total += file->contents.size();
+        total += file->Size();
       }
     }
     return total;

@@ -1,0 +1,32 @@
+#include "exec/stall_controller.h"
+
+#include <algorithm>
+
+namespace talus {
+namespace exec {
+
+StallController::StallController(const StallConfig& config) : config_(config) {
+  config_.max_immutable_memtables =
+      std::max<size_t>(1, config_.max_immutable_memtables);
+  // A stop threshold at or below the slowdown threshold would skip the
+  // slowdown regime entirely; keep them ordered.
+  config_.l0_stop_runs =
+      std::max(config_.l0_stop_runs, config_.l0_slowdown_runs + 1);
+}
+
+StallDecision StallController::Decide(size_t imm_count,
+                                      size_t l0_runs) const {
+  if (imm_count >= config_.max_immutable_memtables ||
+      l0_runs >= config_.l0_stop_runs) {
+    return StallDecision::kStop;
+  }
+  if ((config_.max_immutable_memtables > 1 &&
+       imm_count + 1 >= config_.max_immutable_memtables) ||
+      l0_runs >= config_.l0_slowdown_runs) {
+    return StallDecision::kSlowdown;
+  }
+  return StallDecision::kNone;
+}
+
+}  // namespace exec
+}  // namespace talus

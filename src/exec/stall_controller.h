@@ -1,0 +1,55 @@
+// StallController: write backpressure policy for background execution mode.
+//
+// Mirrors the production two-stage discipline (RocksDB delayed_write_rate /
+// stop conditions; Luo & Carey's stability study): as background work falls
+// behind, writers are first *slowed down* (a bounded delay per write keeps
+// the queue from growing) and finally *stopped* (blocked until a flush or
+// compaction retires debt). Triggers:
+//   stop:     immutable memtables at the cap, or level-0 runs at the stop
+//             threshold;
+//   slowdown: one memtable switch away from the cap, or level-0 runs at the
+//             slowdown threshold.
+// The controller is pure decision logic; the DB enforces the decision
+// (sleeping / waiting on its condition variable) and accounts stall time in
+// EngineStats, because only it owns the lock and the wait conditions.
+#ifndef TALUS_EXEC_STALL_CONTROLLER_H_
+#define TALUS_EXEC_STALL_CONTROLLER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace talus {
+namespace exec {
+
+struct StallConfig {
+  /// Immutable memtables allowed before writers stop (>= 1).
+  size_t max_immutable_memtables = 2;
+  /// Level-0 run count that triggers write slowdown.
+  size_t l0_slowdown_runs = 12;
+  /// Level-0 run count that stops writes entirely.
+  size_t l0_stop_runs = 20;
+  /// Delay injected per write while in the slowdown regime.
+  uint64_t slowdown_delay_micros = 1000;
+};
+
+enum class StallDecision { kNone, kSlowdown, kStop };
+
+class StallController {
+ public:
+  explicit StallController(const StallConfig& config);
+
+  /// Decision for the current engine state (imm_count = immutable memtables
+  /// queued or flushing, l0_runs = sorted runs in level 0).
+  StallDecision Decide(size_t imm_count, size_t l0_runs) const;
+
+  /// Sanitized configuration (thresholds re-ordered, caps clamped).
+  const StallConfig& config() const { return config_; }
+
+ private:
+  StallConfig config_;
+};
+
+}  // namespace exec
+}  // namespace talus
+
+#endif  // TALUS_EXEC_STALL_CONTROLLER_H_

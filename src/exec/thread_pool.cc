@@ -1,0 +1,59 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace talus {
+namespace exec {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; i++) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (stopping_) return false;
+    tasks_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return tasks_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> l(mu_);
+      work_cv_.wait(l, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and fully drained.
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace exec
+}  // namespace talus

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "lsm/filename.h"
 #include "table/merging_iterator.h"
 #include "table/sst_builder.h"
 #include "util/coding.h"
+#include "util/wall_clock.h"
 #include "wal/log_reader.h"
 
 namespace talus {
@@ -147,10 +150,13 @@ class RunIterator final : public Iterator {
 
 // User-facing iterator: walks internal keys, surfacing only the newest
 // visible version of each user key and skipping tombstones. Forward only.
+// Pins the memtables backing its children so a background flush retiring an
+// immutable memtable cannot free memory the iterator still reads.
 class DbIterator final : public Iterator {
  public:
-  explicit DbIterator(std::unique_ptr<Iterator> internal)
-      : internal_(std::move(internal)) {}
+  DbIterator(std::unique_ptr<Iterator> internal,
+             std::vector<std::shared_ptr<MemTable>> pinned)
+      : internal_(std::move(internal)), pinned_(std::move(pinned)) {}
 
   bool Valid() const override { return valid_; }
   void SeekToFirst() override {
@@ -204,6 +210,7 @@ class DbIterator final : public Iterator {
   }
 
   std::unique_ptr<Iterator> internal_;
+  std::vector<std::shared_ptr<MemTable>> pinned_;
   bool valid_ = false;
   bool has_current_ = false;
   std::string key_;
@@ -216,7 +223,12 @@ DB::DB(const DbOptions& options) : options_(options) {
   block_cache_ = std::make_unique<LruCache>(options_.block_cache_bytes);
 }
 
-DB::~DB() = default;
+DB::~DB() {
+  // Drain accepted background jobs, then the pool's task queue, before any
+  // member is destroyed. Both calls are idempotent.
+  if (scheduler_ != nullptr) scheduler_->Shutdown();
+  if (pool_ != nullptr) pool_->Shutdown();
+}
 
 Status DB::Open(const DbOptions& options, std::unique_ptr<DB>* dbptr) {
   if (options.env == nullptr || options.path.empty()) {
@@ -248,7 +260,8 @@ Status DB::Open(const DbOptions& options, std::unique_ptr<DB>* dbptr) {
           manifest.policy_name);
     }
     db->version_ = std::move(manifest.version);
-    db->next_file_number_ = manifest.next_file_number;
+    db->next_file_number_.store(manifest.next_file_number,
+                                std::memory_order_relaxed);
     db->next_run_id_ = manifest.next_run_id;
     db->last_sequence_ = manifest.last_sequence;
     db->flush_count_ = manifest.flush_count;
@@ -263,58 +276,103 @@ Status DB::Open(const DbOptions& options, std::unique_ptr<DB>* dbptr) {
     return s;
   }
 
-  db->mem_ = std::make_unique<MemTable>();
+  db->mem_ = std::make_shared<MemTable>();
+
+  // Recovery and the initial flush run inline (and under the mutex) even in
+  // background mode: the exec subsystem starts only once the DB is
+  // consistent.
+  std::unique_lock<std::mutex> lock(db->mutex_);
+  std::vector<uint64_t> replayed;
   if (old_wal != 0) {
-    Status rs = db->RecoverWal(old_wal);
+    Status rs = db->RecoverWalsLocked(old_wal, &replayed);
     if (!rs.ok()) return rs;
   }
 
   if (db->mem_->num_entries() > 0) {
-    // Recovered entries are only in memory and the old WAL; flush them so
-    // the old WAL can be retired safely. DoFlush performs the safe
-    // new-WAL → manifest → delete-old-WAL sequence.
-    db->wal_number_ = old_wal;
-    Status fs = db->DoFlush();
+    // Recovered entries are only in memory and the old WALs; flush them so
+    // the old WALs can be retired safely. DoFlushLocked performs the safe
+    // new-WAL → manifest → delete-old-WAL sequence for the newest WAL; any
+    // older replayed WALs are deleted once the manifest stopped naming them.
+    db->wal_number_ = replayed.back();
+    Status fs = db->DoFlushLocked(lock);
     if (!fs.ok()) return fs;
-  } else {
-    Status ws = db->NewWal();
-    if (!ws.ok()) return ws;
-    ws = db->InstallManifest();
-    if (!ws.ok()) return ws;
-    if (old_wal != 0) {
-      env->RemoveFile(WalFileName(options.path, old_wal));
+    for (size_t i = 0; i + 1 < replayed.size(); i++) {
+      env->RemoveFile(WalFileName(options.path, replayed[i]));
     }
+  } else {
+    Status ws = db->NewWalLocked();
+    if (!ws.ok()) return ws;
+    ws = db->InstallManifestLocked();
+    if (!ws.ok()) return ws;
+    for (uint64_t w : replayed) {
+      env->RemoveFile(WalFileName(options.path, w));
+    }
+  }
+  lock.unlock();
+
+  if (db->is_background()) {
+    db->pool_ =
+        std::make_unique<exec::ThreadPool>(options.num_background_threads);
+    db->scheduler_ = std::make_unique<exec::JobScheduler>(db->pool_.get());
+    exec::StallConfig stall_config;
+    stall_config.max_immutable_memtables = options.max_immutable_memtables;
+    stall_config.l0_slowdown_runs = options.l0_slowdown_runs;
+    stall_config.l0_stop_runs = options.l0_stop_runs;
+    stall_config.slowdown_delay_micros = options.slowdown_delay_micros;
+    db->stall_ = std::make_unique<exec::StallController>(stall_config);
   }
 
   *dbptr = std::move(db);
   return Status::OK();
 }
 
-Status DB::RecoverWal(uint64_t wal_number) {
-  const std::string fname = WalFileName(options_.path, wal_number);
-  if (!options_.env->FileExists(fname)) return Status::OK();
-  std::unique_ptr<SequentialFile> file;
-  Status s = options_.env->NewSequentialFile(fname, &file);
+Status DB::RecoverWalsLocked(uint64_t oldest_wal,
+                             std::vector<uint64_t>* replayed) {
+  // The manifest names the oldest WAL that may hold unflushed data. In
+  // background mode several WALs can be live at once (one per queued
+  // immutable memtable plus the active one), so replay every WAL file at or
+  // above that number, in order; sequence numbers keep replay idempotent
+  // with respect to ordering.
+  std::vector<std::string> children;
+  Status s = options_.env->GetChildren(options_.path, &children);
   if (!s.ok()) return s;
-  wal::LogReader reader(std::move(file));
-  std::string record;
-  while (reader.ReadRecord(&record)) {
-    SequenceNumber base_seq;
-    WriteBatch batch;
-    if (!DecodeWalRecord(Slice(record), &base_seq, &batch)) {
-      return Status::Corruption("bad WAL record", fname);
+  std::vector<uint64_t> wals;
+  for (const auto& name : children) {
+    uint64_t number = 0;
+    std::string suffix;
+    if (ParseFileName(name, &number, &suffix) && suffix == "wal" &&
+        number >= oldest_wal) {
+      wals.push_back(number);
     }
-    MemTableInserter inserter(mem_.get(), base_seq);
-    Status bs = batch.Iterate(&inserter);
-    if (!bs.ok()) return bs;
-    const SequenceNumber last = base_seq + batch.Count() - 1;
-    if (batch.Count() > 0 && last > last_sequence_) last_sequence_ = last;
   }
-  // A torn tail is expected after a crash; everything before it is intact.
+  std::sort(wals.begin(), wals.end());
+
+  for (uint64_t wal_number : wals) {
+    const std::string fname = WalFileName(options_.path, wal_number);
+    std::unique_ptr<SequentialFile> file;
+    s = options_.env->NewSequentialFile(fname, &file);
+    if (!s.ok()) return s;
+    wal::LogReader reader(std::move(file));
+    std::string record;
+    while (reader.ReadRecord(&record)) {
+      SequenceNumber base_seq;
+      WriteBatch batch;
+      if (!DecodeWalRecord(Slice(record), &base_seq, &batch)) {
+        return Status::Corruption("bad WAL record", fname);
+      }
+      MemTableInserter inserter(mem_.get(), base_seq);
+      Status bs = batch.Iterate(&inserter);
+      if (!bs.ok()) return bs;
+      const SequenceNumber last = base_seq + batch.Count() - 1;
+      if (batch.Count() > 0 && last > last_sequence_) last_sequence_ = last;
+    }
+    // A torn tail is expected after a crash; everything before it is intact.
+    replayed->push_back(wal_number);
+  }
   return Status::OK();
 }
 
-Status DB::NewWal() {
+Status DB::NewWalLocked() {
   if (!options_.enable_wal) {
     wal_number_ = 0;
     wal_.reset();
@@ -329,36 +387,51 @@ Status DB::NewWal() {
   return Status::OK();
 }
 
+uint64_t DB::OldestLiveWalLocked() const {
+  // WALs retire in order, so the oldest queued immutable memtable's WAL
+  // bounds what recovery must replay.
+  return imm_.empty() ? wal_number_ : imm_.front().wal_number;
+}
+
 Status DB::Put(const Slice& key, const Slice& value) {
   if (key.empty()) {
     return Status::InvalidArgument("empty keys are not supported");
   }
-  stats_.puts++;
-  mix_tracker_.RecordUpdate();
   WriteBatch batch;
   batch.Put(key, value);
-  return WriteImpl(batch);
+  std::unique_lock<std::mutex> lock(mutex_);
+  stats_.puts++;
+  mix_tracker_.RecordUpdate();
+  return WriteLocked(batch, lock);
 }
 
 Status DB::Delete(const Slice& key) {
   if (key.empty()) {
     return Status::InvalidArgument("empty keys are not supported");
   }
-  stats_.deletes++;
-  mix_tracker_.RecordUpdate();
   WriteBatch batch;
   batch.Delete(key);
-  return WriteImpl(batch);
+  std::unique_lock<std::mutex> lock(mutex_);
+  stats_.deletes++;
+  mix_tracker_.RecordUpdate();
+  return WriteLocked(batch, lock);
 }
 
 Status DB::Write(const WriteBatch& batch) {
   if (batch.empty()) return Status::OK();
+  std::unique_lock<std::mutex> lock(mutex_);
   stats_.puts += batch.Count();
   mix_tracker_.RecordUpdate();
-  return WriteImpl(batch);
+  return WriteLocked(batch, lock);
 }
 
-Status DB::WriteImpl(const WriteBatch& batch) {
+Status DB::WriteLocked(const WriteBatch& batch,
+                       std::unique_lock<std::mutex>& lock) {
+  if (is_background()) {
+    if (!bg_error_.ok()) return bg_error_;
+    Status ss = MaybeStallLocked(lock);
+    if (!ss.ok()) return ss;
+  }
   const SequenceNumber base_seq = last_sequence_ + 1;
   last_sequence_ += batch.Count();
   if (wal_ != nullptr) {
@@ -373,73 +446,277 @@ Status DB::WriteImpl(const WriteBatch& batch) {
   options_.env->io_stats()->RecordCpu(options_.cpu_cost_per_write);
 
   if (mem_->payload_bytes() >= options_.write_buffer_size) {
-    return DoFlush();
+    if (!is_background()) return DoFlushLocked(lock);
+    return SwitchMemTableLocked();
   }
   return Status::OK();
 }
 
-SequenceNumber DB::SmallestLiveSnapshot() const {
+Status DB::MaybeStallLocked(std::unique_lock<std::mutex>& lock) {
+  bool already_slowed = false;
+  while (true) {
+    if (!bg_error_.ok()) return bg_error_;
+    const size_t l0_runs =
+        version_.levels.empty() ? 0 : version_.levels[0].runs.size();
+    const exec::StallDecision decision =
+        stall_->Decide(imm_.size(), l0_runs);
+    if (decision == exec::StallDecision::kStop) {
+      // Safety valve: if no background job is pending, no background
+      // progress can clear the condition (the policy's stable shape exceeds
+      // the configured threshold) — proceed instead of deadlocking.
+      // bg_jobs_pending_ (not the scheduler's counters) is what makes this
+      // wait sound: it is decremented under mutex_ together with a
+      // bg_cv_.notify_all(), so the last job's completion is never missed.
+      if (imm_.empty() && bg_jobs_pending_ == 0) return Status::OK();
+      const uint64_t start = NowMicros();
+      stats_.stall_stops++;
+      bg_cv_.wait(lock, [this] {
+        if (!bg_error_.ok()) return true;
+        const size_t l0 =
+            version_.levels.empty() ? 0 : version_.levels[0].runs.size();
+        if (stall_->Decide(imm_.size(), l0) != exec::StallDecision::kStop) {
+          return true;
+        }
+        return imm_.empty() && bg_jobs_pending_ == 0;
+      });
+      const uint64_t waited = NowMicros() - start;
+      stats_.stall_micros += waited;
+      continue;
+    }
+    if (decision == exec::StallDecision::kSlowdown && !already_slowed) {
+      already_slowed = true;
+      const uint64_t start = NowMicros();
+      lock.unlock();
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          stall_->config().slowdown_delay_micros));
+      lock.lock();
+      const uint64_t waited = NowMicros() - start;
+      stats_.stall_slowdowns++;
+      stats_.stall_micros += waited;
+      continue;
+    }
+    return Status::OK();
+  }
+}
+
+Status DB::SwitchMemTableLocked() {
+  imm_.push_back(ImmPartition{mem_, wal_number_});
+  stats_.memtable_switches++;
+  if (imm_.size() > stats_.max_imm_queue_depth) {
+    stats_.max_imm_queue_depth = imm_.size();
+  }
+  mem_ = std::make_shared<MemTable>();
+  Status s = NewWalLocked();
+  if (!s.ok()) {
+    bg_error_ = s;
+    return s;
+  }
+  ScheduleFlushLocked();
+  return Status::OK();
+}
+
+void DB::ScheduleFlushLocked() {
+  if (scheduler_->Schedule(exec::JobType::kFlush, [this] {
+        return BackgroundFlush();
+      }) != exec::JobScheduler::kInvalidJobId) {
+    bg_jobs_pending_++;
+  }
+}
+
+void DB::ScheduleCompactionLocked() {
+  if (scheduler_->Schedule(exec::JobType::kCompaction, [this] {
+        return BackgroundCompaction();
+      }) != exec::JobScheduler::kInvalidJobId) {
+    bg_jobs_pending_++;
+  }
+}
+
+Status DB::BackgroundFlush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Status s = BackgroundFlushLocked(lock);
+  bg_jobs_pending_--;
+  bg_cv_.notify_all();
+  return s;
+}
+
+Status DB::BackgroundFlushLocked(std::unique_lock<std::mutex>& lock) {
+  if (flush_active_) return Status::OK();  // The active job drains the queue.
+  flush_active_ = true;
+  Status s;
+  while (s.ok() && !imm_.empty()) {
+    // The front partition stays visible to readers (and its WAL stays named
+    // by the manifest) until the flush result is installed below.
+    ImmPartition part = imm_.front();
+    std::vector<uint64_t> obsolete;
+    s = FlushMemToL0Locked(part.mem.get(), lock, /*allow_unlock=*/true,
+                           &obsolete);
+    if (!s.ok()) break;
+    imm_.pop_front();
+    stats_.bg_flushes++;
+    policy_->OnFlushCompleted(version_);
+    s = InstallManifestLocked();
+    if (s.ok()) s = DeleteObsoleteFilesLocked(obsolete);
+    if (s.ok() && part.wal_number != 0) {
+      options_.env->RemoveFile(WalFileName(options_.path, part.wal_number));
+    }
+    bg_cv_.notify_all();
+  }
+  if (!s.ok()) bg_error_ = s;
+  flush_active_ = false;
+  if (s.ok()) ScheduleCompactionLocked();
+  bg_cv_.notify_all();
+  return s;
+}
+
+Status DB::BackgroundCompaction() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Status s = Status::OK();
+  if (!compaction_active_) {  // Otherwise the active chain picks the work up.
+    compaction_active_ = true;
+    s = RunCompactionLoopLocked(lock, /*yield_between_rounds=*/true);
+    if (!s.ok()) bg_error_ = s;
+    compaction_active_ = false;
+  }
+  bg_jobs_pending_--;
+  bg_cv_.notify_all();
+  return s;
+}
+
+SequenceNumber DB::SmallestLiveSnapshotLocked() const {
   if (snapshot_seqs_.empty()) return last_sequence_;
   return std::min(*snapshot_seqs_.begin(), last_sequence_);
 }
 
 const Snapshot* DB::GetSnapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
   snapshot_seqs_.insert(last_sequence_);
   return new Snapshot(last_sequence_);
 }
 
 void DB::ReleaseSnapshot(const Snapshot* snapshot) {
   if (snapshot == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = snapshot_seqs_.find(snapshot->sequence());
   if (it != snapshot_seqs_.end()) snapshot_seqs_.erase(it);
   delete snapshot;
 }
 
 Status DB::FlushMemTable() {
-  if (mem_->num_entries() == 0) return Status::OK();
-  return DoFlush();
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!is_background()) {
+    if (mem_->num_entries() == 0) return Status::OK();
+    return DoFlushLocked(lock);
+  }
+  if (!bg_error_.ok()) return bg_error_;
+  if (mem_->num_entries() > 0) {
+    Status s = SwitchMemTableLocked();
+    if (!s.ok()) return s;
+  }
+  lock.unlock();
+  scheduler_->WaitIdle();
+  lock.lock();
+  return bg_error_;
 }
 
-Status DB::DoFlush() {
+Status DB::DoFlushLocked(std::unique_lock<std::mutex>& lock) {
   const double stall_start = options_.env->io_stats()->clock();
 
+  std::vector<uint64_t> obsolete;
+  Status s = FlushMemToL0Locked(mem_.get(), lock, /*allow_unlock=*/false,
+                                &obsolete);
+  if (!s.ok()) return s;
+  mem_ = std::make_shared<MemTable>();
+
+  policy_->OnFlushCompleted(version_);
+  s = RunCompactionLoopLocked(lock, /*yield_between_rounds=*/false);
+  if (!s.ok()) return s;
+
+  // Safe WAL retirement: open the new WAL, persist the pointer, only then
+  // drop the old log and the files consumed by the flush.
+  const uint64_t old_wal = wal_number_;
+  s = NewWalLocked();
+  if (!s.ok()) return s;
+  s = InstallManifestLocked();
+  if (!s.ok()) return s;
+  s = DeleteObsoleteFilesLocked(obsolete);
+  if (!s.ok()) return s;
+  if (old_wal != 0) {
+    options_.env->RemoveFile(WalFileName(options_.path, old_wal));
+  }
+
+  const double stall = options_.env->io_stats()->clock() - stall_start;
+  if (stall > stats_.max_stall_clock) stats_.max_stall_clock = stall;
+  return Status::OK();
+}
+
+Status DB::FlushMemToL0Locked(MemTable* mem,
+                              std::unique_lock<std::mutex>& lock,
+                              bool allow_unlock,
+                              std::vector<uint64_t>* obsolete) {
   version_.EnsureLevels(
       static_cast<size_t>(std::max(1, policy_->RequiredLevels(version_))));
 
   const MergeMode mode = policy_->FlushMode(version_);
-  std::vector<uint64_t> obsolete;
   uint64_t bytes_read = 0;
   std::vector<FileMetaPtr> outputs;
 
   if (mode == MergeMode::kMergeIntoRun && !version_.levels[0].empty()) {
-    // Leveling flush: merge the memtable with level 0's newest run.
+    // Leveling flush: merge the memtable with level 0's newest run. Reads
+    // existing SSTs, so it stays under the mutex even in background mode.
     SortedRun& target = version_.levels[0].runs[0];
     std::vector<std::unique_ptr<Iterator>> children;
-    children.push_back(mem_->NewIterator());
+    children.push_back(mem->NewIterator());
     children.push_back(std::make_unique<RunIterator>(
-        target.files, [this](uint64_t n) { return GetReader(n); }));
+        target.files, [this](uint64_t n) { return GetReaderLocked(n); }));
     auto merged = NewMergingIterator(InternalKeyComparator(),
                                      std::move(children));
     merged->SeekToFirst();
-    const bool drop = version_.BottommostNonEmptyLevel() <= 0 &&
-                      version_.levels[0].runs.size() == 1;
-    Status s = WriteSortedOutput(merged.get(), 0, drop, /*is_flush=*/true,
-                                 &bytes_read, &outputs);
+    OutputSpec spec;
+    spec.output_level = 0;
+    spec.drop_tombstones = version_.BottommostNonEmptyLevel() <= 0 &&
+                           version_.levels[0].runs.size() == 1;
+    spec.bits_per_key = BitsPerKeyForLevelLocked(0);
+    spec.smallest_snapshot = SmallestLiveSnapshotLocked();
+    Status s = WriteSortedOutput(merged.get(), spec, &bytes_read, &outputs);
     if (!s.ok()) return s;
-    for (const auto& f : target.files) obsolete.push_back(f->number);
+    for (const auto& f : target.files) obsolete->push_back(f->number);
+    uint64_t written = 0;
+    for (const auto& f : outputs) written += f->file_size;
+    stats_.flush_bytes_written += written;
     target.files = std::move(outputs);
     if (target.files.empty()) {
       version_.levels[0].runs.erase(version_.levels[0].runs.begin());
     }
   } else {
-    // Tiering flush (or empty level 0): new run at the front.
-    auto iter = mem_->NewIterator();
+    // Tiering flush (or empty level 0): new run at the front. The input is
+    // the (immutable) memtable only, so in background mode the mutex is
+    // released while SST files are built — the dominant flush cost overlaps
+    // foreground traffic. Everything the pass needs is captured first;
+    // file numbers come from an atomic counter.
+    OutputSpec spec;
+    spec.output_level = 0;
+    spec.drop_tombstones = version_.BottommostNonEmptyLevel() < 0;
+    spec.bits_per_key = BitsPerKeyForLevelLocked(0);
+    spec.smallest_snapshot = SmallestLiveSnapshotLocked();
+    auto iter = mem->NewIterator();
     iter->SeekToFirst();
-    const bool drop = version_.BottommostNonEmptyLevel() < 0;
-    Status s = WriteSortedOutput(iter.get(), 0, drop, /*is_flush=*/true,
-                                 &bytes_read, &outputs);
+    Status s;
+    if (allow_unlock) {
+      lock.unlock();
+      s = WriteSortedOutput(iter.get(), spec, &bytes_read, &outputs);
+      lock.lock();
+    } else {
+      s = WriteSortedOutput(iter.get(), spec, &bytes_read, &outputs);
+    }
     if (!s.ok()) return s;
+    uint64_t written = 0;
+    for (const auto& f : outputs) written += f->file_size;
+    stats_.flush_bytes_written += written;
     if (!outputs.empty()) {
+      // Re-read level 0 after the relock: a concurrent compaction may have
+      // reshaped it, but this run is still the newest data and belongs at
+      // the front.
+      version_.EnsureLevels(1);
       SortedRun run;
       run.run_id = next_run_id_++;
       run.files = std::move(outputs);
@@ -451,46 +728,36 @@ Status DB::DoFlush() {
   stats_.flushes++;
   stats_.compaction_bytes_read += bytes_read;
   flush_count_++;
-  mem_ = std::make_unique<MemTable>();
-
-  policy_->OnFlushCompleted(version_);
-  Status s = RunCompactionLoop();
-  if (!s.ok()) return s;
-
-  // Safe WAL retirement: open the new WAL, persist the pointer, only then
-  // drop the old log and the files consumed by the flush.
-  const uint64_t old_wal = wal_number_;
-  s = NewWal();
-  if (!s.ok()) return s;
-  s = InstallManifest();
-  if (!s.ok()) return s;
-  s = DeleteObsoleteFiles(obsolete);
-  if (!s.ok()) return s;
-  if (old_wal != 0) {
-    options_.env->RemoveFile(WalFileName(options_.path, old_wal));
-  }
-
-  const double stall = options_.env->io_stats()->clock() - stall_start;
-  if (stall > stats_.max_stall_clock) stats_.max_stall_clock = stall;
   return Status::OK();
 }
 
-Status DB::RunCompactionLoop() {
+Status DB::RunCompactionLoopLocked(std::unique_lock<std::mutex>& lock,
+                                   bool yield_between_rounds) {
   // Bounded to catch policy bugs that would loop forever.
   for (int rounds = 0; rounds < 100000; rounds++) {
     version_.EnsureLevels(
         static_cast<size_t>(std::max(1, policy_->RequiredLevels(version_))));
     auto req = policy_->PickCompaction(version_);
     if (!req.has_value()) return Status::OK();
-    Status s = ExecuteCompaction(*req);
+    Status s = ExecuteCompactionLocked(*req);
     if (!s.ok()) return s;
     policy_->OnCompactionCompleted(*req, version_);
+    if (yield_between_rounds) {
+      stats_.bg_compactions++;
+      // Let stalled writers and readers interleave between rounds. The
+      // yield matters: std::mutex permits barging, so without it the OS may
+      // hand the relock straight back to this thread for the whole chain.
+      bg_cv_.notify_all();
+      lock.unlock();
+      std::this_thread::yield();
+      lock.lock();
+    }
   }
   return Status::Corruption("compaction loop did not converge",
                             policy_->name());
 }
 
-Status DB::ExecuteCompaction(const CompactionRequest& req) {
+Status DB::ExecuteCompactionLocked(const CompactionRequest& req) {
   version_.EnsureLevels(static_cast<size_t>(req.output_level) + 1);
 
   // ---- Resolve input files. ----
@@ -602,11 +869,10 @@ Status DB::ExecuteCompaction(const CompactionRequest& req) {
       }
     }
   }
-  const bool drop_tombstones = !older_data_below;
 
   // ---- Merge. ----
   std::vector<std::unique_ptr<Iterator>> children;
-  auto open = [this](uint64_t n) { return GetReader(n); };
+  auto open = [this](uint64_t n) { return GetReaderLocked(n); };
   for (const auto& ri : resolved) {
     children.push_back(std::make_unique<RunIterator>(ri.files, open));
   }
@@ -617,13 +883,19 @@ Status DB::ExecuteCompaction(const CompactionRequest& req) {
       NewMergingIterator(InternalKeyComparator(), std::move(children));
   merged->SeekToFirst();
 
+  OutputSpec spec;
+  spec.output_level = req.output_level;
+  spec.drop_tombstones = !older_data_below;
+  spec.bits_per_key = BitsPerKeyForLevelLocked(req.output_level);
+  spec.smallest_snapshot = SmallestLiveSnapshotLocked();
+
   uint64_t bytes_read = 0;
   std::vector<FileMetaPtr> outputs;
-  Status s = WriteSortedOutput(merged.get(), req.output_level, drop_tombstones,
-                               /*is_flush=*/false, &bytes_read, &outputs);
+  Status s = WriteSortedOutput(merged.get(), spec, &bytes_read, &outputs);
   if (!s.ok()) return s;
   uint64_t output_bytes = 0;
   for (const auto& f : outputs) output_bytes += f->file_size;
+  stats_.compaction_bytes_written += output_bytes;
 
   // ---- Install the result. ----
   std::vector<uint64_t> obsolete;
@@ -716,14 +988,16 @@ Status DB::ExecuteCompaction(const CompactionRequest& req) {
   ls.bytes_written += output_bytes;
 
   // Persist the new structure before dropping the inputs (crash safety).
-  s = InstallManifest();
+  s = InstallManifestLocked();
   if (!s.ok()) return s;
-  return DeleteObsoleteFiles(obsolete);
+  return DeleteObsoleteFilesLocked(obsolete);
 }
 
 Status DB::CompactAll() {
   Status s = FlushMemTable();
   if (!s.ok()) return s;
+
+  std::unique_lock<std::mutex> lock(mutex_);
   const int bottom = version_.BottommostNonEmptyLevel();
   if (bottom < 0) return Status::OK();
 
@@ -737,7 +1011,7 @@ Status DB::CompactAll() {
   req.output_level = bottom;
   req.placement = CompactionRequest::Placement::kReplaceInputs;
   req.reason = "manual-compact-all";
-  s = ExecuteCompaction(req);
+  s = ExecuteCompactionLocked(req);
   if (!s.ok()) return s;
   policy_->OnCompactionCompleted(req, version_);
   return Status::OK();
@@ -745,6 +1019,7 @@ Status DB::CompactAll() {
 
 bool DB::GetProperty(const std::string& property, std::string* value) {
   value->clear();
+  std::unique_lock<std::mutex> lock(mutex_);
   if (property == "talus.levels") {
     *value = version_.DebugString();
     return true;
@@ -754,16 +1029,18 @@ bool DB::GetProperty(const std::string& property, std::string* value) {
     return true;
   }
   if (property == "talus.data-bytes") {
-    *value = std::to_string(ApproximateDataBytes());
+    *value = std::to_string(ApproximateDataBytesLocked());
     return true;
   }
   if (property == "talus.stats") {
-    char buf[512];
+    char buf[768];
     std::snprintf(
         buf, sizeof(buf),
         "puts=%llu deletes=%llu gets=%llu scans=%llu flushes=%llu "
         "compactions=%llu write_amp=%.3f read_amp=%.3f "
-        "filter_negatives=%llu cache_hits=%llu max_stall=%.1f",
+        "filter_negatives=%llu cache_hits=%llu max_stall=%.1f "
+        "switches=%llu bg_flushes=%llu bg_compactions=%llu "
+        "stall_us=%llu slowdowns=%llu stops=%llu",
         static_cast<unsigned long long>(stats_.puts),
         static_cast<unsigned long long>(stats_.deletes),
         static_cast<unsigned long long>(stats_.gets),
@@ -773,7 +1050,13 @@ bool DB::GetProperty(const std::string& property, std::string* value) {
         stats_.WriteAmplification(), stats_.ReadAmplification(),
         static_cast<unsigned long long>(stats_.filter_negatives),
         static_cast<unsigned long long>(stats_.block_cache_hits),
-        stats_.max_stall_clock);
+        stats_.max_stall_clock,
+        static_cast<unsigned long long>(stats_.memtable_switches),
+        static_cast<unsigned long long>(stats_.bg_flushes),
+        static_cast<unsigned long long>(stats_.bg_compactions),
+        static_cast<unsigned long long>(stats_.stall_micros),
+        static_cast<unsigned long long>(stats_.stall_slowdowns),
+        static_cast<unsigned long long>(stats_.stall_stops));
     *value = buf;
     return true;
   }
@@ -791,19 +1074,39 @@ bool DB::GetProperty(const std::string& property, std::string* value) {
     *value = out;
     return true;
   }
+  if (property == "talus.exec") {
+    if (!is_background()) {
+      *value = "mode=inline";
+      return true;
+    }
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "mode=background threads=%zu imm_queued=%zu max_imm_queue=%llu "
+        "stall_us=%llu slowdowns=%llu stops=%llu | ",
+        pool_->num_threads(), imm_.size(),
+        static_cast<unsigned long long>(stats_.max_imm_queue_depth),
+        static_cast<unsigned long long>(stats_.stall_micros),
+        static_cast<unsigned long long>(stats_.stall_slowdowns),
+        static_cast<unsigned long long>(stats_.stall_stops));
+    *value = std::string(buf) + scheduler_->GetStats().ToString();
+    return true;
+  }
   return false;
 }
 
-Status DB::WriteSortedOutput(Iterator* input, int output_level,
-                             bool drop_tombstones, bool is_flush,
+Status DB::WriteSortedOutput(Iterator* input, const OutputSpec& spec,
                              uint64_t* bytes_read,
                              std::vector<FileMetaPtr>* outputs) {
   // Compaction/flush merges stream their inputs: charge sequential rates.
+  // Thread-safe when given an exclusive input iterator: allocates file
+  // numbers from the atomic counter and touches no other shared DB state,
+  // so background flushes call it with the DB mutex released.
   IoStats::SequentialScope seq_scope(options_.env->io_stats());
   SstBuilderOptions bopts;
   bopts.block_size = options_.block_size;
   bopts.restart_interval = options_.block_restart_interval;
-  bopts.bits_per_key = BitsPerKeyForLevel(output_level);
+  bopts.bits_per_key = spec.bits_per_key;
 
   std::unique_ptr<SstBuilder> builder;
   uint64_t file_number = 0;
@@ -814,7 +1117,7 @@ Status DB::WriteSortedOutput(Iterator* input, int output_level,
   // are shadowed by a newer such version are unreachable from every read
   // view and can be dropped (LevelDB's retention rule).
   SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
-  const SequenceNumber smallest_snapshot = SmallestLiveSnapshot();
+  const SequenceNumber smallest_snapshot = spec.smallest_snapshot;
   uint64_t read_accum = 0;
   uint64_t payload_accum = 0;
   uint64_t oldest_seq_accum = kMaxSequenceNumber;
@@ -831,11 +1134,6 @@ Status DB::WriteSortedOutput(Iterator* input, int output_level,
     meta->smallest = builder->smallest();
     meta->largest = builder->largest();
     meta->oldest_seq = oldest_seq_accum;
-    if (is_flush) {
-      stats_.flush_bytes_written += meta->file_size;
-    } else {
-      stats_.compaction_bytes_written += meta->file_size;
-    }
     outputs->push_back(std::move(meta));
     builder.reset();
     payload_accum = 0;
@@ -861,7 +1159,8 @@ Status DB::WriteSortedOutput(Iterator* input, int output_level,
       // view: this one is unreachable.
       drop = true;
     } else if (parsed.type == kTypeDeletion &&
-               parsed.sequence <= smallest_snapshot && drop_tombstones) {
+               parsed.sequence <= smallest_snapshot &&
+               spec.drop_tombstones) {
       drop = true;
     }
     last_sequence_for_key = parsed.sequence;
@@ -898,13 +1197,13 @@ Status DB::WriteSortedOutput(Iterator* input, int output_level,
   return input->status();
 }
 
-Status DB::InstallManifest() {
+Status DB::InstallManifestLocked() {
   ManifestData data;
-  data.next_file_number = next_file_number_;
+  data.next_file_number = next_file_number_.load(std::memory_order_relaxed);
   data.next_run_id = next_run_id_;
   data.last_sequence = last_sequence_;
   data.flush_count = flush_count_;
-  data.wal_number = wal_number_;
+  data.wal_number = OldestLiveWalLocked();
   data.policy_name = policy_->name();
   data.policy_state = policy_->EncodeState();
   data.version = version_;
@@ -921,16 +1220,16 @@ Status DB::InstallManifest() {
   return Status::OK();
 }
 
-Status DB::DeleteObsoleteFiles(const std::vector<uint64_t>& files) {
+Status DB::DeleteObsoleteFilesLocked(const std::vector<uint64_t>& files) {
   for (uint64_t number : files) {
-    ForgetFile(number);
+    ForgetFileLocked(number);
     Status s = options_.env->RemoveFile(SstFileName(options_.path, number));
     if (!s.ok()) return s;
   }
   return Status::OK();
 }
 
-SstReader* DB::GetReader(uint64_t file_number) {
+SstReader* DB::GetReaderLocked(uint64_t file_number) {
   auto it = readers_.find(file_number);
   if (it != readers_.end()) return it->second.get();
   std::unique_ptr<SstReader> reader;
@@ -943,14 +1242,14 @@ SstReader* DB::GetReader(uint64_t file_number) {
   return raw;
 }
 
-void DB::ForgetFile(uint64_t file_number) {
+void DB::ForgetFileLocked(uint64_t file_number) {
   readers_.erase(file_number);
   std::string prefix;
   PutFixed64(&prefix, file_number);
   block_cache_->EraseByPrefix(prefix);
 }
 
-double DB::BitsPerKeyForLevel(int level) const {
+double DB::BitsPerKeyForLevelLocked(int level) const {
   auto allocator =
       NewFilterAllocator(options_.filter_layout, options_.bloom_bits_per_key);
   return allocator->BitsForLevel(policy_->FilterInfo(version_), level);
@@ -962,6 +1261,12 @@ Status DB::Get(const Slice& key, std::string* value) {
 
 Status DB::Get(const Slice& key, std::string* value,
                const Snapshot* snapshot) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return GetLocked(key, value, snapshot);
+}
+
+Status DB::GetLocked(const Slice& key, std::string* value,
+                     const Snapshot* snapshot) {
   stats_.gets++;
   mix_tracker_.RecordPointLookup();
   options_.env->io_stats()->RecordCpu(options_.cpu_cost_per_read);
@@ -972,6 +1277,13 @@ Status DB::Get(const Slice& key, std::string* value,
   if (mem_->Get(lkey, value, &s)) {
     if (s.ok()) stats_.gets_found++;
     return s;
+  }
+  // Immutable memtables, newest first (back() is the most recent switch).
+  for (auto it = imm_.rbegin(); it != imm_.rend(); ++it) {
+    if (it->mem->Get(lkey, value, &s)) {
+      if (s.ok()) stats_.gets_found++;
+      return s;
+    }
   }
 
   for (const auto& level : version_.levels) {
@@ -991,7 +1303,7 @@ Status DB::Get(const Slice& key, std::string* value,
       if (files[left]->smallest.user_key().compare(key) > 0) continue;
 
       stats_.runs_probed++;
-      SstReader* reader = GetReader(files[left]->number);
+      SstReader* reader = GetReaderLocked(files[left]->number);
       if (reader == nullptr) {
         return Status::IOError("cannot open sst for read");
       }
@@ -1010,9 +1322,20 @@ Status DB::Get(const Slice& key, std::string* value,
 }
 
 std::unique_ptr<Iterator> DB::NewIterator() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return NewIteratorLocked();
+}
+
+std::unique_ptr<Iterator> DB::NewIteratorLocked() {
   std::vector<std::unique_ptr<Iterator>> children;
+  std::vector<std::shared_ptr<MemTable>> pinned;
   children.push_back(mem_->NewIterator());
-  auto open = [this](uint64_t n) { return GetReader(n); };
+  pinned.push_back(mem_);
+  for (auto it = imm_.rbegin(); it != imm_.rend(); ++it) {
+    children.push_back(it->mem->NewIterator());
+    pinned.push_back(it->mem);
+  }
+  auto open = [this](uint64_t n) { return GetReaderLocked(n); };
   for (const auto& level : version_.levels) {
     for (const auto& run : level.runs) {
       children.push_back(std::make_unique<RunIterator>(run.files, open));
@@ -1020,16 +1343,17 @@ std::unique_ptr<Iterator> DB::NewIterator() {
   }
   auto merged =
       NewMergingIterator(InternalKeyComparator(), std::move(children));
-  return std::make_unique<DbIterator>(std::move(merged));
+  return std::make_unique<DbIterator>(std::move(merged), std::move(pinned));
 }
 
 Status DB::Scan(const Slice& start, size_t count,
                 std::vector<std::pair<std::string, std::string>>* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
   stats_.scans++;
   mix_tracker_.RecordRangeLookup();
   options_.env->io_stats()->RecordCpu(options_.cpu_cost_per_read);
   out->clear();
-  auto iter = NewIterator();
+  auto iter = NewIteratorLocked();
   iter->Seek(start);
   while (iter->Valid() && out->size() < count) {
     out->emplace_back(iter->key().ToString(), iter->value().ToString());
@@ -1039,11 +1363,22 @@ Status DB::Scan(const Slice& start, size_t count,
 }
 
 uint64_t DB::ApproximateDataBytes() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return ApproximateDataBytesLocked();
+}
+
+uint64_t DB::ApproximateDataBytesLocked() const {
   uint64_t total = mem_->payload_bytes();
+  for (const auto& part : imm_) total += part.mem->payload_bytes();
   for (const auto& level : version_.levels) {
     total += level.PayloadBytes();
   }
   return total;
+}
+
+std::string DB::DebugString() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return version_.DebugString();
 }
 
 }  // namespace talus

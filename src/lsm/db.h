@@ -1,14 +1,32 @@
-// DB: the talus storage engine facade. Single-threaded by design: flushes
-// and compactions run inline on the write path, which (a) makes every
-// experiment deterministic and (b) surfaces compaction-induced write stalls
-// directly in the windowed-throughput metric — the same phenomenon the paper
-// measures through background-compaction backpressure (DESIGN.md §2).
+// DB: the talus storage engine facade. Two execution modes (DESIGN.md §2):
+//
+//  * ExecutionMode::kInline (default): flushes and compactions run inline on
+//    the write path, which (a) makes every experiment deterministic and
+//    (b) surfaces compaction-induced write stalls directly in the
+//    windowed-throughput metric — the same phenomenon the paper measures
+//    through background-compaction backpressure.
+//  * ExecutionMode::kBackground: the write path only switches a full
+//    memtable onto an immutable queue; flushes and compactions execute as
+//    prioritized jobs on a thread pool (exec/job_scheduler.h) and writers
+//    are paced by slowdown/stop backpressure (exec/stall_controller.h).
+//    Put/Delete/Write/Get/Scan/snapshots are then safe to call from any
+//    number of threads.
+//
+// Locking: one mutex guards all mutable DB state (memtables, version, WAL,
+// stats, snapshots, readers). Background flush jobs drop the mutex while
+// building SST files from an immutable memtable, so foreground traffic
+// overlaps the dominant flush I/O; all metadata installation happens with
+// the mutex held. See DESIGN.md §2.3 for the full rules.
 #ifndef TALUS_LSM_DB_H_
 #define TALUS_LSM_DB_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -16,6 +34,9 @@
 #include <set>
 
 #include "cache/lru_cache.h"
+#include "exec/job_scheduler.h"
+#include "exec/stall_controller.h"
+#include "exec/thread_pool.h"
 #include "lsm/manifest.h"
 #include "lsm/options.h"
 #include "lsm/version.h"
@@ -50,6 +71,15 @@ struct EngineStats {
 
   // Longest single inline flush+compaction stall, in virtual clock units.
   double max_stall_clock = 0;
+
+  // Background execution mode (all zero under kInline).
+  uint64_t memtable_switches = 0;   // Active → immutable handoffs.
+  uint64_t bg_flushes = 0;          // Flushes executed by background jobs.
+  uint64_t bg_compactions = 0;      // Compactions executed by background jobs.
+  uint64_t stall_slowdowns = 0;     // Writes delayed by the slowdown regime.
+  uint64_t stall_stops = 0;         // Writes blocked until debt retired.
+  uint64_t stall_micros = 0;        // Wall time writers spent stalled.
+  uint64_t max_imm_queue_depth = 0; // High-water immutable-memtable count.
 
   // Per-output-level compaction accounting (index = output level).
   struct LevelStats {
@@ -107,25 +137,35 @@ class DB {
 
   /// Manual major compaction: merges every run into a single run at the
   /// bottommost non-empty level (reclaims tombstones and shadowed
-  /// versions not pinned by snapshots).
+  /// versions not pinned by snapshots). In background mode, drains pending
+  /// background work first.
   Status CompactAll();
 
   /// Introspection: "talus.stats", "talus.levels", "talus.cstats",
-  /// "talus.num-runs", "talus.data-bytes". Returns false for unknown names.
+  /// "talus.num-runs", "talus.data-bytes", "talus.exec". Returns false for
+  /// unknown names.
   bool GetProperty(const std::string& property, std::string* value);
 
   /// Collects up to `count` live entries with user key >= start, in order.
+  /// Safe against concurrent writes in background mode (the whole scan runs
+  /// under the DB mutex).
   Status Scan(const Slice& start, size_t count,
               std::vector<std::pair<std::string, std::string>>* out);
 
   /// Forward iterator over live user keys (tombstones and shadowed versions
-  /// skipped). Prev() is not supported.
+  /// skipped). Prev() is not supported. The iterator pins the memtables it
+  /// reads but NOT the on-disk files: callers in background mode must
+  /// quiesce writers for the iterator's lifetime (or use Scan()).
   std::unique_ptr<Iterator> NewIterator();
 
-  /// Forces a memtable flush (and any compactions it triggers).
+  /// Forces a memtable flush (and any compactions it triggers). In
+  /// background mode, blocks until the flush and its compactions complete.
   Status FlushMemTable();
 
+  /// Not synchronized: meaningful only while no background job is running.
   const Version& current_version() const { return version_; }
+  /// Not synchronized: field reads may race background jobs in kBackground
+  /// mode; quiesce (FlushMemTable) before precise accounting.
   const EngineStats& stats() const { return stats_; }
   GrowthPolicy* policy() { return policy_.get(); }
   Env* env() { return options_.env; }
@@ -137,38 +177,91 @@ class DB {
   /// once per run).
   uint64_t ApproximateDataBytes() const;
 
-  std::string DebugString() const { return version_.DebugString(); }
+  std::string DebugString() const;
 
  private:
   DB(const DbOptions& options);
 
-  Status WriteImpl(const WriteBatch& batch);
-  SequenceNumber SmallestLiveSnapshot() const;
-  Status DoFlush();
-  Status RunCompactionLoop();
-  Status ExecuteCompaction(const CompactionRequest& req);
-  Status WriteSortedOutput(Iterator* input, int output_level,
-                           bool drop_tombstones, bool is_flush,
+  /// An immutable memtable awaiting flush, with the WAL that covers it.
+  struct ImmPartition {
+    std::shared_ptr<MemTable> mem;
+    uint64_t wal_number = 0;
+  };
+
+  /// Parameters for one sorted-output pass, captured under the mutex so the
+  /// pass itself can run with or without it.
+  struct OutputSpec {
+    int output_level = 0;
+    bool drop_tombstones = false;
+    double bits_per_key = 0;
+    SequenceNumber smallest_snapshot = 0;
+  };
+
+  Status WriteLocked(const WriteBatch& batch,
+                     std::unique_lock<std::mutex>& lock);
+  Status MaybeStallLocked(std::unique_lock<std::mutex>& lock);
+  Status SwitchMemTableLocked();
+  Status GetLocked(const Slice& key, std::string* value,
+                   const Snapshot* snapshot);
+  std::unique_ptr<Iterator> NewIteratorLocked();
+  SequenceNumber SmallestLiveSnapshotLocked() const;
+  uint64_t ApproximateDataBytesLocked() const;
+
+  /// Full inline flush: memtable → L0, compaction loop, WAL rotation.
+  Status DoFlushLocked(std::unique_lock<std::mutex>& lock);
+  /// Shared flush core: merges `mem` into L0 per the policy's FlushMode.
+  /// When `allow_unlock` is set (background tiering flushes), the mutex is
+  /// released while SST files are built.
+  Status FlushMemToL0Locked(MemTable* mem, std::unique_lock<std::mutex>& lock,
+                            bool allow_unlock,
+                            std::vector<uint64_t>* obsolete);
+  Status RunCompactionLoopLocked(std::unique_lock<std::mutex>& lock,
+                                 bool yield_between_rounds);
+  Status ExecuteCompactionLocked(const CompactionRequest& req);
+  Status WriteSortedOutput(Iterator* input, const OutputSpec& spec,
                            uint64_t* bytes_read,
                            std::vector<FileMetaPtr>* outputs);
-  Status InstallManifest();
-  Status NewWal();
-  Status RecoverWal(uint64_t wal_number);
-  SstReader* GetReader(uint64_t file_number);
-  void ForgetFile(uint64_t file_number);
-  Status DeleteObsoleteFiles(const std::vector<uint64_t>& files);
-  double BitsPerKeyForLevel(int level) const;
+  Status InstallManifestLocked();
+  Status NewWalLocked();
+  Status RecoverWalsLocked(uint64_t oldest_wal,
+                           std::vector<uint64_t>* replayed);
+  uint64_t OldestLiveWalLocked() const;
+  SstReader* GetReaderLocked(uint64_t file_number);
+  void ForgetFileLocked(uint64_t file_number);
+  Status DeleteObsoleteFilesLocked(const std::vector<uint64_t>& files);
+  double BitsPerKeyForLevelLocked(int level) const;
+
+  // Background job bodies (run on pool threads). The outer functions wrap
+  // the *Locked bodies with bg_jobs_pending_ bookkeeping.
+  Status BackgroundFlush();
+  Status BackgroundFlushLocked(std::unique_lock<std::mutex>& lock);
+  Status BackgroundCompaction();
+  void ScheduleFlushLocked();
+  void ScheduleCompactionLocked();
+
+  bool is_background() const {
+    return options_.execution_mode == ExecutionMode::kBackground;
+  }
 
   DbOptions options_;
   std::unique_ptr<GrowthPolicy> policy_;
   std::unique_ptr<LruCache> block_cache_;
 
-  std::unique_ptr<MemTable> mem_;
+  // Guards every mutable field below unless noted otherwise.
+  mutable std::mutex mutex_;
+  // Signaled when background work completes (stalled writers, FlushMemTable
+  // waiters re-check their conditions).
+  std::condition_variable bg_cv_;
+
+  std::shared_ptr<MemTable> mem_;
+  std::deque<ImmPartition> imm_;  // Oldest first; back() is newest.
   std::unique_ptr<wal::LogWriter> wal_;
   uint64_t wal_number_ = 0;
 
   Version version_;
-  uint64_t next_file_number_ = 1;
+  // Atomic so background SST builds can allocate file numbers while the
+  // mutex is released.
+  std::atomic<uint64_t> next_file_number_{1};
   uint64_t next_run_id_ = 1;
   uint64_t manifest_number_ = 0;
   SequenceNumber last_sequence_ = 0;
@@ -183,6 +276,23 @@ class DB {
   std::multiset<SequenceNumber> snapshot_seqs_;
 
   EngineStats stats_;
+
+  // ---- Background execution (null / unused under kInline) ----
+  std::unique_ptr<exec::ThreadPool> pool_;
+  std::unique_ptr<exec::JobScheduler> scheduler_;
+  std::unique_ptr<exec::StallController> stall_;
+  // Only one flush job / one compaction chain does work at a time; extra
+  // jobs observe the guard and return (their work is picked up by the
+  // active job's drain loop).
+  bool flush_active_ = false;
+  bool compaction_active_ = false;
+  // Scheduled jobs that have not finished their DB work yet. Maintained
+  // under mutex_ (unlike the scheduler's own counters) so stall waits on
+  // bg_cv_ can use it in their predicate without missed wakeups: the
+  // decrement and the notify happen under the same mutex the waiter holds.
+  int bg_jobs_pending_ = 0;
+  // First background failure; writers fail fast once set.
+  Status bg_error_;
 };
 
 }  // namespace talus

@@ -1,5 +1,5 @@
 // DbOptions: engine configuration. Defaults mirror the paper's experimental
-// setting scaled to simulator size (DESIGN.md §2): 1KB entries, buffer =
+// setting scaled to simulator size (DESIGN.md §3): 1KB entries, buffer =
 // target file size, size ratio T = 6, 5 bits-per-key Bloom filters.
 #ifndef TALUS_LSM_OPTIONS_H_
 #define TALUS_LSM_OPTIONS_H_
@@ -12,6 +12,17 @@
 #include "policy/policy_config.h"
 
 namespace talus {
+
+/// How flushes and compactions execute (DESIGN.md §2).
+enum class ExecutionMode {
+  /// Flushes and compactions run inline on the write path. Deterministic:
+  /// every paper experiment reproduces bit-identically. The default.
+  kInline,
+  /// Flushes and compactions run on a background thread pool with
+  /// slowdown/stop write backpressure (exec/). The DB becomes safe for
+  /// concurrent Put/Get/Scan/Write from many threads.
+  kBackground,
+};
 
 struct DbOptions {
   Env* env = nullptr;  // Required.
@@ -36,6 +47,17 @@ struct DbOptions {
   bool create_if_missing = true;
 
   GrowthPolicyConfig policy;
+
+  // ---- Background execution (ExecutionMode::kBackground only) ----
+  ExecutionMode execution_mode = ExecutionMode::kInline;
+  int num_background_threads = 2;
+  /// Immutable memtables allowed before writers stop.
+  size_t max_immutable_memtables = 2;
+  /// Level-0 run counts triggering write slowdown / stop.
+  size_t l0_slowdown_runs = 12;
+  size_t l0_stop_runs = 20;
+  /// Delay injected per write while in the slowdown regime.
+  uint64_t slowdown_delay_micros = 1000;
 
   // CPU epsilons for the virtual clock (see env/io_stats.h).
   double cpu_cost_per_write = 0.02;

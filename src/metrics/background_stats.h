@@ -1,0 +1,49 @@
+// BackgroundJobStats: point-in-time snapshot of the background execution
+// subsystem, reported through DB::GetProperty("talus.exec") and consumed by
+// the concurrency ablation. Produced by exec::JobScheduler::GetStats().
+#ifndef TALUS_METRICS_BACKGROUND_STATS_H_
+#define TALUS_METRICS_BACKGROUND_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace talus {
+namespace metrics {
+
+struct BackgroundJobStats {
+  // Indexed by exec::JobType (0 = flush, 1 = compaction).
+  static constexpr size_t kNumJobTypes = 2;
+
+  uint64_t scheduled[kNumJobTypes] = {0, 0};
+  uint64_t completed[kNumJobTypes] = {0, 0};
+  uint64_t failed[kNumJobTypes] = {0, 0};
+  /// Wall time workers spent inside jobs of each type, in microseconds.
+  uint64_t busy_micros[kNumJobTypes] = {0, 0};
+
+  /// Jobs currently waiting in the priority queues.
+  size_t queue_depth[kNumJobTypes] = {0, 0};
+  /// Jobs currently executing on pool workers.
+  size_t running = 0;
+  /// High-water mark of total queued jobs (backpressure indicator).
+  size_t max_queue_depth = 0;
+
+  uint64_t total_scheduled() const {
+    return scheduled[0] + scheduled[1];
+  }
+  uint64_t total_completed() const {
+    return completed[0] + completed[1];
+  }
+  size_t total_queue_depth() const {
+    return queue_depth[0] + queue_depth[1];
+  }
+  /// No job queued or executing.
+  bool idle() const { return running == 0 && total_queue_depth() == 0; }
+
+  std::string ToString() const;
+};
+
+}  // namespace metrics
+}  // namespace talus
+
+#endif  // TALUS_METRICS_BACKGROUND_STATS_H_

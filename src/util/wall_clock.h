@@ -1,0 +1,21 @@
+// Monotonic wall-clock helpers for the background execution subsystem.
+// Distinct from the virtual clock in env/io_stats.h: stall and job-busy
+// accounting measure real elapsed time, not modeled I/O cost.
+#ifndef TALUS_UTIL_WALL_CLOCK_H_
+#define TALUS_UTIL_WALL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace talus {
+
+inline uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace talus
+
+#endif  // TALUS_UTIL_WALL_CLOCK_H_

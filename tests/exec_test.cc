@@ -1,0 +1,460 @@
+// Background execution subsystem tests: thread-pool ordering/shutdown,
+// scheduler prioritization and status tracking, stall-controller thresholds,
+// and whole-engine inline-vs-background equivalence under concurrent
+// writers (the acceptance bar for DESIGN.md §2).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/job_scheduler.h"
+#include "exec/stall_controller.h"
+#include "exec/thread_pool.h"
+#include "lsm/db.h"
+#include "util/random.h"
+#include "workload/generator.h"
+
+namespace talus {
+namespace {
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  exec::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(pool.Submit([&counter] { counter++; }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  // One worker and a slow first task: the rest must still run by the time
+  // Shutdown() returns.
+  exec::ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.Submit([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+  for (int i = 0; i < 10; i++) {
+    pool.Submit([&counter] { counter++; });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, RejectsTasksAfterShutdown) {
+  exec::ThreadPool pool(1);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ThreadPoolTest, SingleThreadPreservesFifoOrder) {
+  exec::ThreadPool pool(1);
+  std::vector<int> order;
+  std::mutex mu;
+  for (int i = 0; i < 20; i++) {
+    pool.Submit([&order, &mu, i] {
+      std::lock_guard<std::mutex> l(mu);
+      order.push_back(i);
+    });
+  }
+  pool.Shutdown();
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; i++) EXPECT_EQ(order[i], i);
+}
+
+// ------------------------------------------------------------- JobScheduler
+
+TEST(JobSchedulerTest, FlushJobsDispatchBeforeCompactions) {
+  // Block the single worker, queue a compaction then a flush: the flush
+  // must run first because every dispatch drains the flush queue first.
+  exec::ThreadPool pool(1);
+  exec::JobScheduler sched(&pool);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::vector<std::string> order;
+
+  sched.Schedule(exec::JobType::kCompaction, [&]() {
+    std::unique_lock<std::mutex> l(mu);
+    cv.wait(l, [&] { return release; });
+    order.push_back("blocker");
+    return Status::OK();
+  });
+  // Give the worker time to pick up the blocker so the next two jobs queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  sched.Schedule(exec::JobType::kCompaction, [&]() {
+    std::lock_guard<std::mutex> l(mu);
+    order.push_back("compaction");
+    return Status::OK();
+  });
+  sched.Schedule(exec::JobType::kFlush, [&]() {
+    std::lock_guard<std::mutex> l(mu);
+    order.push_back("flush");
+    return Status::OK();
+  });
+
+  {
+    std::lock_guard<std::mutex> l(mu);
+    release = true;
+  }
+  cv.notify_all();
+  sched.WaitIdle();
+
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "blocker");
+  EXPECT_EQ(order[1], "flush");
+  EXPECT_EQ(order[2], "compaction");
+}
+
+TEST(JobSchedulerTest, TracksJobStatesAndErrors) {
+  exec::ThreadPool pool(2);
+  exec::JobScheduler sched(&pool);
+
+  auto ok_id = sched.Schedule(exec::JobType::kFlush,
+                              [] { return Status::OK(); });
+  auto bad_id = sched.Schedule(exec::JobType::kCompaction, [] {
+    return Status::IOError("disk on fire");
+  });
+  ASSERT_NE(ok_id, exec::JobScheduler::kInvalidJobId);
+  ASSERT_NE(bad_id, exec::JobScheduler::kInvalidJobId);
+  sched.WaitIdle();
+
+  EXPECT_EQ(sched.GetState(ok_id), exec::JobState::kDone);
+  EXPECT_EQ(sched.GetState(bad_id), exec::JobState::kFailed);
+  EXPECT_TRUE(sched.first_error().IsIOError());
+
+  auto stats = sched.GetStats();
+  EXPECT_EQ(stats.completed[0], 1u);
+  EXPECT_EQ(stats.failed[1], 1u);
+  EXPECT_TRUE(stats.idle());
+}
+
+TEST(JobSchedulerTest, ShutdownRejectsNewJobs) {
+  exec::ThreadPool pool(1);
+  exec::JobScheduler sched(&pool);
+  sched.Shutdown();
+  EXPECT_EQ(sched.Schedule(exec::JobType::kFlush, [] { return Status::OK(); }),
+            exec::JobScheduler::kInvalidJobId);
+}
+
+// ---------------------------------------------------------- StallController
+
+TEST(StallControllerTest, ThresholdsDriveDecisions) {
+  exec::StallConfig config;
+  config.max_immutable_memtables = 2;
+  config.l0_slowdown_runs = 4;
+  config.l0_stop_runs = 8;
+  exec::StallController ctl(config);
+
+  // Healthy state.
+  EXPECT_EQ(ctl.Decide(0, 0), exec::StallDecision::kNone);
+  EXPECT_EQ(ctl.Decide(0, 3), exec::StallDecision::kNone);
+  // One switch away from the memtable cap → slowdown.
+  EXPECT_EQ(ctl.Decide(1, 0), exec::StallDecision::kSlowdown);
+  // L0 slowdown threshold.
+  EXPECT_EQ(ctl.Decide(0, 4), exec::StallDecision::kSlowdown);
+  EXPECT_EQ(ctl.Decide(0, 7), exec::StallDecision::kSlowdown);
+  // Hard stops.
+  EXPECT_EQ(ctl.Decide(2, 0), exec::StallDecision::kStop);
+  EXPECT_EQ(ctl.Decide(3, 0), exec::StallDecision::kStop);
+  EXPECT_EQ(ctl.Decide(0, 8), exec::StallDecision::kStop);
+}
+
+TEST(StallControllerTest, SanitizesDegenerateConfig) {
+  exec::StallConfig config;
+  config.max_immutable_memtables = 0;  // Clamped to 1.
+  config.l0_slowdown_runs = 10;
+  config.l0_stop_runs = 5;  // Below slowdown: pushed above it.
+  exec::StallController ctl(config);
+  // max_immutable_memtables == 1 must not put every write in slowdown.
+  EXPECT_EQ(ctl.Decide(0, 0), exec::StallDecision::kNone);
+  EXPECT_EQ(ctl.Decide(1, 0), exec::StallDecision::kStop);
+  EXPECT_EQ(ctl.Decide(0, 10), exec::StallDecision::kSlowdown);
+  EXPECT_EQ(ctl.Decide(0, 11), exec::StallDecision::kStop);
+}
+
+TEST(StallControllerTest, ExposesSanitizedConfig) {
+  exec::StallConfig config;
+  config.max_immutable_memtables = 0;
+  config.l0_slowdown_runs = 6;
+  config.l0_stop_runs = 3;
+  config.slowdown_delay_micros = 777;  // The DB sleeps on this value.
+  exec::StallController ctl(config);
+  EXPECT_EQ(ctl.config().max_immutable_memtables, 1u);
+  EXPECT_EQ(ctl.config().l0_stop_runs, 7u);
+  EXPECT_EQ(ctl.config().slowdown_delay_micros, 777u);
+}
+
+// ------------------------------------------------------- DB background mode
+
+DbOptions TestOptions(Env* env, ExecutionMode mode,
+                      const GrowthPolicyConfig& policy) {
+  DbOptions opts;
+  opts.env = env;
+  opts.path = "/db";
+  opts.write_buffer_size = 4 << 10;  // Tiny buffer: many flushes.
+  opts.target_file_size = 4 << 10;
+  opts.block_size = 1024;
+  opts.block_cache_bytes = 64 << 10;
+  opts.policy = policy;
+  opts.execution_mode = mode;
+  opts.num_background_threads = 2;
+  opts.slowdown_delay_micros = 100;  // Keep tests fast.
+  return opts;
+}
+
+// Deterministic per-thread op stream over a disjoint key range: the final
+// per-key state is independent of cross-thread interleaving, so inline and
+// background runs must converge to the same database.
+void ApplyWorkerOps(DB* db, int worker, int ops) {
+  Random rnd(1000 + worker);
+  const int base = worker * 1000;
+  for (int i = 0; i < ops; i++) {
+    std::string key = workload::FormatKey(base + rnd.Uniform(300), 16);
+    const uint32_t action = rnd.Uniform(10);
+    if (action < 7) {
+      ASSERT_TRUE(
+          db->Put(key, "v-" + std::to_string(worker) + "-" +
+                           std::to_string(i))
+              .ok());
+    } else if (action < 8) {
+      ASSERT_TRUE(db->Delete(key).ok());
+    } else if (action < 9) {
+      std::string value;
+      Status s = db->Get(key, &value);
+      ASSERT_TRUE(s.ok() || s.IsNotFound());
+    } else {
+      std::vector<std::pair<std::string, std::string>> out;
+      ASSERT_TRUE(db->Scan(key, 10, &out).ok());
+    }
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> FullScan(DB* db) {
+  std::vector<std::pair<std::string, std::string>> out;
+  EXPECT_TRUE(db->Scan(Slice(""), 1000000, &out).ok());
+  return out;
+}
+
+struct NamedPolicy {
+  const char* name;
+  GrowthPolicyConfig config;
+};
+
+std::vector<NamedPolicy> EquivalencePolicies() {
+  return {
+      {"VT-Level-Full", GrowthPolicyConfig::VTLevelFull(3)},
+      {"VT-Tier-Full", GrowthPolicyConfig::VTTierFull(3)},
+      {"Lazy-Level", GrowthPolicyConfig::LazyLeveling(3, 4, false)},
+  };
+}
+
+class ExecEquivalenceTest : public ::testing::TestWithParam<NamedPolicy> {};
+
+TEST_P(ExecEquivalenceTest, BackgroundMatchesInlineUnderConcurrency) {
+  constexpr int kWorkers = 4;
+  constexpr int kOpsPerWorker = 1500;
+
+  // Inline reference: the same per-worker streams applied sequentially.
+  auto inline_env = NewMemEnv();
+  std::unique_ptr<DB> inline_db;
+  ASSERT_TRUE(DB::Open(TestOptions(inline_env.get(), ExecutionMode::kInline,
+                                   GetParam().config),
+                       &inline_db)
+                  .ok());
+  for (int w = 0; w < kWorkers; w++) {
+    ApplyWorkerOps(inline_db.get(), w, kOpsPerWorker);
+  }
+
+  // Background run: four concurrent writer threads.
+  auto bg_env = NewMemEnv();
+  std::unique_ptr<DB> bg_db;
+  ASSERT_TRUE(DB::Open(TestOptions(bg_env.get(), ExecutionMode::kBackground,
+                                   GetParam().config),
+                       &bg_db)
+                  .ok());
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; w++) {
+    workers.emplace_back(
+        [&bg_db, w] { ApplyWorkerOps(bg_db.get(), w, kOpsPerWorker); });
+  }
+  for (auto& t : workers) t.join();
+  ASSERT_TRUE(bg_db->FlushMemTable().ok());
+
+  // Key-for-key equality of the full scans.
+  auto expect = FullScan(inline_db.get());
+  auto got = FullScan(bg_db.get());
+  ASSERT_EQ(expect.size(), got.size()) << GetParam().name;
+  for (size_t i = 0; i < expect.size(); i++) {
+    EXPECT_EQ(expect[i].first, got[i].first) << GetParam().name;
+    EXPECT_EQ(expect[i].second, got[i].second) << GetParam().name;
+  }
+
+  // The background machinery really ran.
+  const EngineStats& stats = bg_db->stats();
+  EXPECT_GT(stats.memtable_switches, 0u) << GetParam().name;
+  EXPECT_GT(stats.bg_flushes, 0u) << GetParam().name;
+  EXPECT_GT(stats.flushes, 0u) << GetParam().name;
+
+  std::string exec_info;
+  ASSERT_TRUE(bg_db->GetProperty("talus.exec", &exec_info));
+  EXPECT_NE(exec_info.find("mode=background"), std::string::npos);
+  std::string stats_str;
+  ASSERT_TRUE(bg_db->GetProperty("talus.stats", &stats_str));
+  EXPECT_NE(stats_str.find("bg_flushes="), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ExecEquivalenceTest,
+                         ::testing::ValuesIn(EquivalencePolicies()),
+                         [](const auto& info) {
+                           std::string n = info.param.name;
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(ExecDbTest, ConcurrentReadersSeeConsistentState) {
+  auto env = NewMemEnv();
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(TestOptions(env.get(), ExecutionMode::kBackground,
+                                   GrowthPolicyConfig::VTTierFull(3)),
+                       &db)
+                  .ok());
+
+  std::atomic<bool> done{false};
+  // Writer thread: monotonically increasing value for a hot key.
+  std::thread writer([&] {
+    for (int i = 0; i < 4000; i++) {
+      ASSERT_TRUE(db->Put(workload::FormatKey(i % 200, 16),
+                          std::to_string(i))
+                      .ok());
+    }
+    done = true;
+  });
+  // Reader threads: every Get either misses or returns a well-formed value.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; r++) {
+    readers.emplace_back([&, r] {
+      Random rnd(7 + r);
+      while (!done) {
+        std::string value;
+        Status s = db->Get(workload::FormatKey(rnd.Uniform(200), 16), &value);
+        ASSERT_TRUE(s.ok() || s.IsNotFound());
+        if (s.ok()) ASSERT_FALSE(value.empty());
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  ASSERT_TRUE(db->FlushMemTable().ok());
+
+  auto rows = FullScan(db.get());
+  EXPECT_EQ(rows.size(), 200u);
+}
+
+TEST(ExecDbTest, SnapshotsPinStateAcrossBackgroundFlushes) {
+  auto env = NewMemEnv();
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(TestOptions(env.get(), ExecutionMode::kBackground,
+                                   GrowthPolicyConfig::VTLevelFull(3)),
+                       &db)
+                  .ok());
+  ASSERT_TRUE(db->Put("pinned", "before").ok());
+  const Snapshot* snap = db->GetSnapshot();
+
+  // Overwrite through several background flush cycles.
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(db->Put(workload::FormatKey(i % 500, 16), "filler").ok());
+  }
+  ASSERT_TRUE(db->Put("pinned", "after").ok());
+  ASSERT_TRUE(db->FlushMemTable().ok());
+
+  std::string value;
+  ASSERT_TRUE(db->Get("pinned", &value, snap).ok());
+  EXPECT_EQ(value, "before");
+  ASSERT_TRUE(db->Get("pinned", &value).ok());
+  EXPECT_EQ(value, "after");
+  db->ReleaseSnapshot(snap);
+}
+
+TEST(ExecDbTest, FlushMemTableDrainsBackgroundWork) {
+  auto env = NewMemEnv();
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(TestOptions(env.get(), ExecutionMode::kBackground,
+                                   GrowthPolicyConfig::VTLevelFull(3)),
+                       &db)
+                  .ok());
+  for (int i = 0; i < 3000; i++) {
+    ASSERT_TRUE(
+        db->Put(workload::FormatKey(i % 400, 16), std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(db->FlushMemTable().ok());
+  // After the drain, nothing is buffered: everything lives in the tree.
+  EXPECT_EQ(db->stats().flushes, db->stats().bg_flushes);
+  std::string exec_info;
+  ASSERT_TRUE(db->GetProperty("talus.exec", &exec_info));
+  EXPECT_NE(exec_info.find("imm_queued=0"), std::string::npos);
+}
+
+TEST(ExecDbTest, ReopenAfterBackgroundModeRecovers) {
+  auto env = NewMemEnv();
+  GrowthPolicyConfig policy = GrowthPolicyConfig::VTTierFull(3);
+  std::map<std::string, std::string> model;
+  {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(TestOptions(env.get(), ExecutionMode::kBackground,
+                                     policy),
+                         &db)
+                    .ok());
+    Random rnd(42);
+    for (int i = 0; i < 2500; i++) {
+      std::string key = workload::FormatKey(rnd.Uniform(600), 16);
+      std::string value = "val-" + std::to_string(i);
+      ASSERT_TRUE(db->Put(key, value).ok());
+      model[key] = value;
+    }
+    // Destructor drains background jobs; unflushed tail stays in the WAL.
+  }
+  {
+    // Reopen in inline mode: recovery must replay every live WAL.
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(
+        DB::Open(TestOptions(env.get(), ExecutionMode::kInline, policy), &db)
+            .ok());
+    for (const auto& [k, v] : model) {
+      std::string value;
+      ASSERT_TRUE(db->Get(k, &value).ok()) << k;
+      EXPECT_EQ(value, v);
+    }
+  }
+}
+
+TEST(ExecDbTest, InlineModeReportsInlineExecProperty) {
+  auto env = NewMemEnv();
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(TestOptions(env.get(), ExecutionMode::kInline,
+                                   GrowthPolicyConfig::VTLevelFull(3)),
+                       &db)
+                  .ok());
+  ASSERT_TRUE(db->Put("k", "v").ok());
+  std::string value;
+  ASSERT_TRUE(db->GetProperty("talus.exec", &value));
+  EXPECT_EQ(value, "mode=inline");
+  EXPECT_EQ(db->stats().memtable_switches, 0u);
+  EXPECT_EQ(db->stats().bg_flushes, 0u);
+}
+
+}  // namespace
+}  // namespace talus
