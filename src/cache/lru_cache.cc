@@ -23,10 +23,10 @@ std::shared_ptr<void> LruCache::Lookup(const std::string& key) {
   std::lock_guard<std::mutex> l(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
-    misses_++;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  hits_++;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->value;
 }
@@ -61,6 +61,7 @@ void LruCache::EvictIfNeeded() {
     usage_ -= victim.charge;
     index_.erase(victim.key);
     lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

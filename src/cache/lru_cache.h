@@ -1,8 +1,12 @@
 // LRU block cache with byte-charge accounting. Entries are shared_ptr-held so
-// a block can be evicted while readers still hold it.
+// a block can be evicted while readers still hold it. Fully thread-safe: the
+// table is mutex-guarded and the hit/miss/eviction counters are atomics, so
+// they can be read at any time without the mutex (lock-free read path,
+// DESIGN.md §2.7).
 #ifndef TALUS_CACHE_LRU_CACHE_H_
 #define TALUS_CACHE_LRU_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -39,8 +43,12 @@ class LruCache {
   }
   size_t capacity() const { return capacity_; }
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Entries dropped by capacity pressure (not explicit Erase calls).
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Entry {
@@ -57,8 +65,9 @@ class LruCache {
   LruList lru_;  // Front = most recently used.
   std::unordered_map<std::string, LruList::iterator> index_;
   size_t usage_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace talus

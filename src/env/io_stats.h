@@ -16,16 +16,18 @@
 //    would win every workload.
 //  * CPU epsilons keep memory-only operations from having zero cost.
 //
-// Thread safety: every method takes an internal mutex, because in background
-// execution mode (exec/job_scheduler.h) flush/compaction jobs perform I/O
-// concurrently with foreground reads and WAL appends against the same Env.
-// The mutex is uncontended in inline mode, so the deterministic single-thread
-// experiments are unaffected.
+// Thread safety: lock-free. Every counter is an atomic and the virtual
+// clock advances through a compare-exchange add, so the hot recording
+// paths (one RecordCpu per Get/Scan, one RecordRead per data-block fetch)
+// never serialize the otherwise mutex-free read path (DESIGN.md §2.7). In
+// inline mode operations are single-threaded, so the accumulation order —
+// and therefore every virtual-clock value — is bit-identical to the old
+// mutex-guarded implementation.
 #ifndef TALUS_ENV_IO_STATS_H_
 #define TALUS_ENV_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 
 namespace talus {
 
@@ -42,15 +44,14 @@ struct IoCostModel {
 class IoStats {
  public:
   void RecordRead(uint64_t bytes) {
-    std::lock_guard<std::mutex> l(mu_);
-    read_requests_++;
-    bytes_read_ += bytes;
-    if (sequential_depth_ > 0) {
-      clock_ += model_.seq_read_page_cost * static_cast<double>(bytes) /
-                static_cast<double>(IoCostModel::kPageSize);
+    read_requests_.fetch_add(1, std::memory_order_relaxed);
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    if (sequential_depth_.load(std::memory_order_relaxed) > 0) {
+      AdvanceClock(model_.seq_read_page_cost * static_cast<double>(bytes) /
+                   static_cast<double>(IoCostModel::kPageSize));
     } else {
-      clock_ += model_.read_request_cost +
-                model_.read_page_cost * WholePages(bytes);
+      AdvanceClock(model_.read_request_cost +
+                   model_.read_page_cost * WholePages(bytes));
     }
   }
 
@@ -63,12 +64,10 @@ class IoStats {
   class SequentialScope {
    public:
     explicit SequentialScope(IoStats* stats) : stats_(stats) {
-      std::lock_guard<std::mutex> l(stats_->mu_);
-      stats_->sequential_depth_++;
+      stats_->sequential_depth_.fetch_add(1, std::memory_order_relaxed);
     }
     ~SequentialScope() {
-      std::lock_guard<std::mutex> l(stats_->mu_);
-      stats_->sequential_depth_--;
+      stats_->sequential_depth_.fetch_sub(1, std::memory_order_relaxed);
     }
     SequentialScope(const SequentialScope&) = delete;
     SequentialScope& operator=(const SequentialScope&) = delete;
@@ -77,85 +76,73 @@ class IoStats {
     IoStats* stats_;
   };
   void RecordWrite(uint64_t bytes) {
-    std::lock_guard<std::mutex> l(mu_);
-    write_requests_++;
-    bytes_written_ += bytes;
-    clock_ += model_.write_page_cost * static_cast<double>(bytes) /
-              static_cast<double>(IoCostModel::kPageSize);
+    write_requests_.fetch_add(1, std::memory_order_relaxed);
+    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+    AdvanceClock(model_.write_page_cost * static_cast<double>(bytes) /
+                 static_cast<double>(IoCostModel::kPageSize));
   }
   /// CPU-side work (memtable ops, filter probes) advances the clock a little
   /// so infinitely cheap operations do not yield infinite throughput.
-  void RecordCpu(double units) {
-    std::lock_guard<std::mutex> l(mu_);
-    clock_ += units;
-  }
+  void RecordCpu(double units) { AdvanceClock(units); }
 
   /// Storage footprint tracking (space amplification). MemEnv reports every
   /// byte appended/removed; peak_storage_bytes is the paper's "peak disk
   /// space occupied during runtime".
   void RecordStorageGrowth(uint64_t bytes) {
-    std::lock_guard<std::mutex> l(mu_);
-    storage_bytes_ += bytes;
-    if (storage_bytes_ > peak_storage_bytes_) {
-      peak_storage_bytes_ = storage_bytes_;
+    const uint64_t now =
+        storage_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    uint64_t peak = peak_storage_bytes_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_storage_bytes_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
     }
   }
   void RecordStorageShrink(uint64_t bytes) {
-    std::lock_guard<std::mutex> l(mu_);
-    storage_bytes_ = bytes > storage_bytes_ ? 0 : storage_bytes_ - bytes;
+    uint64_t current = storage_bytes_.load(std::memory_order_relaxed);
+    uint64_t next;
+    do {
+      next = bytes > current ? 0 : current - bytes;
+    } while (!storage_bytes_.compare_exchange_weak(current, next,
+                                                   std::memory_order_relaxed));
   }
 
   uint64_t bytes_read() const {
-    std::lock_guard<std::mutex> l(mu_);
-    return bytes_read_;
+    return bytes_read_.load(std::memory_order_relaxed);
   }
   uint64_t bytes_written() const {
-    std::lock_guard<std::mutex> l(mu_);
-    return bytes_written_;
+    return bytes_written_.load(std::memory_order_relaxed);
   }
   uint64_t read_requests() const {
-    std::lock_guard<std::mutex> l(mu_);
-    return read_requests_;
+    return read_requests_.load(std::memory_order_relaxed);
   }
   uint64_t write_requests() const {
-    std::lock_guard<std::mutex> l(mu_);
-    return write_requests_;
+    return write_requests_.load(std::memory_order_relaxed);
   }
   uint64_t storage_bytes() const {
-    std::lock_guard<std::mutex> l(mu_);
-    return storage_bytes_;
+    return storage_bytes_.load(std::memory_order_relaxed);
   }
   uint64_t peak_storage_bytes() const {
-    std::lock_guard<std::mutex> l(mu_);
-    return peak_storage_bytes_;
+    return peak_storage_bytes_.load(std::memory_order_relaxed);
   }
 
   /// Virtual time elapsed, in cost-model units.
-  double clock() const {
-    std::lock_guard<std::mutex> l(mu_);
-    return clock_;
-  }
+  double clock() const { return clock_.load(std::memory_order_relaxed); }
 
-  void set_cost_model(const IoCostModel& m) {
-    std::lock_guard<std::mutex> l(mu_);
-    model_ = m;
-  }
-  IoCostModel cost_model() const {
-    std::lock_guard<std::mutex> l(mu_);
-    return model_;
-  }
+  /// REQUIRES: no concurrent recording (benchmark setup only).
+  void set_cost_model(const IoCostModel& m) { model_ = m; }
+  IoCostModel cost_model() const { return model_; }
 
   void Reset() {
-    std::lock_guard<std::mutex> l(mu_);
-    bytes_read_ = bytes_written_ = 0;
-    read_requests_ = write_requests_ = 0;
-    clock_ = 0;
+    bytes_read_.store(0, std::memory_order_relaxed);
+    bytes_written_.store(0, std::memory_order_relaxed);
+    read_requests_.store(0, std::memory_order_relaxed);
+    write_requests_.store(0, std::memory_order_relaxed);
+    clock_.store(0, std::memory_order_relaxed);
     // Storage footprint intentionally survives Reset(): files persist across
     // measurement phases; call ResetPeak() to re-arm peak tracking.
   }
   void ResetPeak() {
-    std::lock_guard<std::mutex> l(mu_);
-    peak_storage_bytes_ = storage_bytes_;
+    peak_storage_bytes_.store(storage_bytes_.load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
   }
 
  private:
@@ -164,16 +151,22 @@ class IoStats {
                                IoCostModel::kPageSize);
   }
 
-  mutable std::mutex mu_;
+  void AdvanceClock(double units) {
+    double current = clock_.load(std::memory_order_relaxed);
+    while (!clock_.compare_exchange_weak(current, current + units,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
   IoCostModel model_;
-  int sequential_depth_ = 0;
-  uint64_t bytes_read_ = 0;
-  uint64_t bytes_written_ = 0;
-  uint64_t read_requests_ = 0;
-  uint64_t write_requests_ = 0;
-  uint64_t storage_bytes_ = 0;
-  uint64_t peak_storage_bytes_ = 0;
-  double clock_ = 0;
+  std::atomic<int> sequential_depth_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> read_requests_{0};
+  std::atomic<uint64_t> write_requests_{0};
+  std::atomic<uint64_t> storage_bytes_{0};
+  std::atomic<uint64_t> peak_storage_bytes_{0};
+  std::atomic<double> clock_{0};
 };
 
 }  // namespace talus

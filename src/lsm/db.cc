@@ -53,11 +53,13 @@ class MemTableInserter : public WriteBatch::Handler {
 };
 
 // Iterates a sorted run: files are disjoint and ordered, so this is a simple
-// concatenation with lazy reader opening.
+// concatenation with lazy reader opening. `open` returns a pinned handle;
+// the iterator holds the pin for the file it is currently positioned in, so
+// a table-cache eviction cannot close the reader mid-iteration.
 class RunIterator final : public Iterator {
  public:
   RunIterator(std::vector<FileMetaPtr> files,
-              std::function<SstReader*(uint64_t)> open)
+              std::function<std::shared_ptr<SstReader>(uint64_t)> open)
       : files_(std::move(files)), open_(std::move(open)) {}
 
   bool Valid() const override { return iter_ != nullptr && iter_->Valid(); }
@@ -115,13 +117,14 @@ class RunIterator final : public Iterator {
  private:
   void InitFile() {
     iter_.reset();
+    reader_.reset();
     if (index_ >= files_.size()) return;
-    SstReader* reader = open_(files_[index_]->number);
-    if (reader == nullptr) {
+    reader_ = open_(files_[index_]->number);
+    if (reader_ == nullptr) {
       status_ = Status::IOError("cannot open sst reader");
       return;
     }
-    iter_ = reader->NewIterator();
+    iter_ = reader_->NewIterator();
   }
   void SkipForward() {
     while ((iter_ == nullptr || !iter_->Valid()) &&
@@ -142,21 +145,27 @@ class RunIterator final : public Iterator {
   }
 
   std::vector<FileMetaPtr> files_;
-  std::function<SstReader*(uint64_t)> open_;
+  std::function<std::shared_ptr<SstReader>(uint64_t)> open_;
   size_t index_ = 0;
+  // Declared before iter_ so the iterator (which points into the reader) is
+  // destroyed first.
+  std::shared_ptr<SstReader> reader_;
   std::unique_ptr<Iterator> iter_;
   Status status_;
 };
 
 // User-facing iterator: walks internal keys, surfacing only the newest
-// visible version of each user key and skipping tombstones. Forward only.
-// Pins the memtables backing its children so a background flush retiring an
-// immutable memtable cannot free memory the iterator still reads.
+// version of each user key visible at the view's sequence and skipping
+// tombstones. Forward only. Owns its ReadView, so the memtables and SST
+// files it reads stay alive and the result set is a consistent snapshot no
+// matter what flushes, compactions, or writes happen concurrently.
 class DbIterator final : public Iterator {
  public:
-  DbIterator(std::unique_ptr<Iterator> internal,
-             std::vector<std::shared_ptr<MemTable>> pinned)
-      : internal_(std::move(internal)), pinned_(std::move(pinned)) {}
+  DbIterator(std::shared_ptr<const read::ReadView> view,
+             std::unique_ptr<Iterator> internal)
+      : view_(std::move(view)),
+        internal_(std::move(internal)),
+        sequence_(view_->sequence) {}
 
   bool Valid() const override { return valid_; }
   void SeekToFirst() override {
@@ -167,8 +176,7 @@ class DbIterator final : public Iterator {
   void Seek(const Slice& user_key) override {
     has_current_ = false;
     std::string target;
-    AppendInternalKey(&target, user_key, kMaxSequenceNumber,
-                      kValueTypeForSeek);
+    AppendInternalKey(&target, user_key, sequence_, kValueTypeForSeek);
     internal_->Seek(Slice(target));
     FindNextUserEntry();
   }
@@ -193,6 +201,10 @@ class DbIterator final : public Iterator {
         internal_->Next();
         continue;
       }
+      if (parsed.sequence > sequence_) {
+        internal_->Next();  // Written after this view was pinned.
+        continue;
+      }
       if (has_current_ && parsed.user_key == Slice(key_)) {
         internal_->Next();  // Shadowed older version.
         continue;
@@ -209,8 +221,12 @@ class DbIterator final : public Iterator {
     }
   }
 
+  // view_ is declared first so it is destroyed LAST: the internal iterator
+  // (whose RunIterators hold FileMetaPtrs and reader pins) must release its
+  // references before the view's deleter runs obsolete-file GC.
+  std::shared_ptr<const read::ReadView> view_;
   std::unique_ptr<Iterator> internal_;
-  std::vector<std::shared_ptr<MemTable>> pinned_;
+  SequenceNumber sequence_ = 0;
   bool valid_ = false;
   bool has_current_ = false;
   std::string key_;
@@ -221,6 +237,11 @@ class DbIterator final : public Iterator {
 
 DB::DB(const DbOptions& options) : options_(options) {
   block_cache_ = std::make_unique<LruCache>(options_.block_cache_bytes);
+  table_cache_ = std::make_unique<read::TableCache>(
+      options_.env, options_.path, block_cache_.get(),
+      options_.table_cache_open_files);
+  current_ = new Version();
+  current_->Ref();
 }
 
 DB::~DB() {
@@ -228,6 +249,11 @@ DB::~DB() {
   // member is destroyed. Both calls are idempotent.
   if (scheduler_ != nullptr) scheduler_->Shutdown();
   if (pool_ != nullptr) pool_->Shutdown();
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Best effort: anything still pinned (stray iterator outliving the DB is
+  // undefined behavior anyway) stays on disk and is swept at the next Open.
+  CollectObsoleteLocked();
+  if (current_ != nullptr && current_->Unref()) delete current_;
 }
 
 Status DB::Open(const DbOptions& options, std::unique_ptr<DB>* dbptr) {
@@ -259,7 +285,8 @@ Status DB::Open(const DbOptions& options, std::unique_ptr<DB>* dbptr) {
           "db was created with a different growth policy",
           manifest.policy_name);
     }
-    db->version_ = std::move(manifest.version);
+    db->InstallVersionLocked(
+        std::make_unique<Version>(std::move(manifest.version)));
     db->next_file_number_.store(manifest.next_file_number,
                                 std::memory_order_relaxed);
     db->next_run_id_ = manifest.next_run_id;
@@ -277,6 +304,24 @@ Status DB::Open(const DbOptions& options, std::unique_ptr<DB>* dbptr) {
   }
 
   db->mem_ = std::make_shared<MemTable>();
+
+  // Sweep orphaned SSTs: files on disk but absent from the manifest's
+  // version (left by a crash between a manifest install and deferred GC, or
+  // by a shutdown with pinned iterators). Nothing else runs yet, so every
+  // unreferenced .sst is garbage.
+  {
+    std::vector<std::string> children;
+    if (env->GetChildren(options.path, &children).ok()) {
+      for (const auto& name : children) {
+        uint64_t number = 0;
+        std::string suffix;
+        if (ParseFileName(name, &number, &suffix) && suffix == "sst" &&
+            !db->current_->ReferencesFile(number)) {
+          env->RemoveFile(SstFileName(options.path, number));
+        }
+      }
+    }
+  }
 
   // Recovery and the initial flush run inline (and under the mutex) even in
   // background mode: the exec subsystem starts only once the DB is
@@ -457,7 +502,7 @@ Status DB::MaybeStallLocked(std::unique_lock<std::mutex>& lock) {
   while (true) {
     if (!bg_error_.ok()) return bg_error_;
     const size_t l0_runs =
-        version_.levels.empty() ? 0 : version_.levels[0].runs.size();
+        current_->levels.empty() ? 0 : current_->levels[0].runs.size();
     const exec::StallDecision decision =
         stall_->Decide(imm_.size(), l0_runs);
     if (decision == exec::StallDecision::kStop) {
@@ -473,7 +518,7 @@ Status DB::MaybeStallLocked(std::unique_lock<std::mutex>& lock) {
       bg_cv_.wait(lock, [this] {
         if (!bg_error_.ok()) return true;
         const size_t l0 =
-            version_.levels.empty() ? 0 : version_.levels[0].runs.size();
+            current_->levels.empty() ? 0 : current_->levels[0].runs.size();
         if (stall_->Decide(imm_.size(), l0) != exec::StallDecision::kStop) {
           return true;
         }
@@ -547,15 +592,18 @@ Status DB::BackgroundFlushLocked(std::unique_lock<std::mutex>& lock) {
     // The front partition stays visible to readers (and its WAL stays named
     // by the manifest) until the flush result is installed below.
     ImmPartition part = imm_.front();
-    std::vector<uint64_t> obsolete;
+    std::vector<FileMetaPtr> obsolete;
     s = FlushMemToL0Locked(part.mem.get(), lock, /*allow_unlock=*/true,
                            &obsolete);
     if (!s.ok()) break;
     imm_.pop_front();
     stats_.bg_flushes++;
-    policy_->OnFlushCompleted(version_);
+    policy_->OnFlushCompleted(*current_);
     s = InstallManifestLocked();
-    if (s.ok()) s = DeleteObsoleteFilesLocked(obsolete);
+    if (s.ok()) {
+      MarkObsoleteLocked(std::move(obsolete));
+      s = CollectObsoleteLocked();
+    }
     if (s.ok() && part.wal_number != 0) {
       options_.env->RemoveFile(WalFileName(options_.path, part.wal_number));
     }
@@ -621,13 +669,13 @@ Status DB::FlushMemTable() {
 Status DB::DoFlushLocked(std::unique_lock<std::mutex>& lock) {
   const double stall_start = options_.env->io_stats()->clock();
 
-  std::vector<uint64_t> obsolete;
+  std::vector<FileMetaPtr> obsolete;
   Status s = FlushMemToL0Locked(mem_.get(), lock, /*allow_unlock=*/false,
                                 &obsolete);
   if (!s.ok()) return s;
   mem_ = std::make_shared<MemTable>();
 
-  policy_->OnFlushCompleted(version_);
+  policy_->OnFlushCompleted(*current_);
   s = RunCompactionLoopLocked(lock, /*yield_between_rounds=*/false);
   if (!s.ok()) return s;
 
@@ -638,7 +686,8 @@ Status DB::DoFlushLocked(std::unique_lock<std::mutex>& lock) {
   if (!s.ok()) return s;
   s = InstallManifestLocked();
   if (!s.ok()) return s;
-  s = DeleteObsoleteFilesLocked(obsolete);
+  MarkObsoleteLocked(std::move(obsolete));
+  s = CollectObsoleteLocked();
   if (!s.ok()) return s;
   if (old_wal != 0) {
     options_.env->RemoveFile(WalFileName(options_.path, old_wal));
@@ -652,41 +701,46 @@ Status DB::DoFlushLocked(std::unique_lock<std::mutex>& lock) {
 Status DB::FlushMemToL0Locked(MemTable* mem,
                               std::unique_lock<std::mutex>& lock,
                               bool allow_unlock,
-                              std::vector<uint64_t>* obsolete) {
-  version_.EnsureLevels(
-      static_cast<size_t>(std::max(1, policy_->RequiredLevels(version_))));
+                              std::vector<FileMetaPtr>* obsolete) {
+  EnsurePaddedLocked(
+      static_cast<size_t>(std::max(1, policy_->RequiredLevels(*current_))));
 
-  const MergeMode mode = policy_->FlushMode(version_);
+  const MergeMode mode = policy_->FlushMode(*current_);
   uint64_t bytes_read = 0;
   std::vector<FileMetaPtr> outputs;
 
-  if (mode == MergeMode::kMergeIntoRun && !version_.levels[0].empty()) {
+  if (mode == MergeMode::kMergeIntoRun && !current_->levels[0].empty()) {
     // Leveling flush: merge the memtable with level 0's newest run. Reads
     // existing SSTs, so it stays under the mutex even in background mode.
-    SortedRun& target = version_.levels[0].runs[0];
+    // The edit is prepared on a successor copy and installed atomically;
+    // pinned views keep reading the pre-flush version.
+    auto next = std::make_unique<Version>(*current_);
+    SortedRun& target = next->levels[0].runs[0];
     std::vector<std::unique_ptr<Iterator>> children;
     children.push_back(mem->NewIterator());
     children.push_back(std::make_unique<RunIterator>(
-        target.files, [this](uint64_t n) { return GetReaderLocked(n); }));
+        target.files,
+        [this](uint64_t n) { return table_cache_->GetReader(n); }));
     auto merged = NewMergingIterator(InternalKeyComparator(),
                                      std::move(children));
     merged->SeekToFirst();
     OutputSpec spec;
     spec.output_level = 0;
-    spec.drop_tombstones = version_.BottommostNonEmptyLevel() <= 0 &&
-                           version_.levels[0].runs.size() == 1;
+    spec.drop_tombstones = next->BottommostNonEmptyLevel() <= 0 &&
+                           next->levels[0].runs.size() == 1;
     spec.bits_per_key = BitsPerKeyForLevelLocked(0);
     spec.smallest_snapshot = SmallestLiveSnapshotLocked();
     Status s = WriteSortedOutput(merged.get(), spec, &bytes_read, &outputs);
     if (!s.ok()) return s;
-    for (const auto& f : target.files) obsolete->push_back(f->number);
+    for (const auto& f : target.files) obsolete->push_back(f);
     uint64_t written = 0;
     for (const auto& f : outputs) written += f->file_size;
     stats_.flush_bytes_written += written;
     target.files = std::move(outputs);
     if (target.files.empty()) {
-      version_.levels[0].runs.erase(version_.levels[0].runs.begin());
+      next->levels[0].runs.erase(next->levels[0].runs.begin());
     }
+    InstallVersionLocked(std::move(next));
   } else {
     // Tiering flush (or empty level 0): new run at the front. The input is
     // the (immutable) memtable only, so in background mode the mutex is
@@ -695,7 +749,7 @@ Status DB::FlushMemToL0Locked(MemTable* mem,
     // file numbers come from an atomic counter.
     OutputSpec spec;
     spec.output_level = 0;
-    spec.drop_tombstones = version_.BottommostNonEmptyLevel() < 0;
+    spec.drop_tombstones = current_->BottommostNonEmptyLevel() < 0;
     spec.bits_per_key = BitsPerKeyForLevelLocked(0);
     spec.smallest_snapshot = SmallestLiveSnapshotLocked();
     auto iter = mem->NewIterator();
@@ -713,15 +767,17 @@ Status DB::FlushMemToL0Locked(MemTable* mem,
     for (const auto& f : outputs) written += f->file_size;
     stats_.flush_bytes_written += written;
     if (!outputs.empty()) {
-      // Re-read level 0 after the relock: a concurrent compaction may have
-      // reshaped it, but this run is still the newest data and belongs at
-      // the front.
-      version_.EnsureLevels(1);
+      // Copy the post-relock state: a concurrent compaction may have
+      // reshaped level 0, but this run is still the newest data and belongs
+      // at the front.
+      auto next = std::make_unique<Version>(*current_);
+      next->EnsureLevels(1);
       SortedRun run;
       run.run_id = next_run_id_++;
       run.files = std::move(outputs);
-      version_.levels[0].runs.insert(version_.levels[0].runs.begin(),
-                                     std::move(run));
+      next->levels[0].runs.insert(next->levels[0].runs.begin(),
+                                  std::move(run));
+      InstallVersionLocked(std::move(next));
     }
   }
 
@@ -735,13 +791,17 @@ Status DB::RunCompactionLoopLocked(std::unique_lock<std::mutex>& lock,
                                    bool yield_between_rounds) {
   // Bounded to catch policy bugs that would loop forever.
   for (int rounds = 0; rounds < 100000; rounds++) {
-    version_.EnsureLevels(
-        static_cast<size_t>(std::max(1, policy_->RequiredLevels(version_))));
-    auto req = policy_->PickCompaction(version_);
+    EnsurePaddedLocked(
+        static_cast<size_t>(std::max(1, policy_->RequiredLevels(*current_))));
+    auto req = policy_->PickCompaction(*current_);
     if (!req.has_value()) return Status::OK();
     Status s = ExecuteCompactionLocked(*req);
     if (!s.ok()) return s;
-    policy_->OnCompactionCompleted(*req, version_);
+    policy_->OnCompactionCompleted(*req, *current_);
+    // The merge locals inside ExecuteCompactionLocked have released their
+    // file references by now, so unpinned inputs are deleted here.
+    s = CollectObsoleteLocked();
+    if (!s.ok()) return s;
     if (yield_between_rounds) {
       stats_.bg_compactions++;
       // Let stalled writers and readers interleave between rounds. The
@@ -758,7 +818,10 @@ Status DB::RunCompactionLoopLocked(std::unique_lock<std::mutex>& lock,
 }
 
 Status DB::ExecuteCompactionLocked(const CompactionRequest& req) {
-  version_.EnsureLevels(static_cast<size_t>(req.output_level) + 1);
+  // All resolution and mutation happens on a successor copy; lock-free
+  // readers keep walking the current version until the install below.
+  auto next = std::make_unique<Version>(*current_);
+  next->EnsureLevels(static_cast<size_t>(req.output_level) + 1);
 
   // ---- Resolve input files. ----
   struct ResolvedInput {
@@ -772,10 +835,10 @@ Status DB::ExecuteCompactionLocked(const CompactionRequest& req) {
   bool have_range = false;
 
   for (const auto& in : req.inputs) {
-    if (in.level < 0 || in.level >= static_cast<int>(version_.levels.size())) {
+    if (in.level < 0 || in.level >= static_cast<int>(next->levels.size())) {
       return Status::InvalidArgument("compaction input level out of range");
     }
-    SortedRun* run = version_.levels[in.level].FindRun(in.run_id);
+    SortedRun* run = next->levels[in.level].FindRun(in.run_id);
     if (run == nullptr) {
       return Status::InvalidArgument("compaction input run not found");
     }
@@ -812,7 +875,7 @@ Status DB::ExecuteCompactionLocked(const CompactionRequest& req) {
   if (!have_range) return Status::OK();  // Nothing to do.
 
   // ---- Resolve the output target (leveling-style merge). ----
-  LevelState& out_level = version_.levels[req.output_level];
+  LevelState& out_level = next->levels[req.output_level];
   SortedRun* target_run = nullptr;
   std::vector<FileMetaPtr> target_overlaps;
   if (req.output_run_id.has_value()) {
@@ -833,8 +896,8 @@ Status DB::ExecuteCompactionLocked(const CompactionRequest& req) {
   // consumed, so they do not count).
   bool older_data_below = false;
   for (size_t l = req.output_level;
-       l < version_.levels.size() && !older_data_below; l++) {
-    for (const auto& run : version_.levels[l].runs) {
+       l < next->levels.size() && !older_data_below; l++) {
+    for (const auto& run : next->levels[l].runs) {
       if (run.files.empty()) continue;
       if (l == static_cast<size_t>(req.output_level)) {
         if (target_run != nullptr && run.run_id == target_run->run_id) {
@@ -872,7 +935,7 @@ Status DB::ExecuteCompactionLocked(const CompactionRequest& req) {
 
   // ---- Merge. ----
   std::vector<std::unique_ptr<Iterator>> children;
-  auto open = [this](uint64_t n) { return GetReaderLocked(n); };
+  auto open = [this](uint64_t n) { return table_cache_->GetReader(n); };
   for (const auto& ri : resolved) {
     children.push_back(std::make_unique<RunIterator>(ri.files, open));
   }
@@ -898,11 +961,11 @@ Status DB::ExecuteCompactionLocked(const CompactionRequest& req) {
   stats_.compaction_bytes_written += output_bytes;
 
   // ---- Install the result. ----
-  std::vector<uint64_t> obsolete;
+  std::vector<FileMetaPtr> obsolete;
   for (const auto& ri : resolved) {
-    for (const auto& f : ri.files) obsolete.push_back(f->number);
+    for (const auto& f : ri.files) obsolete.push_back(f);
   }
-  for (const auto& f : target_overlaps) obsolete.push_back(f->number);
+  for (const auto& f : target_overlaps) obsolete.push_back(f);
 
   // For kReplaceInputs, note the position of the youngest consumed run in
   // the output level before mutation.
@@ -920,7 +983,7 @@ Status DB::ExecuteCompactionLocked(const CompactionRequest& req) {
   }
 
   for (const auto& ri : resolved) {
-    LevelState& level = version_.levels[ri.level];
+    LevelState& level = next->levels[ri.level];
     SortedRun* run = level.FindRun(ri.run_id);
     assert(run != nullptr);
     if (ri.whole_run) {
@@ -968,13 +1031,15 @@ Status DB::ExecuteCompactionLocked(const CompactionRequest& req) {
   }
 
   // Drop now-empty runs everywhere.
-  for (auto& level : version_.levels) {
+  for (auto& level : next->levels) {
     auto& runs = level.runs;
     runs.erase(std::remove_if(
                    runs.begin(), runs.end(),
                    [](const SortedRun& r) { return r.files.empty(); }),
                runs.end());
   }
+
+  InstallVersionLocked(std::move(next));
 
   stats_.compactions++;
   stats_.compaction_bytes_read += bytes_read;
@@ -987,10 +1052,13 @@ Status DB::ExecuteCompactionLocked(const CompactionRequest& req) {
   ls.bytes_read += bytes_read;
   ls.bytes_written += output_bytes;
 
-  // Persist the new structure before dropping the inputs (crash safety).
+  // Persist the new structure before queueing the inputs for deletion
+  // (crash safety); the caller runs CollectObsoleteLocked once its merge
+  // locals have dropped their file references.
   s = InstallManifestLocked();
   if (!s.ok()) return s;
-  return DeleteObsoleteFilesLocked(obsolete);
+  MarkObsoleteLocked(std::move(obsolete));
+  return Status::OK();
 }
 
 Status DB::CompactAll() {
@@ -998,12 +1066,12 @@ Status DB::CompactAll() {
   if (!s.ok()) return s;
 
   std::unique_lock<std::mutex> lock(mutex_);
-  const int bottom = version_.BottommostNonEmptyLevel();
+  const int bottom = current_->BottommostNonEmptyLevel();
   if (bottom < 0) return Status::OK();
 
   CompactionRequest req;
   for (int level = 0; level <= bottom; level++) {
-    for (const auto& run : version_.levels[level].runs) {
+    for (const auto& run : current_->levels[level].runs) {
       req.inputs.push_back({level, run.run_id, {}});
     }
   }
@@ -1013,19 +1081,19 @@ Status DB::CompactAll() {
   req.reason = "manual-compact-all";
   s = ExecuteCompactionLocked(req);
   if (!s.ok()) return s;
-  policy_->OnCompactionCompleted(req, version_);
-  return Status::OK();
+  policy_->OnCompactionCompleted(req, *current_);
+  return CollectObsoleteLocked();
 }
 
 bool DB::GetProperty(const std::string& property, std::string* value) {
   value->clear();
   std::unique_lock<std::mutex> lock(mutex_);
   if (property == "talus.levels") {
-    *value = version_.DebugString();
+    *value = current_->DebugString();
     return true;
   }
   if (property == "talus.num-runs") {
-    *value = std::to_string(version_.TotalRuns());
+    *value = std::to_string(current_->TotalRuns());
     return true;
   }
   if (property == "talus.data-bytes") {
@@ -1057,7 +1125,25 @@ bool DB::GetProperty(const std::string& property, std::string* value) {
         static_cast<unsigned long long>(stats_.stall_micros),
         static_cast<unsigned long long>(stats_.stall_slowdowns),
         static_cast<unsigned long long>(stats_.stall_stops));
-    *value = buf;
+    const read::TableCache::Stats tc = table_cache_->GetStats();
+    char caches[512];
+    std::snprintf(
+        caches, sizeof(caches),
+        " bc_hits=%llu bc_misses=%llu bc_evictions=%llu bc_usage=%zu "
+        "bc_cap=%zu tc_hits=%llu tc_misses=%llu tc_opens=%llu "
+        "tc_evictions=%llu tc_open_readers=%zu tc_cap=%zu "
+        "gc_pending=%zu gc_deleted=%llu",
+        static_cast<unsigned long long>(block_cache_->hits()),
+        static_cast<unsigned long long>(block_cache_->misses()),
+        static_cast<unsigned long long>(block_cache_->evictions()),
+        block_cache_->usage(), block_cache_->capacity(),
+        static_cast<unsigned long long>(tc.hits),
+        static_cast<unsigned long long>(tc.misses),
+        static_cast<unsigned long long>(tc.opens),
+        static_cast<unsigned long long>(tc.evictions), tc.open_readers,
+        tc.capacity, gc_pending_.size(),
+        static_cast<unsigned long long>(stats_.obsolete_files_deleted));
+    *value = std::string(buf) + caches;
     return true;
   }
   if (property == "talus.cstats") {
@@ -1206,7 +1292,7 @@ Status DB::InstallManifestLocked() {
   data.wal_number = OldestLiveWalLocked();
   data.policy_name = policy_->name();
   data.policy_state = policy_->EncodeState();
-  data.version = version_;
+  data.version = *current_;
 
   const uint64_t new_number = manifest_number_ + 1;
   Status s = WriteManifestSnapshot(options_.env, options_.path, new_number,
@@ -1220,39 +1306,92 @@ Status DB::InstallManifestLocked() {
   return Status::OK();
 }
 
-Status DB::DeleteObsoleteFilesLocked(const std::vector<uint64_t>& files) {
-  for (uint64_t number : files) {
-    ForgetFileLocked(number);
+void DB::InstallVersionLocked(std::unique_ptr<Version> next) {
+  next->Ref();
+  Version* old = current_;
+  current_ = next.release();
+  if (old != nullptr && old->Unref()) delete old;
+}
+
+void DB::EnsurePaddedLocked(size_t min_levels) {
+  if (current_->levels.size() >= min_levels) return;
+  auto padded = std::make_unique<Version>(*current_);
+  padded->EnsureLevels(min_levels);
+  InstallVersionLocked(std::move(padded));
+}
+
+void DB::MarkObsoleteLocked(std::vector<FileMetaPtr> files) {
+  for (auto& f : files) gc_pending_.push_back(std::move(f));
+  gc_pending_count_.store(gc_pending_.size(), std::memory_order_release);
+}
+
+Status DB::CollectObsoleteLocked() {
+  Status result;
+  for (auto it = gc_pending_.begin(); it != gc_pending_.end();) {
+    // use_count() == 1 means the queue's own reference is the last: every
+    // version, view, and iterator has let go. A stale concurrent read can
+    // only over-count, which defers (never corrupts) the deletion.
+    if (it->use_count() > 1) {
+      ++it;
+      continue;
+    }
+    const uint64_t number = (*it)->number;
+    table_cache_->Evict(number);
     Status s = options_.env->RemoveFile(SstFileName(options_.path, number));
-    if (!s.ok()) return s;
+    if (!s.ok() && !s.IsNotFound()) {
+      // Keep the entry so the next collection retries the deletion.
+      if (result.ok()) result = s;
+      ++it;
+      continue;
+    }
+    it = gc_pending_.erase(it);
+    stats_.obsolete_files_deleted++;
   }
-  return Status::OK();
+  gc_pending_count_.store(gc_pending_.size(), std::memory_order_release);
+  return result;
 }
 
-SstReader* DB::GetReaderLocked(uint64_t file_number) {
-  auto it = readers_.find(file_number);
-  if (it != readers_.end()) return it->second.get();
-  std::unique_ptr<SstReader> reader;
-  Status s =
-      SstReader::Open(options_.env, SstFileName(options_.path, file_number),
-                      file_number, block_cache_.get(), &reader);
-  if (!s.ok()) return nullptr;
-  SstReader* raw = reader.get();
-  readers_[file_number] = std::move(reader);
-  return raw;
+std::shared_ptr<const read::ReadView> DB::AcquireReadView() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return AcquireReadViewLocked();
 }
 
-void DB::ForgetFileLocked(uint64_t file_number) {
-  readers_.erase(file_number);
-  std::string prefix;
-  PutFixed64(&prefix, file_number);
-  block_cache_->EraseByPrefix(prefix);
+std::shared_ptr<const read::ReadView> DB::AcquireReadViewLocked() {
+  auto* view = new read::ReadView;
+  current_->Ref();
+  view->version = current_;
+  view->mem = mem_;
+  view->imm.reserve(imm_.size());
+  for (auto it = imm_.rbegin(); it != imm_.rend(); ++it) {
+    view->imm.push_back(it->mem);
+  }
+  view->sequence = last_sequence_;
+  return std::shared_ptr<const read::ReadView>(
+      view, [this](const read::ReadView* v) { ReleaseReadView(v); });
+}
+
+void DB::ReleaseReadView(const read::ReadView* view) {
+  std::unique_ptr<const read::ReadView> owned(view);
+  const Version* version = view->version;
+  // Fast path: no files awaiting GC and the version outlives this view (the
+  // DB itself still references it) — pure refcount traffic, no mutex.
+  if (gc_pending_count_.load(std::memory_order_acquire) == 0) {
+    if (!version->Unref()) return;
+    // Last reference to a replaced version; its files were either adopted
+    // by successors or already collected (the GC queue is empty).
+    delete version;
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (version->Unref()) delete version;
+  Status s = CollectObsoleteLocked();
+  if (!s.ok() && is_background() && bg_error_.ok()) bg_error_ = s;
 }
 
 double DB::BitsPerKeyForLevelLocked(int level) const {
   auto allocator =
       NewFilterAllocator(options_.filter_layout, options_.bloom_bits_per_key);
-  return allocator->BitsForLevel(policy_->FilterInfo(version_), level);
+  return allocator->BitsForLevel(policy_->FilterInfo(*current_), level);
 }
 
 Status DB::Get(const Slice& key, std::string* value) {
@@ -1261,32 +1400,41 @@ Status DB::Get(const Slice& key, std::string* value) {
 
 Status DB::Get(const Slice& key, std::string* value,
                const Snapshot* snapshot) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  return GetLocked(key, value, snapshot);
+  // The view pin is the only mutex acquisition on the lookup path; the
+  // probe itself runs against immutable state and the lock-free memtables.
+  auto view = AcquireReadView();
+  options_.env->io_stats()->RecordCpu(options_.cpu_cost_per_read);
+  LookupKey lkey(
+      key, snapshot != nullptr ? snapshot->sequence() : view->sequence);
+
+  ReadProbeStats probe;
+  Status result = GetFromView(*view, lkey, value, &probe);
+
+  // Read-path stats are relaxed atomics: no second mutex acquisition.
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  if (result.ok()) stats_.gets_found.fetch_add(1, std::memory_order_relaxed);
+  stats_.runs_probed.fetch_add(probe.runs_probed, std::memory_order_relaxed);
+  stats_.filter_negatives.fetch_add(probe.filter_negatives,
+                                    std::memory_order_relaxed);
+  stats_.data_block_reads.fetch_add(probe.block_reads,
+                                    std::memory_order_relaxed);
+  stats_.block_cache_hits.fetch_add(probe.cache_hits,
+                                    std::memory_order_relaxed);
+  mix_tracker_.RecordPointLookup();
+  return result;
 }
 
-Status DB::GetLocked(const Slice& key, std::string* value,
-                     const Snapshot* snapshot) {
-  stats_.gets++;
-  mix_tracker_.RecordPointLookup();
-  options_.env->io_stats()->RecordCpu(options_.cpu_cost_per_read);
-  LookupKey lkey(key,
-                 snapshot != nullptr ? snapshot->sequence() : last_sequence_);
-
+Status DB::GetFromView(const read::ReadView& view, const LookupKey& lkey,
+                       std::string* value, ReadProbeStats* probe) {
   Status s;
-  if (mem_->Get(lkey, value, &s)) {
-    if (s.ok()) stats_.gets_found++;
-    return s;
-  }
-  // Immutable memtables, newest first (back() is the most recent switch).
-  for (auto it = imm_.rbegin(); it != imm_.rend(); ++it) {
-    if (it->mem->Get(lkey, value, &s)) {
-      if (s.ok()) stats_.gets_found++;
-      return s;
-    }
+  if (view.mem->Get(lkey, value, &s)) return s;
+  // Immutable memtables, newest first.
+  for (const auto& mem : view.imm) {
+    if (mem->Get(lkey, value, &s)) return s;
   }
 
-  for (const auto& level : version_.levels) {
+  const Slice key = lkey.user_key();
+  for (const auto& level : view.version->levels) {
     for (const auto& run : level.runs) {
       // Locate the single file that may contain the key.
       const auto& files = run.files;
@@ -1302,63 +1450,60 @@ Status DB::GetLocked(const Slice& key, std::string* value,
       if (left == files.size()) continue;
       if (files[left]->smallest.user_key().compare(key) > 0) continue;
 
-      stats_.runs_probed++;
-      SstReader* reader = GetReaderLocked(files[left]->number);
+      probe->runs_probed++;
+      std::shared_ptr<SstReader> reader =
+          table_cache_->GetReader(files[left]->number);
       if (reader == nullptr) {
         return Status::IOError("cannot open sst for read");
       }
       SstReader::GetStats gs;
       bool decided = reader->Get(lkey, value, &s, &gs);
-      if (gs.filter_negative) stats_.filter_negatives++;
-      if (gs.block_read) stats_.data_block_reads++;
-      if (gs.cache_hit) stats_.block_cache_hits++;
-      if (decided) {
-        if (s.ok()) stats_.gets_found++;
-        return s;
-      }
+      if (gs.filter_negative) probe->filter_negatives++;
+      if (gs.block_read) probe->block_reads++;
+      if (gs.cache_hit) probe->cache_hits++;
+      if (decided) return s;
     }
   }
   return Status::NotFound(Slice());
 }
 
 std::unique_ptr<Iterator> DB::NewIterator() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  return NewIteratorLocked();
+  return NewPinnedIterator(AcquireReadView());
 }
 
-std::unique_ptr<Iterator> DB::NewIteratorLocked() {
+std::unique_ptr<Iterator> DB::NewPinnedIterator(
+    std::shared_ptr<const read::ReadView> view) {
   std::vector<std::unique_ptr<Iterator>> children;
-  std::vector<std::shared_ptr<MemTable>> pinned;
-  children.push_back(mem_->NewIterator());
-  pinned.push_back(mem_);
-  for (auto it = imm_.rbegin(); it != imm_.rend(); ++it) {
-    children.push_back(it->mem->NewIterator());
-    pinned.push_back(it->mem);
+  children.push_back(view->mem->NewIterator());
+  for (const auto& mem : view->imm) {
+    children.push_back(mem->NewIterator());
   }
-  auto open = [this](uint64_t n) { return GetReaderLocked(n); };
-  for (const auto& level : version_.levels) {
+  auto open = [this](uint64_t n) { return table_cache_->GetReader(n); };
+  for (const auto& level : view->version->levels) {
     for (const auto& run : level.runs) {
       children.push_back(std::make_unique<RunIterator>(run.files, open));
     }
   }
   auto merged =
       NewMergingIterator(InternalKeyComparator(), std::move(children));
-  return std::make_unique<DbIterator>(std::move(merged), std::move(pinned));
+  return std::make_unique<DbIterator>(std::move(view), std::move(merged));
 }
 
 Status DB::Scan(const Slice& start, size_t count,
                 std::vector<std::pair<std::string, std::string>>* out) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  stats_.scans++;
-  mix_tracker_.RecordRangeLookup();
+  // Pin once, then iterate with no lock held: the view's sequence bound
+  // makes the whole scan a consistent snapshot even while writers and
+  // background maintenance proceed.
+  auto iter = NewPinnedIterator(AcquireReadView());
   options_.env->io_stats()->RecordCpu(options_.cpu_cost_per_read);
   out->clear();
-  auto iter = NewIteratorLocked();
   iter->Seek(start);
   while (iter->Valid() && out->size() < count) {
     out->emplace_back(iter->key().ToString(), iter->value().ToString());
     iter->Next();
   }
+  stats_.scans.fetch_add(1, std::memory_order_relaxed);
+  mix_tracker_.RecordRangeLookup();
   return iter->status();
 }
 
@@ -1370,7 +1515,7 @@ uint64_t DB::ApproximateDataBytes() const {
 uint64_t DB::ApproximateDataBytesLocked() const {
   uint64_t total = mem_->payload_bytes();
   for (const auto& part : imm_) total += part.mem->payload_bytes();
-  for (const auto& level : version_.levels) {
+  for (const auto& level : current_->levels) {
     total += level.PayloadBytes();
   }
   return total;
@@ -1378,7 +1523,7 @@ uint64_t DB::ApproximateDataBytesLocked() const {
 
 std::string DB::DebugString() const {
   std::unique_lock<std::mutex> lock(mutex_);
-  return version_.DebugString();
+  return current_->DebugString();
 }
 
 }  // namespace talus

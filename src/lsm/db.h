@@ -12,11 +12,13 @@
 //    Put/Delete/Write/Get/Scan/snapshots are then safe to call from any
 //    number of threads.
 //
-// Locking: one mutex guards all mutable DB state (memtables, version, WAL,
-// stats, snapshots, readers). Background flush jobs drop the mutex while
-// building SST files from an immutable memtable, so foreground traffic
-// overlaps the dominant flush I/O; all metadata installation happens with
-// the mutex held. See DESIGN.md §2.3 for the full rules.
+// Locking: one mutex guards the mutable DB state (memtables, version
+// pointer, WAL, stats, snapshots, GC list). The read path does NOT hold it:
+// Get/Scan/NewIterator pin a read::ReadView in one O(1) critical section and
+// then run lock-free against the immutable Version, the lock-free-read
+// memtables, and the sharded table cache (DESIGN.md §2.3/§2.7). Background
+// flush jobs drop the mutex while building SST files from an immutable
+// memtable; all metadata installation happens with the mutex held.
 #ifndef TALUS_LSM_DB_H_
 #define TALUS_LSM_DB_H_
 
@@ -28,7 +30,6 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include <set>
@@ -43,12 +44,16 @@
 #include "lsm/write_batch.h"
 #include "mem/memtable.h"
 #include "policy/growth_policy.h"
-#include "table/sst_reader.h"
+#include "read/read_view.h"
+#include "read/table_cache.h"
 #include "wal/log_writer.h"
 
 namespace talus {
 
 /// Cumulative engine statistics (virtual-clock based where noted).
+/// Write-path fields are updated under the DB mutex; read-path fields are
+/// relaxed atomics because Get/Scan run without the mutex (DESIGN.md §2.7).
+/// Copying takes a field-wise snapshot.
 struct EngineStats {
   // Write path.
   uint64_t puts = 0;
@@ -60,14 +65,18 @@ struct EngineStats {
   uint64_t compaction_bytes_written = 0;
   uint64_t user_payload_written = 0;  // Key+value bytes accepted from users.
 
-  // Read path.
-  uint64_t gets = 0;
-  uint64_t gets_found = 0;
-  uint64_t scans = 0;
-  uint64_t runs_probed = 0;
-  uint64_t filter_negatives = 0;
-  uint64_t data_block_reads = 0;
-  uint64_t block_cache_hits = 0;
+  // Read path (mutex-free increments).
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> gets_found{0};
+  std::atomic<uint64_t> scans{0};
+  std::atomic<uint64_t> runs_probed{0};
+  std::atomic<uint64_t> filter_negatives{0};
+  std::atomic<uint64_t> data_block_reads{0};
+  std::atomic<uint64_t> block_cache_hits{0};
+
+  // Obsolete SSTs physically deleted after their deferred-GC pin count
+  // dropped to zero (DESIGN.md §2.7).
+  uint64_t obsolete_files_deleted = 0;
 
   // Longest single inline flush+compaction stall, in virtual clock units.
   double max_stall_clock = 0;
@@ -88,6 +97,37 @@ struct EngineStats {
     uint64_t bytes_written = 0;
   };
   std::vector<LevelStats> level_stats;
+
+  EngineStats() = default;
+  EngineStats(const EngineStats& o) { *this = o; }
+  EngineStats& operator=(const EngineStats& o) {
+    puts = o.puts;
+    deletes = o.deletes;
+    flushes = o.flushes;
+    compactions = o.compactions;
+    flush_bytes_written = o.flush_bytes_written;
+    compaction_bytes_read = o.compaction_bytes_read;
+    compaction_bytes_written = o.compaction_bytes_written;
+    user_payload_written = o.user_payload_written;
+    gets.store(o.gets.load());
+    gets_found.store(o.gets_found.load());
+    scans.store(o.scans.load());
+    runs_probed.store(o.runs_probed.load());
+    filter_negatives.store(o.filter_negatives.load());
+    data_block_reads.store(o.data_block_reads.load());
+    block_cache_hits.store(o.block_cache_hits.load());
+    obsolete_files_deleted = o.obsolete_files_deleted;
+    max_stall_clock = o.max_stall_clock;
+    memtable_switches = o.memtable_switches;
+    bg_flushes = o.bg_flushes;
+    bg_compactions = o.bg_compactions;
+    stall_slowdowns = o.stall_slowdowns;
+    stall_stops = o.stall_stops;
+    stall_micros = o.stall_micros;
+    max_imm_queue_depth = o.max_imm_queue_depth;
+    level_stats = o.level_stats;
+    return *this;
+  }
 
   /// Physical bytes written per user payload byte.
   double WriteAmplification() const {
@@ -147,23 +187,32 @@ class DB {
   bool GetProperty(const std::string& property, std::string* value);
 
   /// Collects up to `count` live entries with user key >= start, in order.
-  /// Safe against concurrent writes in background mode (the whole scan runs
-  /// under the DB mutex).
+  /// Runs on a pinned ReadView without the DB mutex, so it observes a
+  /// consistent snapshot while writers and background maintenance proceed.
   Status Scan(const Slice& start, size_t count,
               std::vector<std::pair<std::string, std::string>>* out);
 
   /// Forward iterator over live user keys (tombstones and shadowed versions
-  /// skipped). Prev() is not supported. The iterator pins the memtables it
-  /// reads but NOT the on-disk files: callers in background mode must
-  /// quiesce writers for the iterator's lifetime (or use Scan()).
+  /// skipped). Prev() is not supported. The iterator owns a ReadView: it
+  /// pins the memtables AND the on-disk files it reads, observes the
+  /// snapshot current at creation time, and survives concurrent flushes and
+  /// compactions (obsolete files are deleted only after release). Must not
+  /// outlive the DB.
   std::unique_ptr<Iterator> NewIterator();
+
+  /// Pins {version, memtables, sequence} in one O(1) critical section. The
+  /// returned view keeps every SST it references alive; releasing the last
+  /// reference returns the pins and lets deferred GC reclaim files.
+  std::shared_ptr<const read::ReadView> AcquireReadView();
 
   /// Forces a memtable flush (and any compactions it triggers). In
   /// background mode, blocks until the flush and its compactions complete.
   Status FlushMemTable();
 
-  /// Not synchronized: meaningful only while no background job is running.
-  const Version& current_version() const { return version_; }
+  /// Not synchronized: meaningful only while no background job is running,
+  /// and the reference is valid only until the next flush or compaction
+  /// installs a successor version.
+  const Version& current_version() const { return *current_; }
   /// Not synchronized: field reads may race background jobs in kBackground
   /// mode; quiesce (FlushMemTable) before precise accounting.
   const EngineStats& stats() const { return stats_; }
@@ -171,6 +220,7 @@ class DB {
   Env* env() { return options_.env; }
   const DbOptions& options() const { return options_; }
   LruCache* block_cache() { return block_cache_.get(); }
+  read::TableCache* table_cache() { return table_cache_.get(); }
 
   /// Live logical data size: latest-version key+value bytes across tree and
   /// memtable (upper bound — shadowed versions in overlapping runs counted
@@ -197,15 +247,42 @@ class DB {
     SequenceNumber smallest_snapshot = 0;
   };
 
+  /// Per-call read-path counters, folded into stats_ under one brief lock.
+  struct ReadProbeStats {
+    uint64_t runs_probed = 0;
+    uint64_t filter_negatives = 0;
+    uint64_t block_reads = 0;
+    uint64_t cache_hits = 0;
+  };
+
   Status WriteLocked(const WriteBatch& batch,
                      std::unique_lock<std::mutex>& lock);
   Status MaybeStallLocked(std::unique_lock<std::mutex>& lock);
   Status SwitchMemTableLocked();
-  Status GetLocked(const Slice& key, std::string* value,
-                   const Snapshot* snapshot);
-  std::unique_ptr<Iterator> NewIteratorLocked();
   SequenceNumber SmallestLiveSnapshotLocked() const;
   uint64_t ApproximateDataBytesLocked() const;
+
+  // ---- Read path (mutex-free after the view pin; DESIGN.md §2.7) ----
+  std::shared_ptr<const read::ReadView> AcquireReadViewLocked();
+  /// shared_ptr deleter target: returns the view's pins and runs GC.
+  void ReleaseReadView(const read::ReadView* view);
+  Status GetFromView(const read::ReadView& view, const LookupKey& lkey,
+                     std::string* value, ReadProbeStats* probe);
+  std::unique_ptr<Iterator> NewPinnedIterator(
+      std::shared_ptr<const read::ReadView> view);
+
+  // ---- Version lifecycle and obsolete-file GC ----
+  /// Installs `next` as the current version (refs it, unrefs the old one).
+  void InstallVersionLocked(std::unique_ptr<Version> next);
+  /// Installs a padded copy when the current version has fewer than
+  /// `min_levels` levels (versions are immutable; EnsureLevels on the
+  /// current version would race lock-free readers).
+  void EnsurePaddedLocked(size_t min_levels);
+  /// Queues files dropped from the latest version for deferred deletion.
+  void MarkObsoleteLocked(std::vector<FileMetaPtr> files);
+  /// Physically deletes queued files whose last reference is the queue
+  /// itself (no version, view, or iterator still points at them).
+  Status CollectObsoleteLocked();
 
   /// Full inline flush: memtable → L0, compaction loop, WAL rotation.
   Status DoFlushLocked(std::unique_lock<std::mutex>& lock);
@@ -214,7 +291,7 @@ class DB {
   /// released while SST files are built.
   Status FlushMemToL0Locked(MemTable* mem, std::unique_lock<std::mutex>& lock,
                             bool allow_unlock,
-                            std::vector<uint64_t>* obsolete);
+                            std::vector<FileMetaPtr>* obsolete);
   Status RunCompactionLoopLocked(std::unique_lock<std::mutex>& lock,
                                  bool yield_between_rounds);
   Status ExecuteCompactionLocked(const CompactionRequest& req);
@@ -226,9 +303,6 @@ class DB {
   Status RecoverWalsLocked(uint64_t oldest_wal,
                            std::vector<uint64_t>* replayed);
   uint64_t OldestLiveWalLocked() const;
-  SstReader* GetReaderLocked(uint64_t file_number);
-  void ForgetFileLocked(uint64_t file_number);
-  Status DeleteObsoleteFilesLocked(const std::vector<uint64_t>& files);
   double BitsPerKeyForLevelLocked(int level) const;
 
   // Background job bodies (run on pool threads). The outer functions wrap
@@ -246,6 +320,7 @@ class DB {
   DbOptions options_;
   std::unique_ptr<GrowthPolicy> policy_;
   std::unique_ptr<LruCache> block_cache_;
+  std::unique_ptr<read::TableCache> table_cache_;
 
   // Guards every mutable field below unless noted otherwise.
   mutable std::mutex mutex_;
@@ -258,7 +333,18 @@ class DB {
   std::unique_ptr<wal::LogWriter> wal_;
   uint64_t wal_number_ = 0;
 
-  Version version_;
+  // Current version. Heap-allocated and refcounted: the DB holds one
+  // reference, every ReadView one more. Mutations install a successor copy
+  // (InstallVersionLocked) instead of editing in place, so lock-free
+  // readers always walk an immutable object.
+  Version* current_ = nullptr;
+  // Obsolete SSTs awaiting deletion: each entry is the GC queue's own
+  // reference; a file is deleted when that reference is the last one.
+  std::vector<FileMetaPtr> gc_pending_;
+  // Mirror of gc_pending_.size(): lets view release skip the mutex when
+  // nothing is queued.
+  std::atomic<size_t> gc_pending_count_{0};
+
   // Atomic so background SST builds can allocate file numbers while the
   // mutex is released.
   std::atomic<uint64_t> next_file_number_{1};
@@ -266,8 +352,6 @@ class DB {
   uint64_t manifest_number_ = 0;
   SequenceNumber last_sequence_ = 0;
   uint64_t flush_count_ = 0;
-
-  std::unordered_map<uint64_t, std::unique_ptr<SstReader>> readers_;
 
   // Live operation-mix estimator, shared with self-designing policies.
   WorkloadMixTracker mix_tracker_;

@@ -34,6 +34,9 @@ struct DbOptions {
   int block_restart_interval = 16;
 
   size_t block_cache_bytes = 8 << 20;
+  /// Max open SstReaders cached by the read path's table cache (pinned
+  /// handles keep in-use readers alive past eviction). DESIGN.md §2.7.
+  size_t table_cache_open_files = 512;
 
   double bloom_bits_per_key = 5.0;
   FilterLayout filter_layout = FilterLayout::kStatic;

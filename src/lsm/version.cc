@@ -66,6 +66,17 @@ SortedRun* LevelState::FindRun(uint64_t run_id) {
   return nullptr;
 }
 
+bool Version::ReferencesFile(uint64_t number) const {
+  for (const auto& level : levels) {
+    for (const auto& run : level.runs) {
+      for (const auto& f : run.files) {
+        if (f->number == number) return true;
+      }
+    }
+  }
+  return false;
+}
+
 int Version::BottommostNonEmptyLevel() const {
   for (int i = static_cast<int>(levels.size()) - 1; i >= 0; i--) {
     if (!levels[i].empty()) return i;

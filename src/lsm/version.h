@@ -9,6 +9,7 @@
 #ifndef TALUS_LSM_VERSION_H_
 #define TALUS_LSM_VERSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -63,6 +64,35 @@ class Version {
  public:
   std::vector<LevelState> levels;
 
+  Version() = default;
+  // Copies and moves transfer the tree shape only; the reference count
+  // belongs to the object's identity, so the destination starts at zero.
+  Version(const Version& other) : levels(other.levels) {}
+  Version(Version&& other) noexcept : levels(std::move(other.levels)) {}
+  Version& operator=(const Version& other) {
+    if (this != &other) levels = other.levels;
+    return *this;
+  }
+  Version& operator=(Version&& other) noexcept {
+    levels = std::move(other.levels);
+    return *this;
+  }
+
+  /// Reference lifecycle (DESIGN.md §2.7). A Version is immutable once
+  /// installed: the DB holds one reference to the current version and every
+  /// ReadView holds one more, so readers walk `levels` without any lock
+  /// while compactions install successor versions.
+  void Ref() const { refs_.fetch_add(1, std::memory_order_relaxed); }
+  /// Drops one reference. Returns true when this was the last one; the
+  /// caller then owns destruction.
+  bool Unref() const {
+    return refs_.fetch_sub(1, std::memory_order_acq_rel) == 1;
+  }
+  int32_t RefCount() const { return refs_.load(std::memory_order_relaxed); }
+
+  /// True when any run in any level contains file `number`.
+  bool ReferencesFile(uint64_t number) const;
+
   /// Ensures at least n levels exist.
   void EnsureLevels(size_t n) {
     if (levels.size() < n) levels.resize(n);
@@ -79,6 +109,9 @@ class Version {
 
   /// Multi-line structural dump for debugging and the visualizer example.
   std::string DebugString() const;
+
+ private:
+  mutable std::atomic<int32_t> refs_{0};
 };
 
 }  // namespace talus

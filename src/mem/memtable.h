@@ -1,5 +1,10 @@
 // MemTable: the in-memory write buffer. Entries are stored in a skiplist over
 // length-prefixed internal keys; flushing iterates in internal-key order.
+//
+// Concurrency: Add() requires external serialization (the DB mutex), but
+// Get() and iterators are safe without any lock concurrently with one
+// writer — the skiplist publishes nodes with release-stores (skiplist.h),
+// which is what lets the DB read path drop the mutex (DESIGN.md §2.7).
 #ifndef TALUS_MEM_MEMTABLE_H_
 #define TALUS_MEM_MEMTABLE_H_
 

@@ -1,9 +1,13 @@
-// Arena-backed skiplist, the memtable's core index. Single-writer,
-// multi-reader (the engine is single-threaded per DB; the skiplist is still
-// written with the standard lock-free-read discipline for clarity).
+// Arena-backed skiplist, the memtable's core index. Single-writer (the DB
+// mutex serializes Insert), multi-reader: readers traverse with acquire
+// loads and never lock, so Get/Scan/iterators walk the active memtable
+// concurrently with writes (DESIGN.md §2.7). A new node is fully built
+// before the release-store that links it in, so a reader either sees the
+// node completely or not at all.
 #ifndef TALUS_MEM_SKIPLIST_H_
 #define TALUS_MEM_SKIPLIST_H_
 
+#include <atomic>
 #include <cassert>
 #include <cstdlib>
 
@@ -32,23 +36,28 @@ class SkipList {
   SkipList(const SkipList&) = delete;
   SkipList& operator=(const SkipList&) = delete;
 
-  /// REQUIRES: nothing that compares equal to key is currently in the list.
+  /// REQUIRES: nothing that compares equal to key is currently in the list,
+  /// and no other Insert is running (external synchronization).
   void Insert(const Key& key) {
     Node* prev[kMaxHeight];
     Node* x = FindGreaterOrEqual(key, prev);
     assert(x == nullptr || !Equal(key, x->key));
 
     int height = RandomHeight();
-    if (height > max_height_) {
-      for (int i = max_height_; i < height; i++) {
+    if (height > GetMaxHeight()) {
+      for (int i = GetMaxHeight(); i < height; i++) {
         prev[i] = head_;
       }
-      max_height_ = height;
+      // Concurrent readers observing the new height before the new node is
+      // linked just fall through head_'s nullptr at the extra levels.
+      max_height_.store(height, std::memory_order_relaxed);
     }
 
     x = NewNode(key, height);
     for (int i = 0; i < height; i++) {
-      x->SetNext(i, prev[i]->Next(i));
+      // The new node's pointer is not yet visible, so a relaxed store is
+      // enough; the release-store into prev publishes the whole node.
+      x->NoBarrierSetNext(i, prev[i]->NoBarrierNext(i));
       prev[i]->SetNext(i, x);
     }
   }
@@ -100,22 +109,32 @@ class SkipList {
 
     Node* Next(int n) {
       assert(n >= 0);
-      return next_[n];
+      return next_[n].load(std::memory_order_acquire);
     }
     void SetNext(int n, Node* x) {
       assert(n >= 0);
-      next_[n] = x;
+      next_[n].store(x, std::memory_order_release);
+    }
+    Node* NoBarrierNext(int n) {
+      return next_[n].load(std::memory_order_relaxed);
+    }
+    void NoBarrierSetNext(int n, Node* x) {
+      next_[n].store(x, std::memory_order_relaxed);
     }
 
    private:
     // Flexible array: actual length equals the node's height.
-    Node* next_[1];
+    std::atomic<Node*> next_[1];
   };
 
   Node* NewNode(const Key& key, int height) {
-    char* mem = arena_->AllocateAligned(sizeof(Node) +
-                                        sizeof(Node*) * (height - 1));
+    char* mem = arena_->AllocateAligned(
+        sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1));
     return new (mem) Node(key);
+  }
+
+  int GetMaxHeight() const {
+    return max_height_.load(std::memory_order_relaxed);
   }
 
   int RandomHeight() {
@@ -134,7 +153,7 @@ class SkipList {
 
   Node* FindGreaterOrEqual(const Key& key, Node** prev) const {
     Node* x = head_;
-    int level = max_height_ - 1;
+    int level = GetMaxHeight() - 1;
     while (true) {
       Node* next = x->Next(level);
       if (KeyIsAfterNode(key, next)) {
@@ -149,7 +168,7 @@ class SkipList {
 
   Node* FindLessThan(const Key& key) const {
     Node* x = head_;
-    int level = max_height_ - 1;
+    int level = GetMaxHeight() - 1;
     while (true) {
       Node* next = x->Next(level);
       if (next == nullptr || compare_(next->key, key) >= 0) {
@@ -163,7 +182,7 @@ class SkipList {
 
   Node* FindLast() const {
     Node* x = head_;
-    int level = max_height_ - 1;
+    int level = GetMaxHeight() - 1;
     while (true) {
       Node* next = x->Next(level);
       if (next == nullptr) {
@@ -178,7 +197,7 @@ class SkipList {
   Comparator const compare_;
   Arena* const arena_;
   Node* const head_;
-  int max_height_;
+  std::atomic<int> max_height_;
   Random rnd_;
 };
 

@@ -1,0 +1,41 @@
+// ReadView: everything a read needs, captured in one O(1) critical section
+// (DESIGN.md §2.7). A view pins
+//   * one reference on the Version current at capture time (keeps the tree
+//     shape and, transitively, every SST file it names alive),
+//   * shared ownership of the active and immutable memtables,
+//   * the visibility sequence for the read.
+// After the pin, Get/Scan/iterators run entirely without the DB mutex;
+// background flushes and compactions install successor versions and the
+// deferred-GC machinery deletes obsolete files only once no view references
+// them. Views are handed out by DB::AcquireReadView() as shared_ptrs whose
+// deleter returns the references to the DB.
+#ifndef TALUS_READ_READ_VIEW_H_
+#define TALUS_READ_READ_VIEW_H_
+
+#include <memory>
+#include <vector>
+
+#include "lsm/dbformat.h"
+#include "lsm/version.h"
+#include "mem/memtable.h"
+
+namespace talus {
+namespace read {
+
+struct ReadView {
+  /// Version current at capture time. One Version reference is held for the
+  /// view's lifetime; the DB's release path unrefs it.
+  const Version* version = nullptr;
+  /// Active memtable at capture time (may keep receiving newer entries;
+  /// `sequence` bounds what this view observes).
+  std::shared_ptr<MemTable> mem;
+  /// Immutable memtables, newest first — the probe order for lookups.
+  std::vector<std::shared_ptr<MemTable>> imm;
+  /// Visibility bound: entries with a larger sequence are invisible.
+  SequenceNumber sequence = 0;
+};
+
+}  // namespace read
+}  // namespace talus
+
+#endif  // TALUS_READ_READ_VIEW_H_

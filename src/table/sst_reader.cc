@@ -88,7 +88,7 @@ Status SstReader::ReadDataBlock(const BlockHandle& handle,
   if (contents.size() != handle.size) {
     return Status::Corruption("truncated data block");
   }
-  data_blocks_read_++;
+  data_blocks_read_.fetch_add(1, std::memory_order_relaxed);
   auto b = std::make_shared<Block>(contents.ToString());
   if (block_cache_ != nullptr) {
     block_cache_->Insert(cache_key, b, b->size());

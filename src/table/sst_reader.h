@@ -2,9 +2,15 @@
 // pinned in memory at open (the engine-wide assumption that fence pointers
 // and Bloom filters are memory resident — at most one data-block I/O per run
 // per point lookup). Data blocks go through the shared block cache.
+//
+// Thread-safe after Open: Get() and NewIterator() only read the immutable
+// index/filter state, pread the file, and touch the internally locked block
+// cache, so any number of threads may use one reader concurrently
+// (read/table_cache.h hands out shared pins).
 #ifndef TALUS_TABLE_SST_READER_H_
 #define TALUS_TABLE_SST_READER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -40,7 +46,9 @@ class SstReader {
   /// Iterator over the whole file (internal keys).
   std::unique_ptr<Iterator> NewIterator();
 
-  uint64_t num_data_blocks_read() const { return data_blocks_read_; }
+  uint64_t num_data_blocks_read() const {
+    return data_blocks_read_.load(std::memory_order_relaxed);
+  }
 
  private:
   SstReader() = default;
@@ -59,7 +67,7 @@ class SstReader {
   std::string filter_data_;
   std::unique_ptr<BloomFilterReader> filter_;
 
-  uint64_t data_blocks_read_ = 0;
+  std::atomic<uint64_t> data_blocks_read_{0};
 };
 
 }  // namespace talus

@@ -3,6 +3,8 @@
 #ifndef TALUS_TUNING_WORKLOAD_MIX_H_
 #define TALUS_TUNING_WORKLOAD_MIX_H_
 
+#include <atomic>
+
 namespace talus {
 
 struct WorkloadMix {
@@ -24,29 +26,42 @@ struct WorkloadMix {
 };
 
 /// Online estimator: counts operations and yields the observed mix.
+/// Counters are relaxed atomics: point/range lookups are recorded by the
+/// mutex-free read path (DESIGN.md §2.7).
 class WorkloadMixTracker {
  public:
-  void RecordUpdate() { updates_++; }
-  void RecordPointLookup() { points_++; }
-  void RecordRangeLookup() { ranges_++; }
+  void RecordUpdate() { updates_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordPointLookup() { points_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordRangeLookup() { ranges_.fetch_add(1, std::memory_order_relaxed); }
 
-  unsigned long long total() const { return updates_ + points_ + ranges_; }
+  unsigned long long total() const {
+    return updates_.load(std::memory_order_relaxed) +
+           points_.load(std::memory_order_relaxed) +
+           ranges_.load(std::memory_order_relaxed);
+  }
 
   WorkloadMix Estimate() const {
     WorkloadMix mix;
-    mix.updates = static_cast<double>(updates_);
-    mix.point_lookups = static_cast<double>(points_);
-    mix.range_lookups = static_cast<double>(ranges_);
+    mix.updates =
+        static_cast<double>(updates_.load(std::memory_order_relaxed));
+    mix.point_lookups =
+        static_cast<double>(points_.load(std::memory_order_relaxed));
+    mix.range_lookups =
+        static_cast<double>(ranges_.load(std::memory_order_relaxed));
     mix.Normalize();
     return mix;
   }
 
-  void Reset() { updates_ = points_ = ranges_ = 0; }
+  void Reset() {
+    updates_.store(0, std::memory_order_relaxed);
+    points_.store(0, std::memory_order_relaxed);
+    ranges_.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  unsigned long long updates_ = 0;
-  unsigned long long points_ = 0;
-  unsigned long long ranges_ = 0;
+  std::atomic<unsigned long long> updates_{0};
+  std::atomic<unsigned long long> points_{0};
+  std::atomic<unsigned long long> ranges_{0};
 };
 
 }  // namespace talus

@@ -2,7 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "env/env.h"
+#include "lsm/db.h"
 #include "util/histogram.h"
+#include "workload/generator.h"
 
 namespace talus {
 namespace {
@@ -83,6 +90,77 @@ TEST(Histogram, ClearResets) {
   h.Clear();
   EXPECT_EQ(h.Count(), 0u);
   EXPECT_EQ(h.Average(), 0.0);
+}
+
+// ---------------------------------------------- Cache counters in GetProperty
+
+// Extracts the integer following "<token>=" in a talus.stats dump.
+uint64_t StatField(const std::string& stats, const std::string& token) {
+  const std::string needle = " " + token + "=";
+  size_t pos = stats.find(needle);
+  EXPECT_NE(pos, std::string::npos) << token << " missing in: " << stats;
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(stats.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+TEST(CacheCounters, SurfacedInTalusStats) {
+  auto env = NewMemEnv();
+  DbOptions opts;
+  opts.env = env.get();
+  opts.path = "/db";
+  opts.write_buffer_size = 4 << 10;
+  opts.target_file_size = 4 << 10;
+  opts.block_size = 1024;
+  opts.block_cache_bytes = 64 << 10;
+  opts.table_cache_open_files = 64;
+  opts.policy = GrowthPolicyConfig::VTTierFull(3);
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(opts, &db).ok());
+
+  for (int i = 0; i < 600; i++) {
+    ASSERT_TRUE(
+        db->Put(workload::FormatKey(i, 16), std::string(64, 'v')).ok());
+  }
+  ASSERT_TRUE(db->FlushMemTable().ok());
+  // Two passes over the on-disk keys: the second one hits both caches.
+  for (int pass = 0; pass < 2; pass++) {
+    for (int i = 0; i < 600; i += 7) {
+      std::string value;
+      ASSERT_TRUE(db->Get(workload::FormatKey(i, 16), &value).ok());
+    }
+  }
+
+  std::string stats;
+  ASSERT_TRUE(db->GetProperty("talus.stats", &stats));
+  EXPECT_GT(StatField(stats, "bc_misses"), 0u);
+  EXPECT_GT(StatField(stats, "bc_hits"), 0u);
+  EXPECT_GT(StatField(stats, "bc_usage"), 0u);
+  EXPECT_EQ(StatField(stats, "bc_cap"), opts.block_cache_bytes);
+  EXPECT_GT(StatField(stats, "tc_opens"), 0u);
+  EXPECT_GT(StatField(stats, "tc_hits"), 0u);
+  EXPECT_GT(StatField(stats, "tc_open_readers"), 0u);
+  EXPECT_EQ(StatField(stats, "tc_cap"), opts.table_cache_open_files);
+  // Counter coherence: every open came from a miss.
+  EXPECT_LE(StatField(stats, "tc_opens"), StatField(stats, "tc_misses"));
+
+  // The structured table-cache stats agree with the property surface.
+  const auto tc = db->table_cache()->GetStats();
+  EXPECT_EQ(tc.hits, StatField(stats, "tc_hits"));
+  EXPECT_EQ(tc.misses, StatField(stats, "tc_misses"));
+  EXPECT_LE(tc.open_readers, tc.capacity);
+}
+
+TEST(CacheCounters, BlockCacheEvictionsCounted) {
+  LruCache cache(64);  // Tiny: every second insert evicts.
+  cache.Insert("a", std::make_shared<int>(1), 48);
+  cache.Insert("b", std::make_shared<int>(2), 48);
+  cache.Insert("c", std::make_shared<int>(3), 48);
+  EXPECT_GE(cache.evictions(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+  cache.Lookup("c");
+  cache.Lookup("nope");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
 }
 
 }  // namespace
