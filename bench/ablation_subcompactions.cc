@@ -1,0 +1,158 @@
+// Ablation: growth policy × max_subcompactions × writer threads.
+//
+// Measures what the off-mutex parallel compaction pipeline (DESIGN.md §2.8)
+// buys under concurrent write pressure: wall-clock throughput, writer stall
+// time, and compaction wall-clock (the scheduler's busy time in compaction
+// jobs), next to the conflict-retry and fanout counters that only the
+// pipeline produces. Background mode throughout — in inline mode
+// subcompactions run serially and only the boundary math is exercised.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lsm/db.h"
+#include "util/random.h"
+#include "workload/generator.h"
+
+namespace talus {
+namespace {
+
+struct RunResult {
+  double wall_seconds = 0;
+  double kops_per_sec = 0;
+  uint64_t compactions = 0;
+  uint64_t conflicts = 0;
+  uint64_t stall_ms = 0;
+  double compaction_busy_ms = 0;  // Scheduler busy time in compaction jobs.
+  double fanout_avg = 0;
+};
+
+constexpr uint64_t kOpsPerThread = 30000;
+constexpr uint32_t kKeySpace = 20000;
+
+void WorkerLoop(DB* db, int worker, uint64_t ops) {
+  Random rnd(7000 + worker);
+  for (uint64_t i = 0; i < ops; i++) {
+    std::string key = workload::FormatKey(rnd.Uniform(kKeySpace), 16);
+    const uint32_t action = rnd.Uniform(10);
+    if (action < 8) {
+      db->Put(key, "value-" + std::to_string(i));
+    } else if (action < 9) {
+      std::string value;
+      db->Get(key, &value);
+    } else {
+      std::vector<std::pair<std::string, std::string>> out;
+      db->Scan(key, 16, &out);
+    }
+  }
+}
+
+RunResult RunOne(const GrowthPolicyConfig& policy, int max_subcompactions,
+                 int writers) {
+  auto env = NewMemEnv();
+  DbOptions opts;
+  opts.env = env.get();
+  opts.path = "/db";
+  opts.write_buffer_size = 64 << 10;
+  opts.target_file_size = 16 << 10;  // Small files: plenty of split points.
+  opts.block_size = 4096;
+  opts.block_cache_bytes = 1 << 20;
+  opts.policy = policy;
+  opts.execution_mode = ExecutionMode::kBackground;
+  opts.num_background_threads = 4;
+  opts.max_subcompactions = max_subcompactions;
+
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(opts, &db);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return {};
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int w = 0; w < writers; w++) {
+    threads.emplace_back(
+        [&db, w] { WorkerLoop(db.get(), w, kOpsPerThread); });
+  }
+  for (auto& t : threads) t.join();
+  db->FlushMemTable();
+  const auto end = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+          .count();
+  const double total_ops =
+      static_cast<double>(kOpsPerThread) * static_cast<double>(writers);
+  r.kops_per_sec = total_ops / r.wall_seconds / 1000.0;
+  const EngineStats& stats = db->stats();
+  r.compactions = stats.compactions;
+  r.conflicts = stats.compaction_conflicts;
+  r.stall_ms = stats.stall_micros / 1000;
+
+  std::string exec_info;
+  db->GetProperty("talus.exec", &exec_info);
+  // compaction{... busy_us=N ...}
+  size_t pos = exec_info.find("compaction{");
+  if (pos != std::string::npos) {
+    pos = exec_info.find("busy_us=", pos);
+    if (pos != std::string::npos) {
+      r.compaction_busy_ms =
+          std::strtoull(exec_info.c_str() + pos + 8, nullptr, 10) / 1000.0;
+    }
+  }
+  pos = exec_info.find("fanout_avg=");
+  if (pos != std::string::npos) {
+    r.fanout_avg = std::strtod(exec_info.c_str() + pos + 11, nullptr);
+  }
+  return r;
+}
+
+}  // namespace
+}  // namespace talus
+
+int main() {
+  using namespace talus;
+
+  struct NamedPolicy {
+    const char* name;
+    GrowthPolicyConfig config;
+  };
+  const std::vector<NamedPolicy> policies = {
+      {"VT-Level-Full", GrowthPolicyConfig::VTLevelFull(3)},
+      {"VT-Tier-Full", GrowthPolicyConfig::VTTierFull(3)},
+      {"Lazy-Level", GrowthPolicyConfig::LazyLeveling(3, 4, false)},
+  };
+  const std::vector<int> fanouts = {1, 2, 4};
+  const std::vector<int> thread_counts = {1, 4};
+
+  std::printf(
+      "# Subcompaction ablation: %llu ops/thread, background mode, "
+      "4 bg threads\n",
+      static_cast<unsigned long long>(kOpsPerThread));
+  std::printf("%-14s %5s %7s %9s %8s %9s %9s %11s %10s %7s\n", "policy",
+              "msc", "writers", "kops/s", "wall_s", "compacts", "stall_ms",
+              "comp_busy_ms", "fanout_avg", "confl");
+
+  for (const auto& p : policies) {
+    for (int msc : fanouts) {
+      for (int writers : thread_counts) {
+        RunResult r = RunOne(p.config, msc, writers);
+        std::printf("%-14s %5d %7d %9.1f %8.2f %9llu %9llu %11.1f %10.2f "
+                    "%7llu\n",
+                    p.name, msc, writers, r.kops_per_sec, r.wall_seconds,
+                    static_cast<unsigned long long>(r.compactions),
+                    static_cast<unsigned long long>(r.stall_ms),
+                    r.compaction_busy_ms, r.fanout_avg,
+                    static_cast<unsigned long long>(r.conflicts));
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

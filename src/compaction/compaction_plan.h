@@ -1,0 +1,81 @@
+// CompactionPlan: the immutable contract between the three stages of the
+// compaction pipeline (DESIGN.md §2.8):
+//
+//   plan    — built under the DB mutex by PlanCompaction() against a pinned
+//             base Version: input file refs, target overlaps, tombstone-GC
+//             admissibility, output spec, subcompaction boundaries.
+//   merge   — executed with the mutex released by CompactionExecutor: the
+//             plan's FileMetaPtr references pin every input file (deferred
+//             GC never deletes a referenced file), so the merge reads a
+//             frozen snapshot no matter what installs concurrently.
+//   install — back under the mutex: PlanStillValid() checks that no
+//             concurrent flush reshaped the plan's inputs, then
+//             ApplyCompactionPlan() splices the outputs into a successor
+//             Version. A failed check is a retriable conflict, not an error.
+#ifndef TALUS_COMPACTION_COMPACTION_PLAN_H_
+#define TALUS_COMPACTION_COMPACTION_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lsm/dbformat.h"
+#include "lsm/version.h"
+#include "policy/growth_policy.h"
+
+namespace talus {
+namespace compaction {
+
+struct CompactionPlan {
+  /// One resolved input: a whole run or a subset of its files. The files
+  /// vector holds real references, pinning the SSTs for the merge stage.
+  struct Input {
+    int level = 0;
+    uint64_t run_id = 0;
+    std::vector<FileMetaPtr> files;
+    bool whole_run = false;
+  };
+
+  std::vector<Input> inputs;
+  int output_level = 0;
+  CompactionRequest::Placement placement =
+      CompactionRequest::Placement::kFront;
+
+  /// Leveling-style merge target: outputs replace `target_overlaps` inside
+  /// this run. nullopt → outputs form a new run placed per `placement`.
+  std::optional<uint64_t> target_run_id;
+  std::vector<FileMetaPtr> target_overlaps;
+
+  /// Output spec, captured under the mutex so the merge needs no DB state.
+  bool drop_tombstones = false;
+  double bits_per_key = 0;
+  SequenceNumber smallest_snapshot = 0;
+
+  /// User-key range covered by the inputs. have_range == false means the
+  /// plan is empty (nothing to merge).
+  std::string min_user, max_user;
+  bool have_range = false;
+
+  /// Ascending user keys splitting the merge into key-range subcompactions:
+  /// N boundaries → N+1 ranges [-inf,b0), [b0,b1), ..., [bN-1,+inf). Picked
+  /// at input-file boundaries so every version of a user key lands in
+  /// exactly one range (tombstone/shadow dropping stays local).
+  std::vector<std::string> boundaries;
+
+  /// Ordered run-id snapshot of the output level at plan time. Install
+  /// guard for front placement into level 0, the one level a concurrent
+  /// flush can prepend runs to: if the ordering changed, inserting the
+  /// output at the front would misorder it relative to freshly flushed
+  /// data, so the install must conflict instead.
+  std::vector<uint64_t> output_level_run_ids;
+
+  std::string reason;
+
+  bool empty() const { return !have_range; }
+};
+
+}  // namespace compaction
+}  // namespace talus
+
+#endif  // TALUS_COMPACTION_COMPACTION_PLAN_H_

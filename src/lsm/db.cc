@@ -6,9 +6,12 @@
 #include <set>
 #include <thread>
 
+#include "compaction/compaction_install.h"
+#include "compaction/compaction_planner.h"
+#include "compaction/sorted_output.h"
 #include "lsm/filename.h"
 #include "table/merging_iterator.h"
-#include "table/sst_builder.h"
+#include "table/run_iterator.h"
 #include "util/coding.h"
 #include "util/wall_clock.h"
 #include "wal/log_reader.h"
@@ -50,108 +53,6 @@ class MemTableInserter : public WriteBatch::Handler {
  private:
   MemTable* mem_;
   SequenceNumber seq_;
-};
-
-// Iterates a sorted run: files are disjoint and ordered, so this is a simple
-// concatenation with lazy reader opening. `open` returns a pinned handle;
-// the iterator holds the pin for the file it is currently positioned in, so
-// a table-cache eviction cannot close the reader mid-iteration.
-class RunIterator final : public Iterator {
- public:
-  RunIterator(std::vector<FileMetaPtr> files,
-              std::function<std::shared_ptr<SstReader>(uint64_t)> open)
-      : files_(std::move(files)), open_(std::move(open)) {}
-
-  bool Valid() const override { return iter_ != nullptr && iter_->Valid(); }
-
-  void SeekToFirst() override {
-    index_ = 0;
-    InitFile();
-    if (iter_ != nullptr) iter_->SeekToFirst();
-    SkipForward();
-  }
-  void SeekToLast() override {
-    if (files_.empty()) {
-      iter_.reset();
-      return;
-    }
-    index_ = files_.size() - 1;
-    InitFile();
-    if (iter_ != nullptr) iter_->SeekToLast();
-    SkipBackward();
-  }
-  void Seek(const Slice& target) override {
-    // Binary search for the first file whose largest key >= target.
-    InternalKeyComparator cmp;
-    size_t left = 0, right = files_.size();
-    while (left < right) {
-      size_t mid = (left + right) / 2;
-      if (cmp.Compare(files_[mid]->largest.Encode(), target) < 0) {
-        left = mid + 1;
-      } else {
-        right = mid;
-      }
-    }
-    index_ = left;
-    InitFile();
-    if (iter_ != nullptr) iter_->Seek(target);
-    SkipForward();
-  }
-  void Next() override {
-    assert(Valid());
-    iter_->Next();
-    SkipForward();
-  }
-  void Prev() override {
-    assert(Valid());
-    iter_->Prev();
-    SkipBackward();
-  }
-  Slice key() const override { return iter_->key(); }
-  Slice value() const override { return iter_->value(); }
-  Status status() const override {
-    if (!status_.ok()) return status_;
-    return iter_ != nullptr ? iter_->status() : Status::OK();
-  }
-
- private:
-  void InitFile() {
-    iter_.reset();
-    reader_.reset();
-    if (index_ >= files_.size()) return;
-    reader_ = open_(files_[index_]->number);
-    if (reader_ == nullptr) {
-      status_ = Status::IOError("cannot open sst reader");
-      return;
-    }
-    iter_ = reader_->NewIterator();
-  }
-  void SkipForward() {
-    while ((iter_ == nullptr || !iter_->Valid()) &&
-           index_ + 1 < files_.size()) {
-      index_++;
-      InitFile();
-      if (iter_ != nullptr) iter_->SeekToFirst();
-    }
-    if (iter_ != nullptr && !iter_->Valid()) iter_.reset();
-  }
-  void SkipBackward() {
-    while ((iter_ == nullptr || !iter_->Valid()) && index_ > 0) {
-      index_--;
-      InitFile();
-      if (iter_ != nullptr) iter_->SeekToLast();
-    }
-    if (iter_ != nullptr && !iter_->Valid()) iter_.reset();
-  }
-
-  std::vector<FileMetaPtr> files_;
-  std::function<std::shared_ptr<SstReader>(uint64_t)> open_;
-  size_t index_ = 0;
-  // Declared before iter_ so the iterator (which points into the reader) is
-  // destroyed first.
-  std::shared_ptr<SstReader> reader_;
-  std::unique_ptr<Iterator> iter_;
-  Status status_;
 };
 
 // User-facing iterator: walks internal keys, surfacing only the newest
@@ -240,8 +141,21 @@ DB::DB(const DbOptions& options) : options_(options) {
   table_cache_ = std::make_unique<read::TableCache>(
       options_.env, options_.path, block_cache_.get(),
       options_.table_cache_open_files);
+  compaction_exec_ = std::make_unique<compaction::CompactionExecutor>(
+      OutputShapeForDb(), table_cache_.get());
   current_ = new Version();
   current_->Ref();
+}
+
+compaction::OutputShape DB::OutputShapeForDb() {
+  compaction::OutputShape shape;
+  shape.env = options_.env;
+  shape.path = options_.path;
+  shape.block_size = options_.block_size;
+  shape.restart_interval = options_.block_restart_interval;
+  shape.target_file_size = options_.target_file_size;
+  shape.next_file_number = &next_file_number_;
+  return shape;
 }
 
 DB::~DB() {
@@ -365,6 +279,9 @@ Status DB::Open(const DbOptions& options, std::unique_ptr<DB>* dbptr) {
     stall_config.l0_stop_runs = options.l0_stop_runs;
     stall_config.slowdown_delay_micros = options.slowdown_delay_micros;
     db->stall_ = std::make_unique<exec::StallController>(stall_config);
+    // Attach the pool so background compactions fan their subcompactions
+    // out (bounded by DbOptions::max_subcompactions).
+    db->compaction_exec_->SetPool(db->pool_.get());
   }
 
   *dbptr = std::move(db);
@@ -621,7 +538,7 @@ Status DB::BackgroundCompaction() {
   Status s = Status::OK();
   if (!compaction_active_) {  // Otherwise the active chain picks the work up.
     compaction_active_ = true;
-    s = RunCompactionLoopLocked(lock, /*yield_between_rounds=*/true);
+    s = RunCompactionLoopLocked(lock, /*background=*/true);
     if (!s.ok()) bg_error_ = s;
     compaction_active_ = false;
   }
@@ -676,7 +593,7 @@ Status DB::DoFlushLocked(std::unique_lock<std::mutex>& lock) {
   mem_ = std::make_shared<MemTable>();
 
   policy_->OnFlushCompleted(*current_);
-  s = RunCompactionLoopLocked(lock, /*yield_between_rounds=*/false);
+  s = RunCompactionLoopLocked(lock, /*background=*/false);
   if (!s.ok()) return s;
 
   // Safe WAL retirement: open the new WAL, persist the pointer, only then
@@ -709,11 +626,32 @@ Status DB::FlushMemToL0Locked(MemTable* mem,
   uint64_t bytes_read = 0;
   std::vector<FileMetaPtr> outputs;
 
-  if (mode == MergeMode::kMergeIntoRun && !current_->levels[0].empty()) {
-    // Leveling flush: merge the memtable with level 0's newest run. Reads
-    // existing SSTs, so it stays under the mutex even in background mode.
-    // The edit is prepared on a successor copy and installed atomically;
-    // pinned views keep reading the pre-flush version.
+  bool leveling_merge =
+      mode == MergeMode::kMergeIntoRun && !current_->levels[0].empty();
+  if (leveling_merge && allow_unlock) {
+    // Background mode: route through the compaction pipeline so the merge —
+    // which reads existing SSTs and dominates the flush cost — runs with
+    // the mutex released (the caller pins `mem` via its ImmPartition copy).
+    // Falls back to the under-mutex merge below only if concurrent
+    // compactions keep conflicting the install.
+    bool merged = false;
+    Status s = FlushMergeIntoRunPipelined(mem, lock, obsolete, &merged);
+    if (!s.ok()) return s;
+    if (merged) {
+      stats_.flushes++;
+      flush_count_++;
+      return Status::OK();
+    }
+    // The mutex was released: a concurrent compaction may have emptied
+    // level 0, in which case the flush degrades to a plain new-run flush.
+    leveling_merge = !current_->levels[0].empty();
+  }
+
+  if (leveling_merge) {
+    // Leveling flush: merge the memtable with level 0's newest run under
+    // the mutex (inline mode, or the background conflict fallback). The
+    // edit is prepared on a successor copy and installed atomically; pinned
+    // views keep reading the pre-flush version.
     auto next = std::make_unique<Version>(*current_);
     SortedRun& target = next->levels[0].runs[0];
     std::vector<std::unique_ptr<Iterator>> children;
@@ -724,13 +662,14 @@ Status DB::FlushMemToL0Locked(MemTable* mem,
     auto merged = NewMergingIterator(InternalKeyComparator(),
                                      std::move(children));
     merged->SeekToFirst();
-    OutputSpec spec;
+    compaction::OutputSpec spec;
     spec.output_level = 0;
     spec.drop_tombstones = next->BottommostNonEmptyLevel() <= 0 &&
                            next->levels[0].runs.size() == 1;
     spec.bits_per_key = BitsPerKeyForLevelLocked(0);
     spec.smallest_snapshot = SmallestLiveSnapshotLocked();
-    Status s = WriteSortedOutput(merged.get(), spec, &bytes_read, &outputs);
+    Status s = compaction::WriteSortedOutput(OutputShapeForDb(), merged.get(),
+                                             spec, &bytes_read, &outputs);
     if (!s.ok()) return s;
     for (const auto& f : target.files) obsolete->push_back(f);
     uint64_t written = 0;
@@ -747,20 +686,23 @@ Status DB::FlushMemToL0Locked(MemTable* mem,
     // released while SST files are built — the dominant flush cost overlaps
     // foreground traffic. Everything the pass needs is captured first;
     // file numbers come from an atomic counter.
-    OutputSpec spec;
+    compaction::OutputSpec spec;
     spec.output_level = 0;
     spec.drop_tombstones = current_->BottommostNonEmptyLevel() < 0;
     spec.bits_per_key = BitsPerKeyForLevelLocked(0);
     spec.smallest_snapshot = SmallestLiveSnapshotLocked();
     auto iter = mem->NewIterator();
     iter->SeekToFirst();
+    const compaction::OutputShape shape = OutputShapeForDb();
     Status s;
     if (allow_unlock) {
       lock.unlock();
-      s = WriteSortedOutput(iter.get(), spec, &bytes_read, &outputs);
+      s = compaction::WriteSortedOutput(shape, iter.get(), spec, &bytes_read,
+                                        &outputs);
       lock.lock();
     } else {
-      s = WriteSortedOutput(iter.get(), spec, &bytes_read, &outputs);
+      s = compaction::WriteSortedOutput(shape, iter.get(), spec, &bytes_read,
+                                        &outputs);
     }
     if (!s.ok()) return s;
     uint64_t written = 0;
@@ -782,28 +724,82 @@ Status DB::FlushMemToL0Locked(MemTable* mem,
   }
 
   stats_.flushes++;
-  stats_.compaction_bytes_read += bytes_read;
+  // Existing-SST bytes read by the flush merge are flush work, not
+  // compaction work: charging them to compaction_bytes_read (as the
+  // pre-pipeline engine did) inflated the per-level compaction accounting.
+  stats_.flush_bytes_read += bytes_read;
   flush_count_++;
   return Status::OK();
 }
 
+Status DB::FlushMergeIntoRunPipelined(MemTable* mem,
+                                      std::unique_lock<std::mutex>& lock,
+                                      std::vector<FileMetaPtr>* obsolete,
+                                      bool* merged) {
+  *merged = false;
+  // A handful of retries: each conflict means a compaction installed while
+  // the merge ran, which is rare and self-limiting (one chain at a time).
+  for (int attempt = 0; attempt < 8; attempt++) {
+    if (current_->levels[0].empty()) return Status::OK();  // Caller re-checks.
+    CompactionRequest req;
+    req.inputs.push_back({0, current_->levels[0].runs[0].run_id, {}});
+    req.output_level = 0;
+    req.placement = CompactionRequest::Placement::kFront;
+    req.reason = "leveling-flush-merge";
+    compaction::CompactionPlan plan;
+    Status s = PlanForRequestLocked(req, &plan);
+    if (!s.ok()) return s;
+    // The planner's general GC-admissibility rule reduces, for this plan
+    // shape, to the flush rule: drop tombstones iff level 0's only run is
+    // the merge target and no deeper level holds data.
+
+    compaction::CompactionExecutor::Result result;
+    bool installed = false;
+    s = ExecutePlanLocked(
+        plan, lock, /*allow_unlock=*/true,
+        [mem] { return mem->NewIterator(); }, &result, obsolete, &installed);
+    if (!s.ok()) return s;
+    if (!installed) continue;  // Conflict: re-plan against the fresh tree.
+    stats_.flush_bytes_written += result.bytes_written;
+    stats_.flush_bytes_read += result.bytes_read;
+    *merged = true;
+    return Status::OK();
+  }
+  return Status::OK();  // Caller falls back to the under-mutex merge.
+}
+
 Status DB::RunCompactionLoopLocked(std::unique_lock<std::mutex>& lock,
-                                   bool yield_between_rounds) {
+                                   bool background) {
   // Bounded to catch policy bugs that would loop forever.
+  int consecutive_conflicts = 0;
   for (int rounds = 0; rounds < 100000; rounds++) {
     EnsurePaddedLocked(
         static_cast<size_t>(std::max(1, policy_->RequiredLevels(*current_))));
     auto req = policy_->PickCompaction(*current_);
     if (!req.has_value()) return Status::OK();
-    Status s = ExecuteCompactionLocked(*req);
+    // Forward-progress valve: optimistic (off-mutex) merges can in
+    // principle conflict every round under a hostile flush cadence. After
+    // a few consecutive conflicts run one merge under the mutex — it
+    // cannot conflict — then resume optimistically.
+    const bool optimistic = background && consecutive_conflicts < 4;
+    bool installed = false;
+    Status s = RunCompactionRequestLocked(*req, lock, optimistic, &installed);
     if (!s.ok()) return s;
-    policy_->OnCompactionCompleted(*req, *current_);
-    // The merge locals inside ExecuteCompactionLocked have released their
-    // file references by now, so unpinned inputs are deleted here.
-    s = CollectObsoleteLocked();
-    if (!s.ok()) return s;
-    if (yield_between_rounds) {
-      stats_.bg_compactions++;
+    if (installed) {
+      consecutive_conflicts = 0;
+      policy_->OnCompactionCompleted(*req, *current_);
+      // The merge stage has released its file references by now, so
+      // unpinned inputs are deleted here.
+      s = CollectObsoleteLocked();
+      if (!s.ok()) return s;
+    } else {
+      consecutive_conflicts++;
+    }
+    // On a conflict (background only) the round re-picks against the fresh
+    // version: the concurrent flush that caused it already reshaped the
+    // tree the policy will now see.
+    if (background) {
+      if (installed) stats_.bg_compactions++;
       // Let stalled writers and readers interleave between rounds. The
       // yield matters: std::mutex permits barging, so without it the OS may
       // hand the relock straight back to this thread for the whole chain.
@@ -817,244 +813,100 @@ Status DB::RunCompactionLoopLocked(std::unique_lock<std::mutex>& lock,
                             policy_->name());
 }
 
-Status DB::ExecuteCompactionLocked(const CompactionRequest& req) {
-  // All resolution and mutation happens on a successor copy; lock-free
-  // readers keep walking the current version until the install below.
+Status DB::PlanForRequestLocked(const CompactionRequest& req,
+                                compaction::CompactionPlan* plan) {
+  compaction::PlannerContext ctx;
+  ctx.max_subcompactions = std::max(1, options_.max_subcompactions);
+  ctx.bits_per_key = BitsPerKeyForLevelLocked(req.output_level);
+  ctx.smallest_snapshot = SmallestLiveSnapshotLocked();
+  return compaction::PlanCompaction(*current_, req, ctx, plan);
+}
+
+void DB::DeleteUninstalledOutputs(const std::vector<FileMetaPtr>& outputs) {
+  // These files never entered a version, so no reader can hold a pin;
+  // immediate deletion is safe (anything half-written by a failed merge is
+  // swept as an orphan at the next Open).
+  for (const auto& f : outputs) {
+    options_.env->RemoveFile(SstFileName(options_.path, f->number));
+  }
+}
+
+Status DB::ExecutePlanLocked(
+    const compaction::CompactionPlan& plan, std::unique_lock<std::mutex>& lock,
+    bool allow_unlock,
+    const compaction::CompactionExecutor::ExtraInputFactory& extra,
+    compaction::CompactionExecutor::Result* result,
+    std::vector<FileMetaPtr>* obsolete, bool* installed) {
+  *installed = false;
+
+  // ---- Merge (mutex released in background mode). ----
+  // The plan's FileMetaPtr references pin every input SST: deferred GC
+  // never deletes a referenced file, so the merge reads a frozen snapshot
+  // regardless of what installs concurrently.
+  Status s;
+  if (allow_unlock) {
+    lock.unlock();
+    s = compaction_exec_->Run(plan, extra, result);
+    lock.lock();
+  } else {
+    s = compaction_exec_->Run(plan, extra, result);
+  }
+  if (!s.ok()) {
+    DeleteUninstalledOutputs(result->outputs);
+    return s;
+  }
+
+  // ---- Install (under mutex), conflict-checked. ----
+  if (allow_unlock && !compaction::PlanStillValid(plan, *current_)) {
+    // A concurrent flush reshaped an input while the merge ran: discard
+    // the outputs and let the caller re-plan against the fresh version.
+    stats_.compaction_conflicts++;
+    DeleteUninstalledOutputs(result->outputs);
+    return Status::OK();
+  }
+
   auto next = std::make_unique<Version>(*current_);
-  next->EnsureLevels(static_cast<size_t>(req.output_level) + 1);
-
-  // ---- Resolve input files. ----
-  struct ResolvedInput {
-    int level;
-    uint64_t run_id;
-    std::vector<FileMetaPtr> files;
-    bool whole_run;
-  };
-  std::vector<ResolvedInput> resolved;
-  std::string min_user, max_user;
-  bool have_range = false;
-
-  for (const auto& in : req.inputs) {
-    if (in.level < 0 || in.level >= static_cast<int>(next->levels.size())) {
-      return Status::InvalidArgument("compaction input level out of range");
-    }
-    SortedRun* run = next->levels[in.level].FindRun(in.run_id);
-    if (run == nullptr) {
-      return Status::InvalidArgument("compaction input run not found");
-    }
-    ResolvedInput ri;
-    ri.level = in.level;
-    ri.run_id = in.run_id;
-    ri.whole_run = in.file_numbers.empty();
-    if (ri.whole_run) {
-      ri.files = run->files;
-    } else {
-      std::set<uint64_t> wanted(in.file_numbers.begin(),
-                                in.file_numbers.end());
-      for (const auto& f : run->files) {
-        if (wanted.count(f->number)) ri.files.push_back(f);
-      }
-      if (ri.files.size() != wanted.size()) {
-        return Status::InvalidArgument("compaction input file not found");
-      }
-    }
-    for (const auto& f : ri.files) {
-      Slice lo = f->smallest.user_key();
-      Slice hi = f->largest.user_key();
-      if (!have_range) {
-        min_user = lo.ToString();
-        max_user = hi.ToString();
-        have_range = true;
-      } else {
-        if (lo.compare(Slice(min_user)) < 0) min_user = lo.ToString();
-        if (hi.compare(Slice(max_user)) > 0) max_user = hi.ToString();
-      }
-    }
-    resolved.push_back(std::move(ri));
-  }
-  if (!have_range) return Status::OK();  // Nothing to do.
-
-  // ---- Resolve the output target (leveling-style merge). ----
-  LevelState& out_level = next->levels[req.output_level];
-  SortedRun* target_run = nullptr;
-  std::vector<FileMetaPtr> target_overlaps;
-  if (req.output_run_id.has_value()) {
-    target_run = out_level.FindRun(*req.output_run_id);
-    if (target_run == nullptr) {
-      return Status::InvalidArgument("compaction output run not found");
-    }
-    for (size_t idx :
-         target_run->OverlappingFiles(Slice(min_user), Slice(max_user))) {
-      target_overlaps.push_back(target_run->files[idx]);
-    }
-  }
-
-  // ---- Tombstone GC admissibility. ----
-  // Safe only when no older data for these keys can exist below the output
-  // position: nothing in deeper levels, and nothing in older runs of the
-  // output level beyond the target itself (inputs from the output level are
-  // consumed, so they do not count).
-  bool older_data_below = false;
-  for (size_t l = req.output_level;
-       l < next->levels.size() && !older_data_below; l++) {
-    for (const auto& run : next->levels[l].runs) {
-      if (run.files.empty()) continue;
-      if (l == static_cast<size_t>(req.output_level)) {
-        if (target_run != nullptr && run.run_id == target_run->run_id) {
-          continue;  // The target itself is merged, not "below".
-        }
-        bool is_whole_input = false;
-        for (const auto& ri : resolved) {
-          if (ri.level == req.output_level && ri.run_id == run.run_id &&
-              ri.whole_run) {
-            is_whole_input = true;
-            break;
-          }
-        }
-        if (is_whole_input) continue;
-        if (target_run == nullptr) {
-          older_data_below = true;  // Fresh front run: everything else older.
-          break;
-        }
-        // Runs positioned after (older than) the target block GC.
-        size_t target_pos = 0, run_pos = 0;
-        for (size_t i = 0; i < out_level.runs.size(); i++) {
-          if (out_level.runs[i].run_id == target_run->run_id) target_pos = i;
-          if (out_level.runs[i].run_id == run.run_id) run_pos = i;
-        }
-        if (run_pos > target_pos) {
-          older_data_below = true;
-          break;
-        }
-      } else {
-        older_data_below = true;
-        break;
-      }
-    }
-  }
-
-  // ---- Merge. ----
-  std::vector<std::unique_ptr<Iterator>> children;
-  auto open = [this](uint64_t n) { return table_cache_->GetReader(n); };
-  for (const auto& ri : resolved) {
-    children.push_back(std::make_unique<RunIterator>(ri.files, open));
-  }
-  if (!target_overlaps.empty()) {
-    children.push_back(std::make_unique<RunIterator>(target_overlaps, open));
-  }
-  auto merged =
-      NewMergingIterator(InternalKeyComparator(), std::move(children));
-  merged->SeekToFirst();
-
-  OutputSpec spec;
-  spec.output_level = req.output_level;
-  spec.drop_tombstones = !older_data_below;
-  spec.bits_per_key = BitsPerKeyForLevelLocked(req.output_level);
-  spec.smallest_snapshot = SmallestLiveSnapshotLocked();
-
-  uint64_t bytes_read = 0;
-  std::vector<FileMetaPtr> outputs;
-  Status s = WriteSortedOutput(merged.get(), spec, &bytes_read, &outputs);
-  if (!s.ok()) return s;
-  uint64_t output_bytes = 0;
-  for (const auto& f : outputs) output_bytes += f->file_size;
-  stats_.compaction_bytes_written += output_bytes;
-
-  // ---- Install the result. ----
-  std::vector<FileMetaPtr> obsolete;
-  for (const auto& ri : resolved) {
-    for (const auto& f : ri.files) obsolete.push_back(f);
-  }
-  for (const auto& f : target_overlaps) obsolete.push_back(f);
-
-  // For kReplaceInputs, note the position of the youngest consumed run in
-  // the output level before mutation.
-  size_t replace_position = out_level.runs.size();
-  if (req.placement == CompactionRequest::Placement::kReplaceInputs) {
-    for (const auto& ri : resolved) {
-      if (ri.level != req.output_level) continue;
-      for (size_t i = 0; i < out_level.runs.size(); i++) {
-        if (out_level.runs[i].run_id == ri.run_id) {
-          replace_position = std::min(replace_position, i);
-        }
-      }
-    }
-    if (replace_position == out_level.runs.size()) replace_position = 0;
-  }
-
-  for (const auto& ri : resolved) {
-    LevelState& level = next->levels[ri.level];
-    SortedRun* run = level.FindRun(ri.run_id);
-    assert(run != nullptr);
-    if (ri.whole_run) {
-      run->files.clear();
-    } else {
-      std::set<uint64_t> consumed;
-      for (const auto& f : ri.files) consumed.insert(f->number);
-      auto& files = run->files;
-      files.erase(std::remove_if(files.begin(), files.end(),
-                                 [&](const FileMetaPtr& f) {
-                                   return consumed.count(f->number) > 0;
-                                 }),
-                  files.end());
-    }
-  }
-
-  InternalKeyComparator cmp;
-  if (target_run != nullptr) {
-    // Splice outputs into the target run where the overlaps were removed.
-    std::set<uint64_t> consumed;
-    for (const auto& f : target_overlaps) consumed.insert(f->number);
-    auto& files = target_run->files;
-    files.erase(std::remove_if(files.begin(), files.end(),
-                               [&](const FileMetaPtr& f) {
-                                 return consumed.count(f->number) > 0;
-                               }),
-                files.end());
-    for (auto& f : outputs) files.push_back(std::move(f));
-    std::sort(files.begin(), files.end(),
-              [&cmp](const FileMetaPtr& a, const FileMetaPtr& b) {
-                return cmp.Compare(a->smallest.Encode(),
-                                   b->smallest.Encode()) < 0;
-              });
-  } else if (!outputs.empty()) {
-    SortedRun run;
-    run.run_id = next_run_id_++;
-    run.files = std::move(outputs);
-    if (req.placement == CompactionRequest::Placement::kReplaceInputs) {
-      replace_position = std::min(replace_position, out_level.runs.size());
-      out_level.runs.insert(out_level.runs.begin() + replace_position,
-                            std::move(run));
-    } else {
-      out_level.runs.insert(out_level.runs.begin(), std::move(run));
-    }
-  }
-
-  // Drop now-empty runs everywhere.
-  for (auto& level : next->levels) {
-    auto& runs = level.runs;
-    runs.erase(std::remove_if(
-                   runs.begin(), runs.end(),
-                   [](const SortedRun& r) { return r.files.empty(); }),
-               runs.end());
-  }
-
+  compaction::ApplyCompactionPlan(plan, std::move(result->outputs),
+                                  &next_run_id_, next.get(), obsolete);
   InstallVersionLocked(std::move(next));
+  *installed = true;
+  return Status::OK();
+}
+
+Status DB::RunCompactionRequestLocked(const CompactionRequest& req,
+                                      std::unique_lock<std::mutex>& lock,
+                                      bool allow_unlock, bool* installed) {
+  *installed = false;
+
+  // ---- Plan (under mutex). ----
+  compaction::CompactionPlan plan;
+  Status s = PlanForRequestLocked(req, &plan);
+  if (!s.ok()) return s;
+  if (plan.empty()) {
+    *installed = true;  // Nothing to do counts as completed.
+    return Status::OK();
+  }
+
+  compaction::CompactionExecutor::Result result;
+  std::vector<FileMetaPtr> obsolete;
+  s = ExecutePlanLocked(plan, lock, allow_unlock, nullptr, &result, &obsolete,
+                        installed);
+  if (!s.ok() || !*installed) return s;
 
   stats_.compactions++;
-  stats_.compaction_bytes_read += bytes_read;
-  if (stats_.level_stats.size() <=
-      static_cast<size_t>(req.output_level)) {
+  stats_.compaction_bytes_read += result.bytes_read;
+  stats_.compaction_bytes_written += result.bytes_written;
+  if (stats_.level_stats.size() <= static_cast<size_t>(req.output_level)) {
     stats_.level_stats.resize(req.output_level + 1);
   }
   auto& ls = stats_.level_stats[req.output_level];
   ls.compactions++;
-  ls.bytes_read += bytes_read;
-  ls.bytes_written += output_bytes;
+  ls.bytes_read += result.bytes_read;
+  ls.bytes_written += result.bytes_written;
 
   // Persist the new structure before queueing the inputs for deletion
-  // (crash safety); the caller runs CollectObsoleteLocked once its merge
-  // locals have dropped their file references.
+  // (crash safety); the caller runs CollectObsoleteLocked once the merge
+  // stage has dropped its file references.
   s = InstallManifestLocked();
   if (!s.ok()) return s;
   MarkObsoleteLocked(std::move(obsolete));
@@ -1066,23 +918,45 @@ Status DB::CompactAll() {
   if (!s.ok()) return s;
 
   std::unique_lock<std::mutex> lock(mutex_);
-  const int bottom = current_->BottommostNonEmptyLevel();
-  if (bottom < 0) return Status::OK();
+  // In background mode the merge stage runs off the mutex, so concurrent
+  // writers can flush mid-compaction; a conflicted install rebuilds the
+  // request from the fresh version and tries again. The final attempt
+  // holds the mutex for the merge — it cannot conflict — so a sustained
+  // flush storm degrades to the inline behavior instead of an error.
+  constexpr int kOptimisticAttempts = 8;
+  for (int attempt = 0; attempt <= kOptimisticAttempts; attempt++) {
+    const int bottom = current_->BottommostNonEmptyLevel();
+    if (bottom < 0) return Status::OK();
 
-  CompactionRequest req;
-  for (int level = 0; level <= bottom; level++) {
-    for (const auto& run : current_->levels[level].runs) {
-      req.inputs.push_back({level, run.run_id, {}});
+    CompactionRequest req;
+    for (int level = 0; level <= bottom; level++) {
+      for (const auto& run : current_->levels[level].runs) {
+        req.inputs.push_back({level, run.run_id, {}});
+      }
+    }
+    if (req.inputs.empty()) return Status::OK();
+    req.output_level = bottom;
+    req.placement = CompactionRequest::Placement::kReplaceInputs;
+    req.reason = "manual-compact-all";
+    // Planner hint: the bottommost run's file cuts are natural
+    // subcompaction split points for a whole-tree merge.
+    for (const auto& run : current_->levels[bottom].runs) {
+      for (size_t i = 1; i < run.files.size(); i++) {
+        req.boundary_hints.push_back(
+            run.files[i]->smallest.user_key().ToString());
+      }
+    }
+    bool installed = false;
+    const bool optimistic = is_background() && attempt < kOptimisticAttempts;
+    s = RunCompactionRequestLocked(req, lock, optimistic, &installed);
+    if (!s.ok()) return s;
+    if (installed) {
+      policy_->OnCompactionCompleted(req, *current_);
+      return CollectObsoleteLocked();
     }
   }
-  if (req.inputs.empty()) return Status::OK();
-  req.output_level = bottom;
-  req.placement = CompactionRequest::Placement::kReplaceInputs;
-  req.reason = "manual-compact-all";
-  s = ExecuteCompactionLocked(req);
-  if (!s.ok()) return s;
-  policy_->OnCompactionCompleted(req, *current_);
-  return CollectObsoleteLocked();
+  // Unreachable: the final under-mutex attempt always installs.
+  return Status::OK();
 }
 
 bool DB::GetProperty(const std::string& property, std::string* value) {
@@ -1101,11 +975,12 @@ bool DB::GetProperty(const std::string& property, std::string* value) {
     return true;
   }
   if (property == "talus.stats") {
-    char buf[768];
+    char buf[1024];
     std::snprintf(
         buf, sizeof(buf),
         "puts=%llu deletes=%llu gets=%llu scans=%llu flushes=%llu "
         "compactions=%llu write_amp=%.3f read_amp=%.3f "
+        "flush_read=%llu comp_read=%llu conflicts=%llu "
         "filter_negatives=%llu cache_hits=%llu max_stall=%.1f "
         "switches=%llu bg_flushes=%llu bg_compactions=%llu "
         "stall_us=%llu slowdowns=%llu stops=%llu",
@@ -1116,6 +991,9 @@ bool DB::GetProperty(const std::string& property, std::string* value) {
         static_cast<unsigned long long>(stats_.flushes),
         static_cast<unsigned long long>(stats_.compactions),
         stats_.WriteAmplification(), stats_.ReadAmplification(),
+        static_cast<unsigned long long>(stats_.flush_bytes_read),
+        static_cast<unsigned long long>(stats_.compaction_bytes_read),
+        static_cast<unsigned long long>(stats_.compaction_conflicts),
         static_cast<unsigned long long>(stats_.filter_negatives),
         static_cast<unsigned long long>(stats_.block_cache_hits),
         stats_.max_stall_clock,
@@ -1175,112 +1053,11 @@ bool DB::GetProperty(const std::string& property, std::string* value) {
         static_cast<unsigned long long>(stats_.stall_micros),
         static_cast<unsigned long long>(stats_.stall_slowdowns),
         static_cast<unsigned long long>(stats_.stall_stops));
-    *value = std::string(buf) + scheduler_->GetStats().ToString();
+    *value = std::string(buf) + scheduler_->GetStats().ToString() + " | " +
+             compaction_exec_->GetStats().ToString();
     return true;
   }
   return false;
-}
-
-Status DB::WriteSortedOutput(Iterator* input, const OutputSpec& spec,
-                             uint64_t* bytes_read,
-                             std::vector<FileMetaPtr>* outputs) {
-  // Compaction/flush merges stream their inputs: charge sequential rates.
-  // Thread-safe when given an exclusive input iterator: allocates file
-  // numbers from the atomic counter and touches no other shared DB state,
-  // so background flushes call it with the DB mutex released.
-  IoStats::SequentialScope seq_scope(options_.env->io_stats());
-  SstBuilderOptions bopts;
-  bopts.block_size = options_.block_size;
-  bopts.restart_interval = options_.block_restart_interval;
-  bopts.bits_per_key = spec.bits_per_key;
-
-  std::unique_ptr<SstBuilder> builder;
-  uint64_t file_number = 0;
-  std::string last_user_key;
-  bool has_last = false;
-  // Newest-to-oldest sequence of the previously kept/seen version of the
-  // current user key; versions at or below the smallest live snapshot that
-  // are shadowed by a newer such version are unreachable from every read
-  // view and can be dropped (LevelDB's retention rule).
-  SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
-  const SequenceNumber smallest_snapshot = spec.smallest_snapshot;
-  uint64_t read_accum = 0;
-  uint64_t payload_accum = 0;
-  uint64_t oldest_seq_accum = kMaxSequenceNumber;
-
-  auto finish_file = [&]() -> Status {
-    if (builder == nullptr) return Status::OK();
-    Status fs = builder->Finish();
-    if (!fs.ok()) return fs;
-    auto meta = std::make_shared<FileMeta>();
-    meta->number = file_number;
-    meta->file_size = builder->FileSize();
-    meta->num_entries = builder->NumEntries();
-    meta->payload_bytes = payload_accum;
-    meta->smallest = builder->smallest();
-    meta->largest = builder->largest();
-    meta->oldest_seq = oldest_seq_accum;
-    outputs->push_back(std::move(meta));
-    builder.reset();
-    payload_accum = 0;
-    oldest_seq_accum = kMaxSequenceNumber;
-    return Status::OK();
-  };
-
-  for (; input->Valid(); input->Next()) {
-    ParsedInternalKey parsed;
-    if (!ParseInternalKey(input->key(), &parsed)) {
-      return Status::Corruption("bad internal key during compaction");
-    }
-    read_accum += input->key().size() + input->value().size();
-
-    if (!has_last || parsed.user_key != Slice(last_user_key)) {
-      last_user_key.assign(parsed.user_key.data(), parsed.user_key.size());
-      has_last = true;
-      last_sequence_for_key = kMaxSequenceNumber;
-    }
-    bool drop = false;
-    if (last_sequence_for_key <= smallest_snapshot) {
-      // A newer version of this key is already visible at the oldest read
-      // view: this one is unreachable.
-      drop = true;
-    } else if (parsed.type == kTypeDeletion &&
-               parsed.sequence <= smallest_snapshot &&
-               spec.drop_tombstones) {
-      drop = true;
-    }
-    last_sequence_for_key = parsed.sequence;
-    if (drop) continue;
-
-    // Cut the output file at the size target, but never between versions of
-    // the same user key: files within a run must stay user-key disjoint
-    // (point lookups probe exactly one file per run).
-    if (builder != nullptr &&
-        builder->FileSize() >= options_.target_file_size &&
-        builder->NumEntries() > 0 &&
-        ExtractUserKey(builder->largest().Encode()) != parsed.user_key) {
-      Status fs = finish_file();
-      if (!fs.ok()) return fs;
-    }
-
-    if (builder == nullptr) {
-      file_number = next_file_number_++;
-      std::unique_ptr<WritableFile> file;
-      Status fs = options_.env->NewWritableFile(
-          SstFileName(options_.path, file_number), &file);
-      if (!fs.ok()) return fs;
-      builder = std::make_unique<SstBuilder>(bopts, std::move(file));
-    }
-    builder->Add(input->key(), input->value());
-    payload_accum += parsed.user_key.size() + input->value().size();
-    if (parsed.sequence < oldest_seq_accum) {
-      oldest_seq_accum = parsed.sequence;
-    }
-  }
-  Status fs = finish_file();
-  if (!fs.ok()) return fs;
-  *bytes_read = read_accum;
-  return input->status();
 }
 
 Status DB::InstallManifestLocked() {

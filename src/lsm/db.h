@@ -18,7 +18,9 @@
 // then run lock-free against the immutable Version, the lock-free-read
 // memtables, and the sharded table cache (DESIGN.md §2.3/§2.7). Background
 // flush jobs drop the mutex while building SST files from an immutable
-// memtable; all metadata installation happens with the mutex held.
+// memtable, and background compactions drop it for their whole merge stage
+// (plan → merge → conflict-checked install, DESIGN.md §2.8); all metadata
+// installation happens with the mutex held.
 #ifndef TALUS_LSM_DB_H_
 #define TALUS_LSM_DB_H_
 
@@ -35,6 +37,8 @@
 #include <set>
 
 #include "cache/lru_cache.h"
+#include "compaction/compaction_executor.h"
+#include "compaction/compaction_plan.h"
 #include "exec/job_scheduler.h"
 #include "exec/stall_controller.h"
 #include "exec/thread_pool.h"
@@ -60,10 +64,14 @@ struct EngineStats {
   uint64_t deletes = 0;
   uint64_t flushes = 0;
   uint64_t compactions = 0;
+  uint64_t flush_bytes_read = 0;  // Existing-SST bytes read by flush merges.
   uint64_t flush_bytes_written = 0;
   uint64_t compaction_bytes_read = 0;
   uint64_t compaction_bytes_written = 0;
   uint64_t user_payload_written = 0;  // Key+value bytes accepted from users.
+  // Merge results discarded because a concurrent flush reshaped the plan's
+  // inputs before install; the work was retried (DESIGN.md §2.8).
+  uint64_t compaction_conflicts = 0;
 
   // Read path (mutex-free increments).
   std::atomic<uint64_t> gets{0};
@@ -105,10 +113,12 @@ struct EngineStats {
     deletes = o.deletes;
     flushes = o.flushes;
     compactions = o.compactions;
+    flush_bytes_read = o.flush_bytes_read;
     flush_bytes_written = o.flush_bytes_written;
     compaction_bytes_read = o.compaction_bytes_read;
     compaction_bytes_written = o.compaction_bytes_written;
     user_payload_written = o.user_payload_written;
+    compaction_conflicts = o.compaction_conflicts;
     gets.store(o.gets.load());
     gets_found.store(o.gets_found.load());
     scans.store(o.scans.load());
@@ -238,15 +248,6 @@ class DB {
     uint64_t wal_number = 0;
   };
 
-  /// Parameters for one sorted-output pass, captured under the mutex so the
-  /// pass itself can run with or without it.
-  struct OutputSpec {
-    int output_level = 0;
-    bool drop_tombstones = false;
-    double bits_per_key = 0;
-    SequenceNumber smallest_snapshot = 0;
-  };
-
   /// Per-call read-path counters, folded into stats_ under one brief lock.
   struct ReadProbeStats {
     uint64_t runs_probed = 0;
@@ -293,11 +294,51 @@ class DB {
                             bool allow_unlock,
                             std::vector<FileMetaPtr>* obsolete);
   Status RunCompactionLoopLocked(std::unique_lock<std::mutex>& lock,
-                                 bool yield_between_rounds);
-  Status ExecuteCompactionLocked(const CompactionRequest& req);
-  Status WriteSortedOutput(Iterator* input, const OutputSpec& spec,
-                           uint64_t* bytes_read,
-                           std::vector<FileMetaPtr>* outputs);
+                                 bool background);
+
+  // ---- Compaction pipeline: plan → merge → install (DESIGN.md §2.8) ----
+  /// Resolves `req` against the current version into an immutable plan
+  /// (bits-per-key, smallest snapshot, and subcompaction boundaries are
+  /// captured here so the merge needs no DB state).
+  Status PlanForRequestLocked(const CompactionRequest& req,
+                              compaction::CompactionPlan* plan);
+  /// Shared merge → conflict-check → install-version core of the pipeline.
+  /// With `allow_unlock` the mutex is released for the merge stage and the
+  /// install is conflict-checked: on a conflict the outputs are deleted,
+  /// *installed stays false, and OK is returned — the caller re-plans
+  /// against the fresh version. Without it the whole pipeline runs under
+  /// the mutex and a conflict is impossible. On success the consumed files
+  /// are appended to *obsolete and *result carries the merge accounting;
+  /// the caller owns stats attribution and manifest installation.
+  Status ExecutePlanLocked(
+      const compaction::CompactionPlan& plan,
+      std::unique_lock<std::mutex>& lock, bool allow_unlock,
+      const compaction::CompactionExecutor::ExtraInputFactory& extra,
+      compaction::CompactionExecutor::Result* result,
+      std::vector<FileMetaPtr>* obsolete, bool* installed);
+  /// Runs one policy request through plan + ExecutePlanLocked + compaction
+  /// stats + manifest install. In inline mode (allow_unlock = false) this
+  /// behaves bit-identically to the pre-pipeline engine.
+  Status RunCompactionRequestLocked(const CompactionRequest& req,
+                                    std::unique_lock<std::mutex>& lock,
+                                    bool allow_unlock, bool* installed);
+  /// Background leveling flush: merges `mem` (pinned by the caller across
+  /// the unlock) with level 0's newest run via the executor with the mutex
+  /// released, retrying on install conflicts. *merged stays false when the
+  /// conflict-retry budget is exhausted; the caller then merges under the
+  /// mutex instead.
+  Status FlushMergeIntoRunPipelined(MemTable* mem,
+                                    std::unique_lock<std::mutex>& lock,
+                                    std::vector<FileMetaPtr>* obsolete,
+                                    bool* merged);
+  /// Deletes merge outputs that never entered a version (failed or
+  /// conflicted merges). They are invisible to every reader, so immediate
+  /// removal is safe.
+  void DeleteUninstalledOutputs(const std::vector<FileMetaPtr>& outputs);
+  /// Output-file geometry shared by flush and compaction sorted-output
+  /// passes.
+  compaction::OutputShape OutputShapeForDb();
+
   Status InstallManifestLocked();
   Status NewWalLocked();
   Status RecoverWalsLocked(uint64_t oldest_wal,
@@ -321,6 +362,9 @@ class DB {
   std::unique_ptr<GrowthPolicy> policy_;
   std::unique_ptr<LruCache> block_cache_;
   std::unique_ptr<read::TableCache> table_cache_;
+  // Merge-stage executor (src/compaction/). Stateless apart from
+  // observability counters; safe to call with the mutex released.
+  std::unique_ptr<compaction::CompactionExecutor> compaction_exec_;
 
   // Guards every mutable field below unless noted otherwise.
   mutable std::mutex mutex_;

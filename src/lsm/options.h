@@ -61,6 +61,12 @@ struct DbOptions {
   size_t l0_stop_runs = 20;
   /// Delay injected per write while in the slowdown regime.
   uint64_t slowdown_delay_micros = 1000;
+  /// Upper bound on key-range subcompactions a single compaction merge is
+  /// split into (DESIGN.md §2.8). In kBackground mode the ranges fan out
+  /// over the background thread pool; in kInline mode they run serially, so
+  /// 1 (the default) preserves the seed's bit-identical behavior while
+  /// larger values stay scan-equivalent.
+  int max_subcompactions = 1;
 
   // CPU epsilons for the virtual clock (see env/io_stats.h).
   double cpu_cost_per_write = 0.02;

@@ -58,6 +58,14 @@ struct CompactionRequest {
   /// creates a new run placed per `placement` (tiering-style).
   std::optional<uint64_t> output_run_id;
   Placement placement = Placement::kFront;
+  /// Optional user keys the compaction planner should prefer as
+  /// subcompaction split points (compaction/compaction_planner.h). Policies
+  /// that know natural partition boundaries — e.g. the file cuts of the
+  /// widest input run — surface them here; the planner merges the hints
+  /// with the input-file boundaries it derives itself and ignores keys
+  /// outside the inputs' range. Purely advisory: correctness never depends
+  /// on hints.
+  std::vector<std::string> boundary_hints;
   /// Debugging label, e.g. "horizontal-cascade[0..2]".
   std::string reason;
 };
@@ -83,9 +91,9 @@ class GrowthPolicy {
   /// Number of levels the policy currently wants the version to expose.
   virtual int RequiredLevels(const Version& v) const = 0;
 
-  virtual void OnFlushCompleted(const Version& v) {}
-  virtual void OnCompactionCompleted(const CompactionRequest& req,
-                                     const Version& v) {}
+  virtual void OnFlushCompleted(const Version& /*v*/) {}
+  virtual void OnCompactionCompleted(const CompactionRequest& /*req*/,
+                                     const Version& /*v*/) {}
 
   /// The next compaction to run, or nullopt when the tree shape is stable.
   virtual std::optional<CompactionRequest> PickCompaction(const Version& v) = 0;
@@ -96,7 +104,7 @@ class GrowthPolicy {
 
   /// Policy state round-trip for manifest persistence (counters, phase).
   virtual std::string EncodeState() const { return {}; }
-  virtual bool DecodeState(const std::string& state) { return true; }
+  virtual bool DecodeState(const std::string& /*state*/) { return true; }
 };
 
 }  // namespace talus
