@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -32,7 +33,8 @@ struct RunResult {
   uint64_t stops = 0;
 };
 
-constexpr uint64_t kOpsPerThread = 30000;
+// Reduced by --smoke for the CI bench-smoke job's <60 s sweep.
+uint64_t g_ops_per_thread = 30000;
 constexpr uint32_t kKeySpace = 20000;
 
 void WorkerLoop(DB* db, int worker, uint64_t ops) {
@@ -77,7 +79,7 @@ RunResult RunOne(ExecutionMode mode, int writers,
   std::vector<std::thread> threads;
   for (int w = 0; w < writers; w++) {
     threads.emplace_back(
-        [&db, w] { WorkerLoop(db.get(), w, kOpsPerThread); });
+        [&db, w] { WorkerLoop(db.get(), w, g_ops_per_thread); });
   }
   for (auto& t : threads) t.join();
   db->FlushMemTable();
@@ -88,7 +90,7 @@ RunResult RunOne(ExecutionMode mode, int writers,
       std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
           .count();
   const double total_ops =
-      static_cast<double>(kOpsPerThread) * static_cast<double>(writers);
+      static_cast<double>(g_ops_per_thread) * static_cast<double>(writers);
   r.kops_per_sec = total_ops / r.wall_seconds / 1000.0;
   const EngineStats& stats = db->stats();
   r.flushes = stats.flushes;
@@ -103,24 +105,32 @@ RunResult RunOne(ExecutionMode mode, int writers,
 }  // namespace
 }  // namespace talus
 
-int main() {
+int main(int argc, char** argv) {
   using namespace talus;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  if (smoke) g_ops_per_thread = 5000;
 
   struct NamedPolicy {
     const char* name;
     GrowthPolicyConfig config;
   };
-  const std::vector<NamedPolicy> policies = {
+  std::vector<NamedPolicy> policies = {
       {"VT-Level-Full", GrowthPolicyConfig::VTLevelFull(3)},
       {"VT-Tier-Full", GrowthPolicyConfig::VTTierFull(3)},
       {"Lazy-Level", GrowthPolicyConfig::LazyLeveling(3, 4, false)},
   };
-  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  if (smoke) policies.resize(1);
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
 
   std::printf(
       "# Concurrency ablation: %llu ops/thread, mixed 80/10/10 "
       "put/get/scan\n",
-      static_cast<unsigned long long>(kOpsPerThread));
+      static_cast<unsigned long long>(g_ops_per_thread));
   std::printf("%-14s %-11s %7s %9s %8s %8s %9s %9s %10s %7s\n", "policy",
               "mode", "writers", "kops/s", "wall_s", "flushes", "compacts",
               "switches", "slowdowns", "stops");

@@ -20,15 +20,9 @@ namespace talus {
 
 namespace {
 
-// WAL record: base_seq fixed64 | WriteBatch rep (one record per batch, so
-// multi-op batches commit atomically).
-std::string EncodeWalRecord(SequenceNumber base_seq, const WriteBatch& batch) {
-  std::string rec;
-  PutFixed64(&rec, base_seq);
-  rec.append(batch.rep());
-  return rec;
-}
-
+// WAL record: base_seq fixed64 | concatenated WriteBatch reps. The group
+// leader emits one record per commit group (CommitGroup), so every batch in
+// the group — and every multi-op batch — commits atomically.
 bool DecodeWalRecord(Slice input, SequenceNumber* base_seq,
                      WriteBatch* batch) {
   uint64_t s;
@@ -137,6 +131,13 @@ class DbIterator final : public Iterator {
 }  // namespace
 
 DB::DB(const DbOptions& options) : options_(options) {
+  // Legacy alias: wal_sync_writes predates wal_sync_mode and promised one
+  // fsync per write. Group commit keeps the guarantee (every acked batch is
+  // synced before its status is published) while amortizing the cost.
+  if (options_.wal_sync_writes && options_.wal_sync_mode == WalSyncMode::kNone) {
+    options_.wal_sync_mode = WalSyncMode::kPerGroup;
+  }
+  write_queue_ = std::make_unique<write::WriteQueue>();
   block_cache_ = std::make_unique<LruCache>(options_.block_cache_bytes);
   table_cache_ = std::make_unique<read::TableCache>(
       options_.env, options_.path, block_cache_.get(),
@@ -361,10 +362,7 @@ Status DB::Put(const Slice& key, const Slice& value) {
   }
   WriteBatch batch;
   batch.Put(key, value);
-  std::unique_lock<std::mutex> lock(mutex_);
-  stats_.puts++;
-  mix_tracker_.RecordUpdate();
-  return WriteLocked(batch, lock);
+  return CommitGroup(batch);
 }
 
 Status DB::Delete(const Slice& key) {
@@ -373,45 +371,168 @@ Status DB::Delete(const Slice& key) {
   }
   WriteBatch batch;
   batch.Delete(key);
-  std::unique_lock<std::mutex> lock(mutex_);
-  stats_.deletes++;
-  mix_tracker_.RecordUpdate();
-  return WriteLocked(batch, lock);
+  return CommitGroup(batch);
 }
 
 Status DB::Write(const WriteBatch& batch) {
   if (batch.empty()) return Status::OK();
-  std::unique_lock<std::mutex> lock(mutex_);
-  stats_.puts += batch.Count();
-  mix_tracker_.RecordUpdate();
-  return WriteLocked(batch, lock);
+  return CommitGroup(batch);
 }
 
-Status DB::WriteLocked(const WriteBatch& batch,
-                       std::unique_lock<std::mutex>& lock) {
-  if (is_background()) {
-    if (!bg_error_.ok()) return bg_error_;
-    Status ss = MaybeStallLocked(lock);
-    if (!ss.ok()) return ss;
-  }
-  const SequenceNumber base_seq = last_sequence_ + 1;
-  last_sequence_ += batch.Count();
-  if (wal_ != nullptr) {
-    Status s = wal_->AddRecord(Slice(EncodeWalRecord(base_seq, batch)));
-    if (s.ok() && options_.wal_sync_writes) s = wal_->Sync();
-    if (!s.ok()) return s;
-  }
-  MemTableInserter inserter(mem_.get(), base_seq);
-  Status s = batch.Iterate(&inserter);
-  if (!s.ok()) return s;
-  stats_.user_payload_written += batch.PayloadBytes();
-  options_.env->io_stats()->RecordCpu(options_.cpu_cost_per_write);
-
-  if (mem_->payload_bytes() >= options_.write_buffer_size) {
-    if (!is_background()) return DoFlushLocked(lock);
-    return SwitchMemTableLocked();
+Status DB::MaybeSyncWal(wal::LogWriter* wal, bool* synced) {
+  switch (options_.wal_sync_mode) {
+    case WalSyncMode::kNone:
+      return Status::OK();
+    case WalSyncMode::kPerGroup:
+      *synced = true;
+      return wal->Sync();
+    case WalSyncMode::kInterval: {
+      // The log is always dirty here (called right after a successful
+      // append), so the only question is whether the interval elapsed.
+      const uint64_t now = NowMicros();
+      if (now - last_wal_sync_micros_ < options_.wal_sync_interval_micros) {
+        return Status::OK();
+      }
+      last_wal_sync_micros_ = now;
+      *synced = true;
+      return wal->Sync();
+    }
   }
   return Status::OK();
+}
+
+Status DB::CommitGroup(const WriteBatch& my_batch) {
+  write::Writer w(&my_batch);
+  if (!write_queue_->JoinAndAwaitLeadership(&w)) return w.status;
+
+  // ---- Leader: gate + claim (first short mutex section). ----
+  write::WriteGroup group;
+  std::unique_lock<std::mutex> lock(mutex_);
+  Status gate;
+  if (!wal_error_.ok()) {
+    gate = wal_error_;
+  } else if (is_background()) {
+    gate = bg_error_.ok() ? MaybeStallLocked(lock) : bg_error_;
+  }
+  // Build the group only after the stall gate: writers that queued up while
+  // the leader was stalled amortize into this one commit.
+  write_queue_->BuildGroup(&w, options_.max_write_group_bytes, &group);
+  if (!gate.ok()) {
+    lock.unlock();
+    for (write::Writer* wr : group.writers) wr->status = gate;
+    write_queue_->ExitGroup(&group);
+    return w.status;
+  }
+
+  // Claim the group's sequence range privately, in queue order. Nothing is
+  // published yet: readers pin views at the pre-group last_sequence_, so
+  // the whole group becomes visible atomically at publish time — and if the
+  // WAL append fails below, the claim simply evaporates (the sequence-leak
+  // fix). Malformed batches (empty keys) fail alone, not their group.
+  const SequenceNumber base_seq = last_sequence_ + 1;
+  SequenceNumber next_seq = base_seq;
+  for (write::Writer* wr : group.writers) {
+    if (wr->batch->HasEmptyKey()) {
+      wr->status = Status::InvalidArgument("empty keys are not supported");
+      continue;
+    }
+    wr->base_seq = next_seq;
+    next_seq += wr->batch->Count();
+  }
+  const uint64_t group_count = next_seq - base_seq;
+  std::shared_ptr<MemTable> mem = mem_;
+  wal::LogWriter* wal = wal_.get();
+  commit_in_flight_ = true;
+  lock.unlock();
+
+  // ---- WAL append + one amortized sync (no mutex). ----
+  // One record covers the whole group: recovery decodes the concatenated
+  // batch reps and replays them at base_seq onward, reproducing exactly the
+  // per-writer sequence assignment above.
+  Status s;
+  bool synced = false;
+  if (wal != nullptr && group_count > 0) {
+    std::string rec;
+    PutFixed64(&rec, base_seq);
+    for (write::Writer* wr : group.writers) {
+      if (wr->status.ok()) rec.append(wr->batch->rep());
+    }
+    s = wal->AddRecord(Slice(rec));
+    if (s.ok()) s = MaybeSyncWal(wal, &synced);
+  }
+
+  // ---- Memtable inserts (no mutex). ----
+  size_t parallel_applies = 0;
+  if (s.ok() && group_count > 0) {
+    if (options_.parallel_memtable_writes && group.writers.size() > 1) {
+      // Followers insert their own sub-batches concurrently (CAS skiplist
+      // inserts); the leader applies its own and then waits for them.
+      group.apply = [mem_raw = mem.get()](write::Writer* wr) {
+        if (!wr->status.ok()) return;
+        MemTableInserter inserter(mem_raw, wr->base_seq);
+        wr->status = wr->batch->Iterate(&inserter);
+      };
+      write_queue_->StartParallelApplies(&group);
+      group.apply(&w);  // The leader's own sub-batch, same path.
+      write_queue_->AwaitParallelApplies(&group);
+      for (size_t i = 1; i < group.writers.size(); i++) {
+        if (group.writers[i]->status.ok()) parallel_applies++;
+      }
+    } else {
+      for (write::Writer* wr : group.writers) {
+        if (!wr->status.ok()) continue;
+        MemTableInserter inserter(mem.get(), wr->base_seq);
+        wr->status = wr->batch->Iterate(&inserter);
+      }
+    }
+  }
+
+  // ---- Publish (second short mutex section). ----
+  lock.lock();
+  commit_in_flight_ = false;
+  if (!s.ok()) {
+    // WAL failure: nothing was inserted and last_sequence_ never moved.
+    // The error is latched — the append may have persisted its record even
+    // though it reported failure (e.g. a sync failure after a successful
+    // append), so letting a later group re-claim this range could put two
+    // WAL records with the same base_seq on disk and make recovery replay
+    // duplicate sequences. The whole group shares the error; the store
+    // stays readable and reopens cleanly.
+    if (wal_error_.ok()) wal_error_ = s;
+    for (write::Writer* wr : group.writers) {
+      if (wr->status.ok()) wr->status = s;
+    }
+    bg_cv_.notify_all();
+    lock.unlock();
+    write_queue_->ExitGroup(&group);
+    return w.status;
+  }
+  if (group_count > 0) last_sequence_ = next_seq - 1;
+  uint64_t committed = 0;
+  for (write::Writer* wr : group.writers) {
+    if (!wr->status.ok()) continue;
+    committed++;
+    stats_.puts += wr->batch->Puts();
+    stats_.deletes += wr->batch->Deletes();
+    stats_.user_payload_written += wr->batch->PayloadBytes();
+    mix_tracker_.RecordUpdate();
+    options_.env->io_stats()->RecordCpu(options_.cpu_cost_per_write);
+  }
+  write_stats_.OnGroupCommitted(group.writers.size(), committed,
+                                group.queue_wait_micros, synced,
+                                parallel_applies);
+  Status flush_status;
+  if (mem_->payload_bytes() >= options_.write_buffer_size) {
+    // The flush (inline) or switch (background) is attributed to the
+    // leader: followers' data is already durable in the WAL and memtable.
+    flush_status =
+        is_background() ? SwitchMemTableLocked() : DoFlushLocked(lock);
+  }
+  bg_cv_.notify_all();
+  lock.unlock();
+  write_queue_->ExitGroup(&group);
+  if (w.status.ok() && !flush_status.ok()) w.status = flush_status;
+  return w.status;
 }
 
 Status DB::MaybeStallLocked(std::unique_lock<std::mutex>& lock) {
@@ -568,6 +689,9 @@ void DB::ReleaseSnapshot(const Snapshot* snapshot) {
 
 Status DB::FlushMemTable() {
   std::unique_lock<std::mutex> lock(mutex_);
+  // A commit group may be inserting into mem_ with the mutex released;
+  // switching or flushing mid-commit would flush a half-applied group.
+  bg_cv_.wait(lock, [this] { return !commit_in_flight_; });
   if (!is_background()) {
     if (mem_->num_entries() == 0) return Status::OK();
     return DoFlushLocked(lock);
@@ -1021,7 +1145,8 @@ bool DB::GetProperty(const std::string& property, std::string* value) {
         static_cast<unsigned long long>(tc.evictions), tc.open_readers,
         tc.capacity, gc_pending_.size(),
         static_cast<unsigned long long>(stats_.obsolete_files_deleted));
-    *value = std::string(buf) + caches;
+    *value = std::string(buf) + caches + " | " +
+             write_stats_.Snapshot().ToString();
     return true;
   }
   if (property == "talus.cstats") {
@@ -1282,6 +1407,11 @@ Status DB::Scan(const Slice& start, size_t count,
   stats_.scans.fetch_add(1, std::memory_order_relaxed);
   mix_tracker_.RecordRangeLookup();
   return iter->status();
+}
+
+metrics::GroupCommitStats DB::GetGroupCommitStats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return write_stats_.Snapshot();
 }
 
 uint64_t DB::ApproximateDataBytes() const {

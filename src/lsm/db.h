@@ -16,11 +16,15 @@
 // pointer, WAL, stats, snapshots, GC list). The read path does NOT hold it:
 // Get/Scan/NewIterator pin a read::ReadView in one O(1) critical section and
 // then run lock-free against the immutable Version, the lock-free-read
-// memtables, and the sharded table cache (DESIGN.md §2.3/§2.7). Background
-// flush jobs drop the mutex while building SST files from an immutable
-// memtable, and background compactions drop it for their whole merge stage
-// (plan → merge → conflict-checked install, DESIGN.md §2.8); all metadata
-// installation happens with the mutex held.
+// memtables, and the sharded table cache (DESIGN.md §2.3/§2.7). The write
+// path holds it only for two short critical sections per commit group:
+// writers funnel through a group-commit queue (write/write_queue.h), and the
+// group leader performs the WAL append, the amortized sync, and the memtable
+// inserts with the mutex released (DESIGN.md §2.9). Background flush jobs
+// drop the mutex while building SST files from an immutable memtable, and
+// background compactions drop it for their whole merge stage (plan → merge →
+// conflict-checked install, DESIGN.md §2.8); all metadata installation
+// happens with the mutex held.
 #ifndef TALUS_LSM_DB_H_
 #define TALUS_LSM_DB_H_
 
@@ -47,10 +51,12 @@
 #include "lsm/version.h"
 #include "lsm/write_batch.h"
 #include "mem/memtable.h"
+#include "metrics/write_stats.h"
 #include "policy/growth_policy.h"
 #include "read/read_view.h"
 #include "read/table_cache.h"
 #include "wal/log_writer.h"
+#include "write/write_queue.h"
 
 namespace talus {
 
@@ -176,6 +182,8 @@ class DB {
   Status Put(const Slice& key, const Slice& value);
   Status Delete(const Slice& key);
   /// Applies the batch atomically (one WAL record, contiguous sequences).
+  /// Batches naming an empty key fail with InvalidArgument as a whole —
+  /// their commit group is unaffected (DESIGN.md §2.9).
   Status Write(const WriteBatch& batch);
   Status Get(const Slice& key, std::string* value);
   /// Point lookup against a pinned snapshot (nullptr = latest).
@@ -226,6 +234,8 @@ class DB {
   /// Not synchronized: field reads may race background jobs in kBackground
   /// mode; quiesce (FlushMemTable) before precise accounting.
   const EngineStats& stats() const { return stats_; }
+  /// Snapshot of the write pipeline's group-commit counters (§2.9).
+  metrics::GroupCommitStats GetGroupCommitStats() const;
   GrowthPolicy* policy() { return policy_.get(); }
   Env* env() { return options_.env; }
   const DbOptions& options() const { return options_; }
@@ -256,8 +266,20 @@ class DB {
     uint64_t cache_hits = 0;
   };
 
-  Status WriteLocked(const WriteBatch& batch,
-                     std::unique_lock<std::mutex>& lock);
+  // ---- Group-commit write pipeline (DESIGN.md §2.9) ----
+  /// Shared body of Put/Delete/Write: joins the writer queue, and — when
+  /// this call wins leadership — commits a whole batch group: one short
+  /// mutex section gates on stall/bg_error and claims the sequence range,
+  /// then WAL append + amortized sync + memtable inserts run with the mutex
+  /// released, and a second short section publishes last_sequence_, stats,
+  /// and the flush trigger. Sequences are published only after durability
+  /// and the inserts succeed, so a failed WAL append leaks nothing; the
+  /// failure also latches wal_error_ (see its comment) so the range is
+  /// never re-claimed.
+  Status CommitGroup(const WriteBatch& my_batch);
+  /// Applies wal_sync_mode: issues (or skips) the group's WAL sync. Leader
+  /// only, mutex released. *synced reports whether an fsync was issued.
+  Status MaybeSyncWal(wal::LogWriter* wal, bool* synced);
   Status MaybeStallLocked(std::unique_lock<std::mutex>& lock);
   Status SwitchMemTableLocked();
   SequenceNumber SmallestLiveSnapshotLocked() const;
@@ -376,6 +398,28 @@ class DB {
   std::deque<ImmPartition> imm_;  // Oldest first; back() is newest.
   std::unique_ptr<wal::LogWriter> wal_;
   uint64_t wal_number_ = 0;
+
+  // ---- Group-commit write pipeline (DESIGN.md §2.9) ----
+  // The writer queue has its own internal lock, taken either with no other
+  // lock held or inside mutex_ (never the reverse).
+  std::unique_ptr<write::WriteQueue> write_queue_;
+  // Group-commit counters; updated and snapshotted under mutex_.
+  metrics::GroupCommitTracker write_stats_;
+  // True while a group leader is appending to the WAL / inserting into
+  // mem_ with the mutex released. FlushMemTable waits for it to clear
+  // before switching or flushing the active memtable, so a mid-commit
+  // insert is never flushed out from under its group.
+  bool commit_in_flight_ = false;
+  // kInterval sync bookkeeping. Leader-only: reads and writes happen off
+  // the mutex but are serialized (and ordered) by queue leadership handoff.
+  uint64_t last_wal_sync_micros_ = 0;
+  // First write-path WAL append/sync failure; all subsequent writes fail
+  // fast with it (reads and flushes of already-committed state continue).
+  // Latching is what keeps sequences unique: a failed append may still
+  // have persisted its record, so re-claiming the failed group's range
+  // could otherwise put two records with the same base_seq in the WAL and
+  // make recovery replay duplicate sequences.
+  Status wal_error_;
 
   // Current version. Heap-allocated and refcounted: the DB holds one
   // reference, every ReadView one more. Mutations install a successor copy

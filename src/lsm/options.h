@@ -13,6 +13,22 @@
 
 namespace talus {
 
+/// When the write path fsyncs the WAL (DESIGN.md §2.9). Syncs are issued by
+/// the group-commit leader, so one sync covers every batch in its group.
+enum class WalSyncMode {
+  /// Never sync on the write path (flush/manifest installs still sync).
+  /// A power loss may drop the unsynced WAL tail, never consistency.
+  kNone,
+  /// One sync per commit group: full durability with the cost amortized
+  /// across the group's batches (RocksDB group commit).
+  kPerGroup,
+  /// Sync at most once per wal_sync_interval_micros: bounded-staleness
+  /// durability for ingest-heavy workloads. The bound holds while writes
+  /// keep arriving (syncs ride the write path); the tail of a burst that
+  /// goes idle stays unsynced until the next write or flush rotation.
+  kInterval,
+};
+
 /// How flushes and compactions execute (DESIGN.md §2).
 enum class ExecutionMode {
   /// Flushes and compactions run inline on the write path. Deterministic:
@@ -42,12 +58,29 @@ struct DbOptions {
   FilterLayout filter_layout = FilterLayout::kStatic;
 
   bool enable_wal = true;
-  // Sync the WAL after every write (RocksDB's WriteOptions::sync). Off by
-  // default like production systems: a power loss may drop the unsynced
-  // WAL tail, but never flushed data and never consistency.
+  /// When the write path fsyncs the WAL; see WalSyncMode. kNone by default
+  /// like production systems.
+  WalSyncMode wal_sync_mode = WalSyncMode::kNone;
+  /// kInterval only: minimum microseconds between write-path WAL syncs.
+  uint64_t wal_sync_interval_micros = 10000;
+  // Legacy alias (pre group-commit): sync the WAL on every write. When set
+  // with wal_sync_mode == kNone it is upgraded to kPerGroup at Open, which
+  // preserves the old durability guarantee while amortizing the sync.
   bool wal_sync_writes = false;
   // Replay WAL / manifest on open when present.
   bool create_if_missing = true;
+
+  // ---- Group-commit write pipeline (DESIGN.md §2.9) ----
+  /// Byte budget for one commit group: the leader absorbs queued batches
+  /// until their combined encoded size would exceed this (its own batch
+  /// always commits). Larger groups amortize WAL appends and syncs further
+  /// but lengthen the tail of the writers at the back of the group.
+  uint64_t max_write_group_bytes = 1 << 20;
+  /// When true, followers insert their own sub-batches into the memtable
+  /// concurrently (CAS skiplist inserts) instead of the leader applying the
+  /// whole group serially. Off by default: leader-applies keeps kInline
+  /// single-writer behavior bit-identical to the pre-pipeline engine.
+  bool parallel_memtable_writes = false;
 
   GrowthPolicyConfig policy;
 

@@ -9,20 +9,27 @@ void WriteBatch::Put(const Slice& key, const Slice& value) {
   PutLengthPrefixedSlice(&rep_, key);
   PutLengthPrefixedSlice(&rep_, value);
   count_++;
+  puts_++;
   payload_bytes_ += key.size() + value.size();
+  if (key.empty()) has_empty_key_ = true;
 }
 
 void WriteBatch::Delete(const Slice& key) {
   rep_.push_back(static_cast<char>(kTypeDeletion));
   PutLengthPrefixedSlice(&rep_, key);
   count_++;
+  deletes_++;
   payload_bytes_ += key.size();
+  if (key.empty()) has_empty_key_ = true;
 }
 
 void WriteBatch::Clear() {
   rep_.clear();
   count_ = 0;
+  puts_ = 0;
+  deletes_ = 0;
   payload_bytes_ = 0;
+  has_empty_key_ = false;
 }
 
 Status WriteBatch::Iterate(Handler* handler) const {

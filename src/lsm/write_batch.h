@@ -23,9 +23,16 @@ class WriteBatch {
 
   /// Number of operations in the batch.
   uint32_t Count() const { return count_; }
+  /// Number of Put / Delete operations (Count() == Puts() + Deletes()).
+  uint32_t Puts() const { return puts_; }
+  uint32_t Deletes() const { return deletes_; }
   /// Sum of key+value bytes across operations.
   uint64_t PayloadBytes() const { return payload_bytes_; }
   bool empty() const { return count_ == 0; }
+  /// True if any operation names an empty key. The engine rejects such
+  /// batches per-writer (Status::InvalidArgument) without failing the rest
+  /// of their commit group (DESIGN.md §2.9).
+  bool HasEmptyKey() const { return has_empty_key_; }
 
   /// Visitor over the operations, in insertion order.
   class Handler {
@@ -45,7 +52,10 @@ class WriteBatch {
  private:
   std::string rep_;  // Sequence of: type byte | key lp | [value lp].
   uint32_t count_ = 0;
+  uint32_t puts_ = 0;
+  uint32_t deletes_ = 0;
   uint64_t payload_bytes_ = 0;
+  bool has_empty_key_ = false;
 };
 
 }  // namespace talus

@@ -43,8 +43,8 @@ void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& key,
   tmp.append(value.data(), val_size);
   memcpy(buf, tmp.data(), encoded_len);
   table_.Insert(buf);
-  num_entries_++;
-  payload_bytes_ += key_size + val_size;
+  num_entries_.fetch_add(1, std::memory_order_relaxed);
+  payload_bytes_.fetch_add(key_size + val_size, std::memory_order_relaxed);
 }
 
 bool MemTable::Get(const LookupKey& lkey, std::string* value, Status* s) {

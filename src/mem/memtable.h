@@ -1,13 +1,18 @@
 // MemTable: the in-memory write buffer. Entries are stored in a skiplist over
 // length-prefixed internal keys; flushing iterates in internal-key order.
 //
-// Concurrency: Add() requires external serialization (the DB mutex), but
-// Get() and iterators are safe without any lock concurrently with one
-// writer — the skiplist publishes nodes with release-stores (skiplist.h),
-// which is what lets the DB read path drop the mutex (DESIGN.md §2.7).
+// Concurrency: concurrent Add()s are safe as long as every concurrent entry
+// carries a distinct (user key, sequence) pair — which the group-commit
+// pipeline guarantees by assigning disjoint sequence ranges to the writers
+// of a group (DESIGN.md §2.9); the skiplist links nodes with CAS and the
+// arena serializes allocation internally. Get() and iterators are safe
+// without any lock concurrently with writers — the skiplist publishes nodes
+// with release-stores (skiplist.h), which is what lets the DB read path
+// drop the mutex (DESIGN.md §2.7).
 #ifndef TALUS_MEM_MEMTABLE_H_
 #define TALUS_MEM_MEMTABLE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -40,9 +45,13 @@ class MemTable {
   /// Approximate bytes used (arena blocks).
   size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
 
-  uint64_t num_entries() const { return num_entries_; }
+  uint64_t num_entries() const {
+    return num_entries_.load(std::memory_order_relaxed);
+  }
   /// Sum of user key + value bytes added (logical payload size).
-  uint64_t payload_bytes() const { return payload_bytes_; }
+  uint64_t payload_bytes() const {
+    return payload_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class MemTableIterator;
@@ -58,8 +67,10 @@ class MemTable {
   KeyComparator comparator_;
   Arena arena_;
   Table table_;
-  uint64_t num_entries_ = 0;
-  uint64_t payload_bytes_ = 0;
+  // Relaxed atomics: bumped by (possibly concurrent) Add()s and read by the
+  // flush trigger and property/stat paths without a common lock.
+  std::atomic<uint64_t> num_entries_{0};
+  std::atomic<uint64_t> payload_bytes_{0};
 };
 
 }  // namespace talus

@@ -1,5 +1,7 @@
 // Arena: bump-pointer allocator backing the memtable skiplist. All memory is
-// freed at once when the arena is destroyed.
+// freed at once when the arena is destroyed. A spinlock serializes the bump
+// pointer so parallel memtable inserts (DESIGN.md §2.9) can allocate
+// concurrently; uncontended, the lock costs a couple of atomic operations.
 #ifndef TALUS_UTIL_ARENA_H_
 #define TALUS_UTIL_ARENA_H_
 
@@ -20,6 +22,7 @@ class Arena {
 
   char* Allocate(size_t bytes) {
     assert(bytes > 0);
+    SpinGuard guard(lock_);
     if (bytes <= alloc_bytes_remaining_) {
       char* result = alloc_ptr_;
       alloc_ptr_ += bytes;
@@ -32,6 +35,7 @@ class Arena {
   /// Allocation with the alignment guarantees of malloc (8/16 bytes).
   char* AllocateAligned(size_t bytes) {
     const int align = (sizeof(void*) > 8) ? sizeof(void*) : 8;
+    SpinGuard guard(lock_);
     size_t current_mod = reinterpret_cast<uintptr_t>(alloc_ptr_) & (align - 1);
     size_t slop = (current_mod == 0 ? 0 : align - current_mod);
     size_t needed = bytes + slop;
@@ -55,6 +59,16 @@ class Arena {
  private:
   static constexpr size_t kBlockSize = 4096;
 
+  struct SpinGuard {
+    explicit SpinGuard(std::atomic_flag& f) : flag(f) {
+      while (flag.test_and_set(std::memory_order_acquire)) {
+      }
+    }
+    ~SpinGuard() { flag.clear(std::memory_order_release); }
+    std::atomic_flag& flag;
+  };
+
+  // REQUIRES: lock_ held.
   char* AllocateFallback(size_t bytes) {
     if (bytes > kBlockSize / 4) {
       // Large objects get their own block to avoid wasting the current one.
@@ -75,6 +89,7 @@ class Arena {
     return blocks_.back().get();
   }
 
+  std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
   char* alloc_ptr_;
   size_t alloc_bytes_remaining_;
   std::vector<std::unique_ptr<char[]>> blocks_;

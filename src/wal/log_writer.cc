@@ -16,6 +16,7 @@ Status LogWriter::AddRecord(const Slice& payload) {
   if (s.ok()) {
     s = file_->Append(payload);
   }
+  if (s.ok()) unsynced_bytes_ += kHeaderSize + payload.size();
   return s;
 }
 

@@ -1,7 +1,11 @@
 // LogWriter: appends CRC-framed records to a WritableFile (WAL, MANIFEST).
+// Not internally synchronized: the DB serializes WAL appends through the
+// group-commit leader (DESIGN.md §2.9), so at most one thread touches a
+// LogWriter at a time even though the DB mutex is not held.
 #ifndef TALUS_WAL_LOG_WRITER_H_
 #define TALUS_WAL_LOG_WRITER_H_
 
+#include <cstdint>
 #include <memory>
 
 #include "env/env.h"
@@ -16,11 +20,20 @@ class LogWriter {
       : file_(std::move(file)) {}
 
   Status AddRecord(const Slice& payload);
-  Status Sync() { return file_->Sync(); }
+  Status Sync() {
+    Status s = file_->Sync();
+    if (s.ok()) unsynced_bytes_ = 0;
+    return s;
+  }
   Status Close() { return file_->Close(); }
+
+  /// Bytes appended since the last successful Sync() (0 = the log tail is
+  /// durable). Introspection for callers deciding whether a sync is owed.
+  uint64_t unsynced_bytes() const { return unsynced_bytes_; }
 
  private:
   std::unique_ptr<WritableFile> file_;
+  uint64_t unsynced_bytes_ = 0;
 };
 
 }  // namespace wal

@@ -1,0 +1,70 @@
+// Writer / WriteGroup: the per-caller queue node and the per-commit batch
+// group of the group-commit write pipeline (DESIGN.md §2.9). A Writer is
+// stack-allocated by DB::CommitGroup for the duration of one Put/Delete/
+// Write call; a WriteGroup is stack-allocated by the group leader and names
+// the contiguous run of queued writers whose batches commit together with
+// one WAL record and one (amortized) sync.
+#ifndef TALUS_WRITE_WRITER_H_
+#define TALUS_WRITE_WRITER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "lsm/dbformat.h"
+#include "lsm/write_batch.h"
+#include "util/status.h"
+
+namespace talus {
+namespace write {
+
+/// One queued write call. Lives on the caller's stack; every field except
+/// `state` is owned by the group leader from the moment the writer joins the
+/// queue until the leader marks it done (the caller only blocks and then
+/// reads `status`). `state` is guarded by WriteQueue's internal mutex.
+struct Writer {
+  enum State : uint8_t {
+    kWaiting,        // Queued behind the current group.
+    kLeader,         // Front of the queue: this thread commits the group.
+    kParallelApply,  // Told by the leader to insert its own sub-batch.
+    kDone,           // Committed (or failed); `status` is final.
+  };
+
+  explicit Writer(const WriteBatch* b) : batch(b) {}
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  const WriteBatch* batch;
+  /// Final per-writer outcome. One malformed batch fails alone — it never
+  /// poisons the rest of its group.
+  Status status;
+  /// First sequence number of this writer's sub-batch (leader-assigned).
+  SequenceNumber base_seq = 0;
+  /// When the writer first blocked behind another group (queue-wait
+  /// accounting). Stays 0 for a writer that took leadership immediately,
+  /// which keeps serial runs' stats bit-deterministic — no clock is read.
+  uint64_t join_micros = 0;
+  /// Set by the leader for parallel memtable applies.
+  struct WriteGroup* group = nullptr;
+  State state = kWaiting;
+};
+
+/// The batch group one leader commits. `writers[0]` is the leader; the rest
+/// follow in queue order, which is also sequence-assignment order.
+struct WriteGroup {
+  std::vector<Writer*> writers;
+  /// Sum over members of (group-build time - join time).
+  uint64_t queue_wait_micros = 0;
+  /// Follower-side memtable insert, set by the leader before
+  /// WriteQueue::StartParallelApplies. Must be safe to run concurrently
+  /// from every follower thread.
+  std::function<void(Writer*)> apply;
+  /// Followers that have not finished their parallel apply yet.
+  std::atomic<int> pending_applies{0};
+};
+
+}  // namespace write
+}  // namespace talus
+
+#endif  // TALUS_WRITE_WRITER_H_
