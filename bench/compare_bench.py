@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a fresh BENCH_*.json against a committed
+baseline and fail on throughput regressions beyond a tolerance band.
+
+Rows are matched by their identity fields (mode, wal_sync, policy, shards,
+writers — whichever the bench emits) and compared on --metric (default
+kops_per_sec).
+
+Raw throughput is machine-dependent, so CI passes --normalize: each side's
+metric is divided by that side's geometric mean over all matched configs
+before comparing. Normalized values measure the SHAPE of the performance
+profile — how much grouping, parallel applies, or sharding buy relative to
+the other configs — which is stable across runner generations, while a
+plain delta would fail every time GitHub swaps CPU models. The trade-off: a
+change that slows every config by the same factor is invisible to the
+normalized gate (it shows up in the nightly absolute trajectory instead).
+
+Short smoke runs are noisy (interference only ever slows a run down), so
+the fresh side accepts several files: each config keeps its best (max)
+metric across them. CI runs the smoke bench twice and gates on the merge.
+
+Exit codes: 0 = within tolerance, 1 = regression (or missing rows), 2 =
+usage/format error.
+
+To refresh the committed baseline after an intentional change, run the
+bench with --smoke --json (ideally twice, merged best-of) and replace
+bench/baseline/BENCH_write.json — or land the PR with [bench-skip] in the
+commit message and refresh in a follow-up.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+IDENTITY_KEYS = ("mode", "wal_sync", "policy", "shards", "writers")
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot load {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        print(f"error: {path} has no rows", file=sys.stderr)
+        sys.exit(2)
+    return doc.get("bench", "?"), rows
+
+
+def identity(row):
+    return tuple((k, row[k]) for k in IDENTITY_KEYS if k in row)
+
+
+def fmt_identity(ident):
+    return " ".join(f"{k}={v}" for k, v in ident)
+
+
+def geomean(values):
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return 1.0
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare bench JSON against a committed baseline.")
+    parser.add_argument("baseline")
+    parser.add_argument("fresh", nargs="+",
+                        help="One or more runs of the same bench; each "
+                             "config keeps its best metric across files.")
+    parser.add_argument("--metric", default="kops_per_sec")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="Allowed relative regression (0.25 = -25%%).")
+    parser.add_argument("--normalize", action="store_true",
+                        help="Compare each side's metric relative to its "
+                             "geometric mean over matched configs "
+                             "(machine-independent).")
+    args = parser.parse_args()
+
+    base_name, base_rows = load_rows(args.baseline)
+    fresh_rows = []
+    for path in args.fresh:
+        fresh_name, rows = load_rows(path)
+        if base_name != fresh_name:
+            print(f"error: comparing different benches "
+                  f"({base_name} vs {fresh_name})", file=sys.stderr)
+            sys.exit(2)
+        fresh_rows.extend(rows)
+    # Best-of-N: keep each config's fastest observation.
+    merged = {}
+    for row in fresh_rows:
+        ident = identity(row)
+        if (ident not in merged or
+                row.get(args.metric, 0) > merged[ident].get(args.metric, 0)):
+            merged[ident] = row
+
+    # Match configs, then normalize both sides by their own geometric mean
+    # over the MATCHED set (so a missing config cannot skew the reference).
+    matched = []
+    missing = []
+    for base_row in base_rows:
+        ident = identity(base_row)
+        fresh_row = merged.get(ident)
+        if fresh_row is None:
+            missing.append(ident)
+            continue
+        matched.append((ident, base_row.get(args.metric, 0),
+                        fresh_row.get(args.metric, 0)))
+    base_norm = fresh_norm = 1.0
+    if args.normalize and matched:
+        base_norm = geomean([b for _, b, _ in matched])
+        fresh_norm = geomean([f for _, _, f in matched])
+
+    regressions = []
+    improved = []
+    print(f"# {base_name}: {args.metric}"
+          f"{' (normalized by geomean)' if args.normalize else ''}, "
+          f"tolerance -{args.tolerance:.0%}")
+    for ident, base_raw, fresh_raw in matched:
+        if base_raw <= 0:
+            continue
+        base_value = base_raw / base_norm
+        fresh_value = fresh_raw / fresh_norm
+        delta = (fresh_value - base_value) / base_value
+        marker = " "
+        if delta < -args.tolerance:
+            regressions.append((ident, delta))
+            marker = "!"
+        elif delta > args.tolerance:
+            improved.append((ident, delta))
+            marker = "+"
+        print(f"{marker} {fmt_identity(ident):55s} "
+              f"base={base_value:10.3f} fresh={fresh_value:10.3f} "
+              f"delta={delta:+7.1%}")
+
+    if missing:
+        print(f"\nFAIL: {len(missing)} baseline config(s) missing from the "
+              f"fresh run:")
+        for ident in missing:
+            print(f"  {fmt_identity(ident)}")
+        sys.exit(1)
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} config(s) regressed more than "
+              f"{args.tolerance:.0%}:")
+        for ident, delta in regressions:
+            print(f"  {fmt_identity(ident)}: {delta:+.1%}")
+        print("(intentional? refresh bench/baseline/ or commit with "
+              "[bench-skip])")
+        sys.exit(1)
+    if improved:
+        print(f"\nnote: {len(improved)} config(s) improved beyond the band; "
+              f"consider refreshing the committed baseline.")
+    print("OK: no regression beyond tolerance.")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,5 +1,5 @@
 // In-memory Env with deterministic, byte-exact I/O accounting. This is the
-// substrate for all benchmark experiments (see DESIGN.md §3).
+// substrate for all benchmark experiments (see DESIGN.md §4).
 #include <algorithm>
 #include <map>
 #include <memory>

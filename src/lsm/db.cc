@@ -10,6 +10,8 @@
 #include "compaction/compaction_planner.h"
 #include "compaction/sorted_output.h"
 #include "lsm/filename.h"
+#include "shard/backpressure.h"
+#include "shard/sequence_allocator.h"
 #include "table/merging_iterator.h"
 #include "table/run_iterator.h"
 #include "util/coding.h"
@@ -29,6 +31,23 @@ bool DecodeWalRecord(Slice input, SequenceNumber* base_seq,
   if (!GetFixed64(&input, &s)) return false;
   *base_seq = s;
   return WriteBatch::FromRep(input, batch).ok();
+}
+
+// Publishes a committed (or failed-and-burned) group's sequence ranges to
+// the shared allocator: the group's own contiguous claim plus every
+// preassigned writer that asked to be published. Used by both the success
+// and the WAL-failure path of CommitWriter — the ranges must reach the
+// allocator either way, or the global watermark wedges.
+void PublishGroupSequences(shard::SequenceAllocator* alloc,
+                           SequenceNumber base_seq, uint64_t claim_count,
+                           const write::WriteGroup& group) {
+  if (alloc == nullptr) return;
+  if (claim_count > 0) alloc->Publish(base_seq, claim_count);
+  for (write::Writer* wr : group.writers) {
+    if (wr->preassigned && wr->publish_sequence && wr->batch->Count() > 0) {
+      alloc->Publish(wr->base_seq, wr->batch->Count());
+    }
+  }
 }
 
 // Applies a batch to a memtable with sequences base, base+1, ...
@@ -161,9 +180,10 @@ compaction::OutputShape DB::OutputShapeForDb() {
 
 DB::~DB() {
   // Drain accepted background jobs, then the pool's task queue, before any
-  // member is destroyed. Both calls are idempotent.
+  // member is destroyed. Both calls are idempotent. A borrowed pool (shared
+  // across shards) is the sharded store's to shut down, not ours.
   if (scheduler_ != nullptr) scheduler_->Shutdown();
-  if (pool_ != nullptr) pool_->Shutdown();
+  if (owned_pool_ != nullptr) owned_pool_->Shutdown();
   std::lock_guard<std::mutex> lock(mutex_);
   // Best effort: anything still pinned (stray iterator outliving the DB is
   // undefined behavior anyway) stays on disk and is swept at the next Open.
@@ -271,9 +291,14 @@ Status DB::Open(const DbOptions& options, std::unique_ptr<DB>* dbptr) {
   lock.unlock();
 
   if (db->is_background()) {
-    db->pool_ =
-        std::make_unique<exec::ThreadPool>(options.num_background_threads);
-    db->scheduler_ = std::make_unique<exec::JobScheduler>(db->pool_.get());
+    if (options.shared_pool != nullptr) {
+      db->pool_ = options.shared_pool;
+    } else {
+      db->owned_pool_ =
+          std::make_unique<exec::ThreadPool>(options.num_background_threads);
+      db->pool_ = db->owned_pool_.get();
+    }
+    db->scheduler_ = std::make_unique<exec::JobScheduler>(db->pool_);
     exec::StallConfig stall_config;
     stall_config.max_immutable_memtables = options.max_immutable_memtables;
     stall_config.l0_slowdown_runs = options.l0_slowdown_runs;
@@ -282,7 +307,7 @@ Status DB::Open(const DbOptions& options, std::unique_ptr<DB>* dbptr) {
     db->stall_ = std::make_unique<exec::StallController>(stall_config);
     // Attach the pool so background compactions fan their subcompactions
     // out (bounded by DbOptions::max_subcompactions).
-    db->compaction_exec_->SetPool(db->pool_.get());
+    db->compaction_exec_->SetPool(db->pool_);
   }
 
   *dbptr = std::move(db);
@@ -403,6 +428,23 @@ Status DB::MaybeSyncWal(wal::LogWriter* wal, bool* synced) {
 
 Status DB::CommitGroup(const WriteBatch& my_batch) {
   write::Writer w(&my_batch);
+  return CommitWriter(&w);
+}
+
+Status DB::WriteAt(const WriteBatch& batch, SequenceNumber base_seq) {
+  if (batch.empty()) return Status::OK();
+  if (batch.HasEmptyKey()) {
+    return Status::InvalidArgument("empty keys are not supported");
+  }
+  write::Writer w(&batch);
+  w.preassigned = true;
+  w.publish_sequence = false;  // The sharding layer publishes the range.
+  w.base_seq = base_seq;
+  return CommitWriter(&w);
+}
+
+Status DB::CommitWriter(write::Writer* writer) {
+  write::Writer& w = *writer;
   if (!write_queue_->JoinAndAwaitLeadership(&w)) return w.status;
 
   // ---- Leader: gate + claim (first short mutex section). ----
@@ -425,21 +467,40 @@ Status DB::CommitGroup(const WriteBatch& my_batch) {
   }
 
   // Claim the group's sequence range privately, in queue order. Nothing is
-  // published yet: readers pin views at the pre-group last_sequence_, so
+  // published yet: readers pin views at the pre-group visibility bound, so
   // the whole group becomes visible atomically at publish time — and if the
   // WAL append fails below, the claim simply evaporates (the sequence-leak
-  // fix). Malformed batches (empty keys) fail alone, not their group.
-  const SequenceNumber base_seq = last_sequence_ + 1;
-  SequenceNumber next_seq = base_seq;
+  // fix; under a shared allocator the range is burned instead, see the
+  // failure branch). Malformed batches (empty keys) fail alone, not their
+  // group. Preassigned writers (WriteAt) carry ranges the sharding layer
+  // already claimed, so they stay out of this group's contiguous claim.
+  shard::SequenceAllocator* alloc = options_.sequence_allocator;
+  uint64_t claim_count = 0;
+  uint64_t total_count = 0;
   for (write::Writer* wr : group.writers) {
     if (wr->batch->HasEmptyKey()) {
       wr->status = Status::InvalidArgument("empty keys are not supported");
       continue;
     }
-    wr->base_seq = next_seq;
-    next_seq += wr->batch->Count();
+    total_count += wr->batch->Count();
+    if (!wr->preassigned) claim_count += wr->batch->Count();
   }
-  const uint64_t group_count = next_seq - base_seq;
+  const SequenceNumber base_seq = alloc != nullptr && claim_count > 0
+                                      ? alloc->Claim(claim_count)
+                                      : last_sequence_ + 1;
+  SequenceNumber next_seq = base_seq;
+  SequenceNumber max_seq = last_sequence_;
+  for (write::Writer* wr : group.writers) {
+    if (!wr->status.ok()) continue;
+    if (!wr->preassigned) {
+      wr->base_seq = next_seq;
+      next_seq += wr->batch->Count();
+    }
+    if (wr->batch->Count() > 0) {
+      max_seq = std::max(max_seq, wr->base_seq + wr->batch->Count() - 1);
+    }
+  }
+  const uint64_t group_count = total_count;
   std::shared_ptr<MemTable> mem = mem_;
   wal::LogWriter* wal = wal_.get();
   commit_in_flight_ = true;
@@ -452,12 +513,25 @@ Status DB::CommitGroup(const WriteBatch& my_batch) {
   Status s;
   bool synced = false;
   if (wal != nullptr && group_count > 0) {
-    std::string rec;
-    PutFixed64(&rec, base_seq);
-    for (write::Writer* wr : group.writers) {
-      if (wr->status.ok()) rec.append(wr->batch->rep());
+    if (claim_count > 0) {
+      std::string rec;
+      PutFixed64(&rec, base_seq);
+      for (write::Writer* wr : group.writers) {
+        if (wr->status.ok() && !wr->preassigned) rec.append(wr->batch->rep());
+      }
+      s = wal->AddRecord(Slice(rec));
     }
-    s = wal->AddRecord(Slice(rec));
+    // Preassigned sub-batches get their own records: their ranges are
+    // disjoint from the group's contiguous claim, and the record format
+    // (base_seq + reps, replayed sequentially) already encodes that.
+    for (write::Writer* wr : group.writers) {
+      if (!s.ok()) break;
+      if (!wr->status.ok() || !wr->preassigned) continue;
+      std::string rec;
+      PutFixed64(&rec, wr->base_seq);
+      rec.append(wr->batch->rep());
+      s = wal->AddRecord(Slice(rec));
+    }
     if (s.ok()) s = MaybeSyncWal(wal, &synced);
   }
 
@@ -502,12 +576,22 @@ Status DB::CommitGroup(const WriteBatch& my_batch) {
     for (write::Writer* wr : group.writers) {
       if (wr->status.ok()) wr->status = s;
     }
+    // Burn the claimed ranges: the latched error means they can never be
+    // reused, and an unpublished hole would wedge the global watermark for
+    // every other shard. Ranges the sharding layer claimed itself
+    // (publish_sequence == false) are its to burn.
+    PublishGroupSequences(alloc, base_seq, claim_count, group);
     bg_cv_.notify_all();
     lock.unlock();
     write_queue_->ExitGroup(&group);
     return w.status;
   }
-  if (group_count > 0) last_sequence_ = next_seq - 1;
+  if (max_seq > last_sequence_) last_sequence_ = max_seq;
+  // Publish once the inserts are complete: the global watermark may now
+  // advance over this group, making it visible to cross-shard snapshots
+  // atomically. Multi-shard sub-batches (publish_sequence == false) stay
+  // pending until the sharding layer publishes their whole range.
+  PublishGroupSequences(alloc, base_seq, claim_count, group);
   uint64_t committed = 0;
   for (write::Writer* wr : group.writers) {
     if (!wr->status.ok()) continue;
@@ -537,12 +621,32 @@ Status DB::CommitGroup(const WriteBatch& my_batch) {
 
 Status DB::MaybeStallLocked(std::unique_lock<std::mutex>& lock) {
   bool already_slowed = false;
+  bool already_agg_stopped = false;
+  shard::ShardBackpressure* agg = options_.shard_backpressure;
   while (true) {
     if (!bg_error_.ok()) return bg_error_;
     const size_t l0_runs =
         current_->levels.empty() ? 0 : current_->levels[0].runs.size();
     const exec::StallDecision decision =
         stall_->Decide(imm_.size(), l0_runs);
+    const exec::StallDecision agg_decision =
+        agg != nullptr ? agg->Decide() : exec::StallDecision::kNone;
+    if (decision != exec::StallDecision::kStop &&
+        agg_decision == exec::StallDecision::kStop && !already_agg_stopped) {
+      // Unified backpressure (DESIGN.md §3): the sharded store's aggregate
+      // debt — possibly all on one hot shard — stops intake everywhere.
+      // The wait is bounded (and taken at most once per write) because the
+      // local controllers own unbounded stops; this layer only paces
+      // intake while the shared pool catches up.
+      already_agg_stopped = true;
+      stats_.stall_stops++;
+      const uint64_t start = NowMicros();
+      lock.unlock();
+      agg->WaitWhileStopped();
+      lock.lock();
+      stats_.stall_micros += NowMicros() - start;
+      continue;
+    }
     if (decision == exec::StallDecision::kStop) {
       // Safety valve: if no background job is pending, no background
       // progress can clear the condition (the policy's stable shape exceeds
@@ -566,7 +670,9 @@ Status DB::MaybeStallLocked(std::unique_lock<std::mutex>& lock) {
       stats_.stall_micros += waited;
       continue;
     }
-    if (decision == exec::StallDecision::kSlowdown && !already_slowed) {
+    if ((decision == exec::StallDecision::kSlowdown ||
+         agg_decision == exec::StallDecision::kSlowdown) &&
+        !already_slowed) {
       already_slowed = true;
       const uint64_t start = NowMicros();
       lock.unlock();
@@ -589,6 +695,7 @@ Status DB::SwitchMemTableLocked() {
     stats_.max_imm_queue_depth = imm_.size();
   }
   mem_ = std::make_shared<MemTable>();
+  ReportBackpressureLocked();
   Status s = NewWalLocked();
   if (!s.ok()) {
     bg_error_ = s;
@@ -635,6 +742,7 @@ Status DB::BackgroundFlushLocked(std::unique_lock<std::mutex>& lock) {
                            &obsolete);
     if (!s.ok()) break;
     imm_.pop_front();
+    ReportBackpressureLocked();
     stats_.bg_flushes++;
     policy_->OnFlushCompleted(*current_);
     s = InstallManifestLocked();
@@ -669,14 +777,29 @@ Status DB::BackgroundCompaction() {
 }
 
 SequenceNumber DB::SmallestLiveSnapshotLocked() const {
-  if (snapshot_seqs_.empty()) return last_sequence_;
-  return std::min(*snapshot_seqs_.begin(), last_sequence_);
+  // Sharded stores read at the global watermark, not this shard's own last
+  // sequence, so the tombstone-GC horizon must not outrun it: a future
+  // cross-shard read pins at visible(t') >= visible(now) (monotonic), so
+  // keeping versions needed at visible(now) keeps everything any such read
+  // can still ask for (registered snapshots handle the rest via the min).
+  const SequenceNumber horizon =
+      options_.sequence_allocator != nullptr
+          ? options_.sequence_allocator->visible()
+          : last_sequence_;
+  if (snapshot_seqs_.empty()) return horizon;
+  return std::min(*snapshot_seqs_.begin(), horizon);
 }
 
 const Snapshot* DB::GetSnapshot() {
   std::lock_guard<std::mutex> lock(mutex_);
   snapshot_seqs_.insert(last_sequence_);
   return new Snapshot(last_sequence_);
+}
+
+const Snapshot* DB::GetSnapshotAt(SequenceNumber sequence) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot_seqs_.insert(sequence);
+  return new Snapshot(sequence);
 }
 
 void DB::ReleaseSnapshot(const Snapshot* snapshot) {
@@ -1213,6 +1336,15 @@ void DB::InstallVersionLocked(std::unique_ptr<Version> next) {
   Version* old = current_;
   current_ = next.release();
   if (old != nullptr && old->Unref()) delete old;
+  ReportBackpressureLocked();  // L0 run count may have changed.
+}
+
+void DB::ReportBackpressureLocked() {
+  if (options_.shard_backpressure == nullptr) return;
+  const size_t l0_runs =
+      current_->levels.empty() ? 0 : current_->levels[0].runs.size();
+  options_.shard_backpressure->Report(options_.shard_index, imm_.size(),
+                                      l0_runs);
 }
 
 void DB::EnsurePaddedLocked(size_t min_levels) {
@@ -1259,6 +1391,19 @@ std::shared_ptr<const read::ReadView> DB::AcquireReadView() {
 }
 
 std::shared_ptr<const read::ReadView> DB::AcquireReadViewLocked() {
+  // Under a shared sequence allocator the visibility bound is the global
+  // watermark, not this shard's own last sequence: everything at or below
+  // the watermark is fully applied in EVERY shard, so views pinned at it in
+  // different shards compose into one consistent cross-shard snapshot.
+  // (With one shard the two are always equal — claim and publish alternate
+  // under queue leadership.)
+  return AcquireReadViewAtLocked(options_.sequence_allocator != nullptr
+                                     ? options_.sequence_allocator->visible()
+                                     : last_sequence_);
+}
+
+std::shared_ptr<const read::ReadView> DB::AcquireReadViewAtLocked(
+    SequenceNumber sequence) {
   auto* view = new read::ReadView;
   current_->Ref();
   view->version = current_;
@@ -1267,7 +1412,7 @@ std::shared_ptr<const read::ReadView> DB::AcquireReadViewLocked() {
   for (auto it = imm_.rbegin(); it != imm_.rend(); ++it) {
     view->imm.push_back(it->mem);
   }
-  view->sequence = last_sequence_;
+  view->sequence = sequence;
   return std::shared_ptr<const read::ReadView>(
       view, [this](const read::ReadView* v) { ReleaseReadView(v); });
 }
@@ -1373,6 +1518,15 @@ std::unique_ptr<Iterator> DB::NewIterator() {
   return NewPinnedIterator(AcquireReadView());
 }
 
+std::unique_ptr<Iterator> DB::NewIteratorAt(SequenceNumber sequence) {
+  std::shared_ptr<const read::ReadView> view;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    view = AcquireReadViewAtLocked(sequence);
+  }
+  return NewPinnedIterator(std::move(view));
+}
+
 std::unique_ptr<Iterator> DB::NewPinnedIterator(
     std::shared_ptr<const read::ReadView> view) {
   std::vector<std::unique_ptr<Iterator>> children;
@@ -1412,6 +1566,11 @@ Status DB::Scan(const Slice& start, size_t count,
 metrics::GroupCommitStats DB::GetGroupCommitStats() const {
   std::unique_lock<std::mutex> lock(mutex_);
   return write_stats_.Snapshot();
+}
+
+SequenceNumber DB::LastSequence() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return last_sequence_;
 }
 
 uint64_t DB::ApproximateDataBytes() const {

@@ -60,6 +60,10 @@
 
 namespace talus {
 
+namespace shard {
+class ShardedDB;
+}  // namespace shard
+
 /// Cumulative engine statistics (virtual-clock based where noted).
 /// Write-path fields are updated under the DB mutex; read-path fields are
 /// relaxed atomics because Get/Scan run without the mutex (DESIGN.md §2.7).
@@ -168,6 +172,7 @@ class Snapshot {
 
  private:
   friend class DB;
+  friend class shard::ShardedDB;  // Cross-shard snapshots (DESIGN.md §3).
   explicit Snapshot(SequenceNumber s) : sequence_(s) {}
   SequenceNumber sequence_;
 };
@@ -185,12 +190,24 @@ class DB {
   /// Batches naming an empty key fail with InvalidArgument as a whole —
   /// their commit group is unaffected (DESIGN.md §2.9).
   Status Write(const WriteBatch& batch);
+  /// Sharding layer only (DESIGN.md §3): commits `batch` at a sequence
+  /// range the caller pre-claimed from the shared SequenceAllocator
+  /// ([base_seq, base_seq + batch.Count())). The range is NOT published to
+  /// the allocator here — the caller publishes once every shard of a
+  /// multi-shard batch has applied its part, making the batch atomic under
+  /// the cross-shard visibility watermark. Requires
+  /// DbOptions::sequence_allocator.
+  Status WriteAt(const WriteBatch& batch, SequenceNumber base_seq);
   Status Get(const Slice& key, std::string* value);
   /// Point lookup against a pinned snapshot (nullptr = latest).
   Status Get(const Slice& key, std::string* value, const Snapshot* snapshot);
 
   /// Pins the current state for repeatable reads. Must be released.
   const Snapshot* GetSnapshot();
+  /// Registers a snapshot at an externally-chosen sequence (the sharding
+  /// layer pins every shard at one global sequence). Must be released like
+  /// any snapshot.
+  const Snapshot* GetSnapshotAt(SequenceNumber sequence);
   void ReleaseSnapshot(const Snapshot* snapshot);
 
   /// Manual major compaction: merges every run into a single run at the
@@ -217,6 +234,11 @@ class DB {
   /// compactions (obsolete files are deleted only after release). Must not
   /// outlive the DB.
   std::unique_ptr<Iterator> NewIterator();
+  /// NewIterator pinned at an explicit visibility bound instead of the
+  /// engine's latest sequence: entries written after `sequence` are
+  /// invisible. The sharding layer pins every shard's iterator at one
+  /// global sequence so a cross-shard scan is a consistent snapshot.
+  std::unique_ptr<Iterator> NewIteratorAt(SequenceNumber sequence);
 
   /// Pins {version, memtables, sequence} in one O(1) critical section. The
   /// returned view keeps every SST it references alive; releasing the last
@@ -236,6 +258,9 @@ class DB {
   const EngineStats& stats() const { return stats_; }
   /// Snapshot of the write pipeline's group-commit counters (§2.9).
   metrics::GroupCommitStats GetGroupCommitStats() const;
+  /// Largest sequence this engine has committed (recovery/sharding
+  /// bookkeeping; takes the mutex).
+  SequenceNumber LastSequence() const;
   GrowthPolicy* policy() { return policy_.get(); }
   Env* env() { return options_.env; }
   const DbOptions& options() const { return options_; }
@@ -277,6 +302,9 @@ class DB {
   /// failure also latches wal_error_ (see its comment) so the range is
   /// never re-claimed.
   Status CommitGroup(const WriteBatch& my_batch);
+  /// CommitGroup body over a caller-prepared writer (WriteAt sets the
+  /// preassigned-sequence fields before joining the queue).
+  Status CommitWriter(write::Writer* w);
   /// Applies wal_sync_mode: issues (or skips) the group's WAL sync. Leader
   /// only, mutex released. *synced reports whether an fsync was issued.
   Status MaybeSyncWal(wal::LogWriter* wal, bool* synced);
@@ -287,6 +315,9 @@ class DB {
 
   // ---- Read path (mutex-free after the view pin; DESIGN.md §2.7) ----
   std::shared_ptr<const read::ReadView> AcquireReadViewLocked();
+  /// View pinned at an explicit visibility bound (cross-shard snapshots).
+  std::shared_ptr<const read::ReadView> AcquireReadViewAtLocked(
+      SequenceNumber sequence);
   /// shared_ptr deleter target: returns the view's pins and runs GC.
   void ReleaseReadView(const read::ReadView* view);
   Status GetFromView(const read::ReadView& view, const LookupKey& lkey,
@@ -375,6 +406,10 @@ class DB {
   Status BackgroundCompaction();
   void ScheduleFlushLocked();
   void ScheduleCompactionLocked();
+  /// Reports this shard's write debt (immutable queue depth, L0 run count)
+  /// to the sharded store's unified backpressure view. No-op unless
+  /// DbOptions::shard_backpressure is set.
+  void ReportBackpressureLocked();
 
   bool is_background() const {
     return options_.execution_mode == ExecutionMode::kBackground;
@@ -450,7 +485,10 @@ class DB {
   EngineStats stats_;
 
   // ---- Background execution (null / unused under kInline) ----
-  std::unique_ptr<exec::ThreadPool> pool_;
+  // The pool is either owned (standalone DB) or borrowed from the sharded
+  // store (DbOptions::shared_pool); only an owned pool is shut down here.
+  std::unique_ptr<exec::ThreadPool> owned_pool_;
+  exec::ThreadPool* pool_ = nullptr;
   std::unique_ptr<exec::JobScheduler> scheduler_;
   std::unique_ptr<exec::StallController> stall_;
   // Only one flush job / one compaction chain does work at a time; extra

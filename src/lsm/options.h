@@ -1,17 +1,27 @@
 // DbOptions: engine configuration. Defaults mirror the paper's experimental
-// setting scaled to simulator size (DESIGN.md §3): 1KB entries, buffer =
+// setting scaled to simulator size (DESIGN.md §4): 1KB entries, buffer =
 // target file size, size ratio T = 6, 5 bits-per-key Bloom filters.
 #ifndef TALUS_LSM_OPTIONS_H_
 #define TALUS_LSM_OPTIONS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "env/env.h"
 #include "filter/filter_allocator.h"
 #include "policy/policy_config.h"
 
 namespace talus {
+
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+namespace shard {
+class SequenceAllocator;
+class ShardBackpressure;
+}  // namespace shard
 
 /// When the write path fsyncs the WAL (DESIGN.md §2.9). Syncs are issued by
 /// the group-commit leader, so one sync covers every batch in its group.
@@ -83,6 +93,27 @@ struct DbOptions {
   bool parallel_memtable_writes = false;
 
   GrowthPolicyConfig policy;
+
+  // ---- Range sharding (shard::ShardedDB, DESIGN.md §3) ----
+  /// Number of range-partitioned shards shard::ShardedDB::Open creates,
+  /// each a full engine (own memtable, WAL, versions, table cache) behind
+  /// one shared thread pool and one global sequence allocator. Plain
+  /// DB::Open ignores it. 1 behaves bit-identically to the single engine.
+  int shard_count = 1;
+  /// Explicit split points (shard_count - 1 strictly ascending keys); shard
+  /// i owns [point[i-1], point[i]). Empty = uniform split of the 8-byte
+  /// key-prefix space (see shard::ShardRouter::DefaultBoundaries — pass
+  /// explicit points when keys share a long common prefix). Fixed at store
+  /// creation and persisted in the SHARD manifest.
+  std::vector<std::string> shard_split_points;
+  // Internal wiring, set by ShardedDB::Open on the per-shard options it
+  // derives. User code leaves these untouched.
+  shard::SequenceAllocator* sequence_allocator = nullptr;  // Global seqs.
+  shard::ShardBackpressure* shard_backpressure = nullptr;  // Unified stall.
+  size_t shard_index = 0;  // This engine's index within the sharded store.
+  /// Borrowed pool shared by every shard's background jobs; the DB neither
+  /// owns nor shuts it down. Null = the DB creates its own.
+  exec::ThreadPool* shared_pool = nullptr;
 
   // ---- Background execution (ExecutionMode::kBackground only) ----
   ExecutionMode execution_mode = ExecutionMode::kInline;

@@ -1,0 +1,75 @@
+#include "metrics/shard_stats.h"
+
+#include <algorithm>
+
+namespace talus {
+namespace metrics {
+
+EngineStats AggregateEngineStats(const std::vector<const EngineStats*>& in) {
+  EngineStats out;
+  for (const EngineStats* s : in) {
+    out.puts += s->puts;
+    out.deletes += s->deletes;
+    out.flushes += s->flushes;
+    out.compactions += s->compactions;
+    out.flush_bytes_read += s->flush_bytes_read;
+    out.flush_bytes_written += s->flush_bytes_written;
+    out.compaction_bytes_read += s->compaction_bytes_read;
+    out.compaction_bytes_written += s->compaction_bytes_written;
+    out.user_payload_written += s->user_payload_written;
+    out.compaction_conflicts += s->compaction_conflicts;
+    out.gets.fetch_add(s->gets.load(), std::memory_order_relaxed);
+    out.gets_found.fetch_add(s->gets_found.load(), std::memory_order_relaxed);
+    out.scans.fetch_add(s->scans.load(), std::memory_order_relaxed);
+    out.runs_probed.fetch_add(s->runs_probed.load(),
+                              std::memory_order_relaxed);
+    out.filter_negatives.fetch_add(s->filter_negatives.load(),
+                                   std::memory_order_relaxed);
+    out.data_block_reads.fetch_add(s->data_block_reads.load(),
+                                   std::memory_order_relaxed);
+    out.block_cache_hits.fetch_add(s->block_cache_hits.load(),
+                                   std::memory_order_relaxed);
+    out.obsolete_files_deleted += s->obsolete_files_deleted;
+    out.max_stall_clock = std::max(out.max_stall_clock, s->max_stall_clock);
+    out.memtable_switches += s->memtable_switches;
+    out.bg_flushes += s->bg_flushes;
+    out.bg_compactions += s->bg_compactions;
+    out.stall_slowdowns += s->stall_slowdowns;
+    out.stall_stops += s->stall_stops;
+    out.stall_micros += s->stall_micros;
+    out.max_imm_queue_depth =
+        std::max(out.max_imm_queue_depth, s->max_imm_queue_depth);
+    if (s->level_stats.size() > out.level_stats.size()) {
+      out.level_stats.resize(s->level_stats.size());
+    }
+    for (size_t i = 0; i < s->level_stats.size(); i++) {
+      out.level_stats[i].compactions += s->level_stats[i].compactions;
+      out.level_stats[i].bytes_read += s->level_stats[i].bytes_read;
+      out.level_stats[i].bytes_written += s->level_stats[i].bytes_written;
+    }
+  }
+  return out;
+}
+
+GroupCommitStats AggregateGroupCommitStats(
+    const std::vector<GroupCommitStats>& in) {
+  GroupCommitStats out;
+  for (const GroupCommitStats& s : in) {
+    out.group_commits += s.group_commits;
+    out.batches_committed += s.batches_committed;
+    out.parallel_applies += s.parallel_applies;
+    out.wal_syncs += s.wal_syncs;
+    out.write_queue_wait_micros += s.write_queue_wait_micros;
+    out.group_size_p50 = std::max(out.group_size_p50, s.group_size_p50);
+    out.group_size_max = std::max(out.group_size_max, s.group_size_max);
+  }
+  out.group_size_avg =
+      out.group_commits == 0
+          ? 0
+          : static_cast<double>(out.batches_committed) /
+                static_cast<double>(out.group_commits);
+  return out;
+}
+
+}  // namespace metrics
+}  // namespace talus

@@ -1,0 +1,31 @@
+// Cross-shard stat aggregation for shard::ShardedDB's GetProperty surface
+// (DESIGN.md §3). Counters sum, high-water marks take the max, and derived
+// ratios (write/read amplification, group-size averages) are recomputed
+// from the summed numerators and denominators rather than averaged — an
+// average of per-shard ratios would weight an idle shard the same as a hot
+// one.
+#ifndef TALUS_METRICS_SHARD_STATS_H_
+#define TALUS_METRICS_SHARD_STATS_H_
+
+#include <vector>
+
+#include "lsm/db.h"
+#include "metrics/write_stats.h"
+
+namespace talus {
+namespace metrics {
+
+/// Field-wise aggregate of per-shard engine stats (sums; maxes for
+/// max_stall_clock / max_imm_queue_depth; level_stats element-wise).
+EngineStats AggregateEngineStats(const std::vector<const EngineStats*>& in);
+
+/// Aggregate of per-shard group-commit stats. group_size_avg is recomputed
+/// from total batches / total groups; p50 and max take the max across
+/// shards (a per-shard distribution does not merge exactly).
+GroupCommitStats AggregateGroupCommitStats(
+    const std::vector<GroupCommitStats>& in);
+
+}  // namespace metrics
+}  // namespace talus
+
+#endif  // TALUS_METRICS_SHARD_STATS_H_

@@ -1,0 +1,52 @@
+#include "shard/backpressure.h"
+
+#include <chrono>
+
+namespace talus {
+namespace shard {
+
+namespace {
+exec::StallConfig Scaled(exec::StallConfig config, size_t shard_count) {
+  const size_t n = shard_count == 0 ? 1 : shard_count;
+  config.max_immutable_memtables *= n;
+  config.l0_slowdown_runs *= n;
+  config.l0_stop_runs *= n;
+  return config;
+}
+}  // namespace
+
+ShardBackpressure::ShardBackpressure(const exec::StallConfig& per_shard,
+                                     size_t shard_count)
+    : controller_(Scaled(per_shard, shard_count)),
+      imm_(shard_count, 0),
+      l0_(shard_count, 0) {}
+
+void ShardBackpressure::Report(size_t shard, size_t imm_count,
+                               size_t l0_runs) {
+  bool decreased = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    decreased = imm_count < imm_[shard] || l0_runs < l0_[shard];
+    total_imm_.fetch_add(imm_count - imm_[shard],
+                         std::memory_order_relaxed);  // Wraps safely.
+    total_l0_.fetch_add(l0_runs - l0_[shard], std::memory_order_relaxed);
+    imm_[shard] = imm_count;
+    l0_[shard] = l0_runs;
+  }
+  if (decreased) cv_.notify_all();
+}
+
+exec::StallDecision ShardBackpressure::Decide() const {
+  return controller_.Decide(total_imm_.load(std::memory_order_relaxed),
+                            total_l0_.load(std::memory_order_relaxed));
+}
+
+void ShardBackpressure::WaitWhileStopped() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::microseconds(kMaxStopWaitMicros), [this] {
+    return Decide() != exec::StallDecision::kStop;
+  });
+}
+
+}  // namespace shard
+}  // namespace talus

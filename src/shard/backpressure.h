@@ -1,0 +1,70 @@
+// ShardBackpressure: the unified stall view across the shards of a
+// ShardedDB (DESIGN.md §3). Each shard keeps its own local StallController
+// (its thresholds and semantics are unchanged); this object additionally
+// aggregates every shard's write debt — queued immutable memtables and
+// level-0 runs — and applies the same two-stage slowdown/stop discipline to
+// the TOTALS against thresholds scaled by the shard count. That makes one
+// hot shard's debt visible to every writer: the shared flush/compaction
+// pool is a global resource, so global debt must throttle global intake,
+// not just the writers that happen to hit the hot range.
+//
+// Liveness: an aggregate stop is a *bounded* wait (WaitWhileStopped returns
+// after kMaxStopWaitMicros even if the debt has not cleared). The local
+// controllers own the unbounded stop-with-safety-valve logic; the aggregate
+// layer only needs to pace intake while background work catches up, and a
+// bounded wait cannot deadlock writers against a policy whose stable tree
+// shape exceeds the scaled threshold.
+#ifndef TALUS_SHARD_BACKPRESSURE_H_
+#define TALUS_SHARD_BACKPRESSURE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "exec/stall_controller.h"
+
+namespace talus {
+namespace shard {
+
+class ShardBackpressure {
+ public:
+  /// `per_shard` is one shard's stall config; the aggregate thresholds are
+  /// the per-shard ones scaled by `shard_count`.
+  ShardBackpressure(const exec::StallConfig& per_shard, size_t shard_count);
+  ShardBackpressure(const ShardBackpressure&) = delete;
+  ShardBackpressure& operator=(const ShardBackpressure&) = delete;
+
+  /// Shard `shard` reports its current debt. Called under the shard's DB
+  /// mutex whenever its immutable queue or level-0 run count changes;
+  /// decreases wake writers blocked in WaitWhileStopped.
+  void Report(size_t shard, size_t imm_count, size_t l0_runs);
+
+  /// Stall decision for the aggregate debt. Lock-free.
+  exec::StallDecision Decide() const;
+
+  /// Blocks while Decide() == kStop, up to kMaxStopWaitMicros. Called with
+  /// no DB mutex held.
+  void WaitWhileStopped();
+
+  uint64_t slowdown_delay_micros() const {
+    return controller_.config().slowdown_delay_micros;
+  }
+
+  static constexpr uint64_t kMaxStopWaitMicros = 10000;
+
+ private:
+  exec::StallController controller_;  // Scaled thresholds.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<size_t> imm_;  // Per-shard last reported debt.
+  std::vector<size_t> l0_;
+  std::atomic<size_t> total_imm_{0};
+  std::atomic<size_t> total_l0_{0};
+};
+
+}  // namespace shard
+}  // namespace talus
+
+#endif  // TALUS_SHARD_BACKPRESSURE_H_

@@ -1,0 +1,66 @@
+#include "shard/shard_iterator.h"
+
+#include <cassert>
+
+namespace talus {
+namespace shard {
+
+ShardChainIterator::ShardChainIterator(
+    const ShardRouter* router, std::vector<std::unique_ptr<Iterator>> children)
+    : router_(router), children_(std::move(children)) {
+  assert(children_.size() == router_->shard_count());
+}
+
+void ShardChainIterator::SeekToFirst() {
+  current_ = 0;
+  if (!children_.empty()) children_[0]->SeekToFirst();
+  SkipToValid();
+}
+
+void ShardChainIterator::Seek(const Slice& target) {
+  current_ = router_->ShardFor(target);
+  children_[current_]->Seek(target);
+  SkipToValid();
+}
+
+void ShardChainIterator::Next() {
+  assert(valid_);
+  children_[current_]->Next();
+  SkipToValid();
+}
+
+void ShardChainIterator::Prev() { assert(false); }  // Forward-only.
+
+void ShardChainIterator::SkipToValid() {
+  while (current_ < children_.size()) {
+    if (children_[current_]->Valid()) {
+      valid_ = true;
+      return;
+    }
+    if (!children_[current_]->status().ok()) break;  // Surface, don't skip.
+    current_++;
+    if (current_ < children_.size()) children_[current_]->SeekToFirst();
+  }
+  valid_ = false;
+}
+
+Slice ShardChainIterator::key() const {
+  assert(valid_);
+  return children_[current_]->key();
+}
+
+Slice ShardChainIterator::value() const {
+  assert(valid_);
+  return children_[current_]->value();
+}
+
+Status ShardChainIterator::status() const {
+  for (const auto& child : children_) {
+    Status s = child->status();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace shard
+}  // namespace talus

@@ -1,0 +1,55 @@
+// ShardChainIterator: the cross-shard merging iterator (DESIGN.md §3).
+// Because shards are disjoint, ordered key ranges, the merge of N per-shard
+// iterators degenerates to concatenation in shard order — no heap is
+// needed. Children are user-level iterators pinned at ONE global sequence
+// (DB::NewIteratorAt), handed over eagerly by ShardedDB::NewIterator, which
+// registers a snapshot at that sequence in every shard while pinning so no
+// concurrent compaction can garbage-collect versions the chain is entitled
+// to see. Once every child's ReadView is pinned the chain is immune to
+// concurrent maintenance for its whole lifetime. Forward-only, like
+// DbIterator.
+#ifndef TALUS_SHARD_SHARD_ITERATOR_H_
+#define TALUS_SHARD_SHARD_ITERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "shard/shard_router.h"
+#include "table/iterator.h"
+
+namespace talus {
+namespace shard {
+
+class ShardChainIterator final : public Iterator {
+ public:
+  /// `router` must outlive the iterator (the ShardedDB owns both);
+  /// `children` holds one pinned iterator per shard, in shard order.
+  ShardChainIterator(const ShardRouter* router,
+                     std::vector<std::unique_ptr<Iterator>> children);
+
+  bool Valid() const override { return valid_; }
+  void SeekToFirst() override;
+  void Seek(const Slice& target) override;
+  void Next() override;
+  void SeekToLast() override { valid_ = false; }  // Forward-only.
+  void Prev() override;
+
+  Slice key() const override;
+  Slice value() const override;
+  Status status() const override;
+
+ private:
+  /// Advances `current_` across shards (seeking each fresh child to its
+  /// first entry) until a valid child or the end of the chain.
+  void SkipToValid();
+
+  const ShardRouter* router_;
+  std::vector<std::unique_ptr<Iterator>> children_;
+  size_t current_ = 0;
+  bool valid_ = false;
+};
+
+}  // namespace shard
+}  // namespace talus
+
+#endif  // TALUS_SHARD_SHARD_ITERATOR_H_

@@ -1,0 +1,72 @@
+#include "shard/shard_manifest.h"
+
+#include <cstdio>
+
+#include "util/coding.h"
+#include "wal/log_reader.h"
+#include "wal/log_writer.h"
+
+namespace talus {
+namespace shard {
+
+namespace {
+std::string ShardManifestFileName(const std::string& dbpath) {
+  return dbpath + "/SHARD";
+}
+}  // namespace
+
+Status WriteShardManifest(Env* env, const std::string& dbpath,
+                          const ShardManifest& manifest) {
+  std::string record;
+  PutVarint64(&record, manifest.boundaries.size());
+  for (const std::string& b : manifest.boundaries) {
+    PutLengthPrefixedSlice(&record, Slice(b));
+  }
+  std::unique_ptr<WritableFile> file;
+  Status s = env->NewWritableFile(ShardManifestFileName(dbpath), &file);
+  if (!s.ok()) return s;
+  wal::LogWriter writer(std::move(file));
+  s = writer.AddRecord(Slice(record));
+  if (s.ok()) s = writer.Sync();
+  if (s.ok()) s = writer.Close();
+  return s;
+}
+
+Status ReadShardManifest(Env* env, const std::string& dbpath,
+                         ShardManifest* manifest) {
+  const std::string fname = ShardManifestFileName(dbpath);
+  if (!env->FileExists(fname)) {
+    return Status::NotFound("no SHARD manifest", dbpath);
+  }
+  std::unique_ptr<SequentialFile> file;
+  Status s = env->NewSequentialFile(fname, &file);
+  if (!s.ok()) return s;
+  wal::LogReader reader(std::move(file));
+  std::string record;
+  if (!reader.ReadRecord(&record)) {
+    return Status::Corruption("SHARD manifest unreadable", dbpath);
+  }
+  Slice input(record);
+  uint64_t count = 0;
+  if (!GetVarint64(&input, &count)) {
+    return Status::Corruption("bad SHARD manifest header", dbpath);
+  }
+  manifest->boundaries.clear();
+  for (uint64_t i = 0; i < count; i++) {
+    Slice b;
+    if (!GetLengthPrefixedSlice(&input, &b)) {
+      return Status::Corruption("bad SHARD manifest boundary", dbpath);
+    }
+    manifest->boundaries.push_back(b.ToString());
+  }
+  return Status::OK();
+}
+
+std::string ShardDirName(const std::string& dbpath, size_t shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/shard-%03zu", shard);
+  return dbpath + buf;
+}
+
+}  // namespace shard
+}  // namespace talus

@@ -1,0 +1,41 @@
+// Shard manifest: the small root-directory file ("SHARD") that fixes a
+// sharded store's partitioning forever (DESIGN.md §3). It is written once
+// when the store is created and only verified afterwards: shard directories
+// are physical key ranges, so reopening with a different count or different
+// split points would silently misroute keys. Re-sharding is a future
+// offline operation (ROADMAP), not a reopen-time option.
+#ifndef TALUS_SHARD_SHARD_MANIFEST_H_
+#define TALUS_SHARD_SHARD_MANIFEST_H_
+
+#include <string>
+#include <vector>
+
+#include "env/env.h"
+#include "util/status.h"
+
+namespace talus {
+namespace shard {
+
+/// Split points of an existing sharded store (shard count is
+/// boundaries.size() + 1).
+struct ShardManifest {
+  std::vector<std::string> boundaries;
+};
+
+/// Writes `dbpath`/SHARD. The store must be new (Open writes it exactly
+/// once, before any shard directory is created).
+Status WriteShardManifest(Env* env, const std::string& dbpath,
+                          const ShardManifest& manifest);
+
+/// Loads `dbpath`/SHARD. NotFound when the file does not exist (fresh
+/// store or a pre-sharding single-engine directory).
+Status ReadShardManifest(Env* env, const std::string& dbpath,
+                         ShardManifest* manifest);
+
+/// Name of a shard's own DB directory under the sharded root.
+std::string ShardDirName(const std::string& dbpath, size_t shard);
+
+}  // namespace shard
+}  // namespace talus
+
+#endif  // TALUS_SHARD_SHARD_MANIFEST_H_

@@ -1,0 +1,83 @@
+#include "shard/shard_router.h"
+
+#include <cstdio>
+
+#include <algorithm>
+
+namespace talus {
+namespace shard {
+
+Status ShardRouter::Create(std::vector<std::string> boundaries,
+                           ShardRouter* router) {
+  for (size_t i = 0; i < boundaries.size(); i++) {
+    if (boundaries[i].empty()) {
+      return Status::InvalidArgument("shard boundary must not be empty");
+    }
+    if (i > 0 && boundaries[i] <= boundaries[i - 1]) {
+      return Status::InvalidArgument(
+          "shard boundaries must be strictly ascending", boundaries[i]);
+    }
+  }
+  router->boundaries_ = std::move(boundaries);
+  return Status::OK();
+}
+
+std::vector<std::string> ShardRouter::DefaultBoundaries(int shard_count) {
+  std::vector<std::string> boundaries;
+  if (shard_count <= 1) return boundaries;
+  const uint64_t n = static_cast<uint64_t>(shard_count);
+  for (uint64_t i = 1; i < n; i++) {
+    // i/n of the 2^64 prefix space, big-endian so byte order == key order.
+    const uint64_t split = (~uint64_t{0} / n) * i;
+    std::string b(8, '\0');
+    for (int byte = 0; byte < 8; byte++) {
+      b[byte] = static_cast<char>((split >> (56 - 8 * byte)) & 0xff);
+    }
+    boundaries.push_back(std::move(b));
+  }
+  return boundaries;
+}
+
+size_t ShardRouter::ShardFor(const Slice& key) const {
+  // upper_bound: the first boundary > key; every boundary <= key pushes the
+  // key one shard to the right.
+  size_t left = 0, right = boundaries_.size();
+  while (left < right) {
+    const size_t mid = (left + right) / 2;
+    if (key.compare(Slice(boundaries_[mid])) < 0) {
+      right = mid;
+    } else {
+      left = mid + 1;
+    }
+  }
+  return left;
+}
+
+namespace {
+// Boundaries may be binary (the default prefix split): escape for text.
+std::string Printable(const std::string& key) {
+  std::string out;
+  for (unsigned char c : key) {
+    if (c >= 0x20 && c < 0x7f) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\x%02x", c);
+      out += buf;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string ShardRouter::RangeLabel(size_t shard) const {
+  const std::string lo =
+      shard == 0 ? std::string("-inf") : Printable(boundaries_[shard - 1]);
+  const std::string hi = shard >= boundaries_.size()
+                             ? std::string("+inf")
+                             : Printable(boundaries_[shard]);
+  return "[" + lo + ", " + hi + ")";
+}
+
+}  // namespace shard
+}  // namespace talus

@@ -1,0 +1,54 @@
+// ShardRouter: fixed range partitioning of the user key space (DESIGN.md
+// §3). N shards are separated by N-1 strictly ascending boundary keys;
+// shard i owns [boundary[i-1], boundary[i]) with the first and last ranges
+// open-ended. Boundaries are fixed at creation time and persisted in the
+// shard manifest — routing is a binary search, and a cross-shard scan is a
+// concatenation of per-shard scans because the ranges are disjoint and
+// ordered.
+#ifndef TALUS_SHARD_SHARD_ROUTER_H_
+#define TALUS_SHARD_SHARD_ROUTER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace talus {
+namespace shard {
+
+class ShardRouter {
+ public:
+  /// `boundaries` must be strictly ascending and non-empty strings; the
+  /// router serves boundaries.size() + 1 shards. An empty vector is the
+  /// single-shard router.
+  static Status Create(std::vector<std::string> boundaries,
+                       ShardRouter* router);
+
+  /// Evenly splits the space of 8-byte big-endian key prefixes into
+  /// `shard_count` ranges. Balanced for uniformly distributed binary or
+  /// hashed keys; workloads whose keys share a long common prefix (e.g.
+  /// "user..." keys) should pass explicit split points instead.
+  static std::vector<std::string> DefaultBoundaries(int shard_count);
+
+  ShardRouter() = default;
+
+  size_t shard_count() const { return boundaries_.size() + 1; }
+
+  /// Shard owning `key`: the number of boundaries <= key.
+  size_t ShardFor(const Slice& key) const;
+
+  const std::vector<std::string>& boundaries() const { return boundaries_; }
+
+  /// Human-readable "[lo, hi)" label for a shard (— for open ends).
+  std::string RangeLabel(size_t shard) const;
+
+ private:
+  std::vector<std::string> boundaries_;
+};
+
+}  // namespace shard
+}  // namespace talus
+
+#endif  // TALUS_SHARD_SHARD_ROUTER_H_

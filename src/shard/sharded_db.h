@@ -1,0 +1,135 @@
+// ShardedDB: the range-sharded engine frontend (DESIGN.md §3). Exposes the
+// DB API over N range-partitioned shards, each a complete engine — own
+// memtable, WAL, versions, table cache — while three things stay global:
+//
+//   * one exec::ThreadPool runs every shard's flushes and compactions (and
+//     opens the shards in parallel at recovery),
+//   * one shard::ShardBackpressure aggregates write debt so a single hot
+//     shard throttles intake everywhere instead of only its own range,
+//   * one shard::SequenceAllocator issues sequence numbers, whose visible
+//     watermark makes snapshots, scans, and iterators consistent ACROSS
+//     shards: every read pins all shards at one global sequence.
+//
+// Put/Delete/Get route by key. A Write whose batch spans shards claims one
+// contiguous sequence range, commits per-shard sub-batches at pre-assigned
+// offsets inside it (DB::WriteAt, dispatched concurrently), and publishes
+// the range once — so a successful multi-shard batch is atomic to every
+// snapshot. Failure is weaker (see Write's contract): a crash or a
+// per-shard error can leave the batch partially applied, exactly like a
+// multi-store transaction without 2PC.
+//
+// shard_count == 1 behaves bit-identically to a standalone DB (same scan
+// results, same talus.stats text) — the allocator degenerates to the
+// single-engine last_sequence_ and GetProperty passes straight through.
+#ifndef TALUS_SHARD_SHARDED_DB_H_
+#define TALUS_SHARD_SHARDED_DB_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "lsm/db.h"
+#include "shard/backpressure.h"
+#include "shard/sequence_allocator.h"
+#include "shard/shard_router.h"
+
+namespace talus {
+namespace shard {
+
+class ShardedDB {
+ public:
+  /// Opens (creating if missing) a sharded store at options.path with
+  /// options.shard_count shards in shard-<i>/ subdirectories. Split points
+  /// come from options.shard_split_points (else a uniform prefix split)
+  /// and are fixed at creation: reopening with different ones fails.
+  /// Shards are opened in parallel on the shared pool.
+  static Status Open(const DbOptions& options,
+                     std::unique_ptr<ShardedDB>* dbptr);
+  ~ShardedDB();
+  ShardedDB(const ShardedDB&) = delete;
+  ShardedDB& operator=(const ShardedDB&) = delete;
+
+  Status Put(const Slice& key, const Slice& value);
+  Status Delete(const Slice& key);
+  /// A batch spanning shards commits one contiguous sequence range,
+  /// published once after every shard applied — so a SUCCESSFUL
+  /// multi-shard Write is atomic to every snapshot. Atomicity does not
+  /// survive failure: a crash between sub-commits (per-shard WALs, no
+  /// 2PC) or an error from one shard (the others' sub-batches are already
+  /// durably committed) can leave the batch partially applied; the error
+  /// is returned so the caller knows.
+  Status Write(const WriteBatch& batch);
+  Status Get(const Slice& key, std::string* value);
+  Status Get(const Slice& key, std::string* value, const Snapshot* snapshot);
+
+  /// Pins every shard at one global sequence (the allocator watermark).
+  const Snapshot* GetSnapshot();
+  void ReleaseSnapshot(const Snapshot* snapshot);
+
+  /// Cross-shard merging iterator pinned at one global sequence; disjoint
+  /// ranges make the merge a concatenation in shard order. Forward-only,
+  /// must not outlive the ShardedDB.
+  std::unique_ptr<Iterator> NewIterator();
+  /// Collects up to `count` live entries with key >= start across shards,
+  /// observing one consistent global snapshot.
+  Status Scan(const Slice& start, size_t count,
+              std::vector<std::pair<std::string, std::string>>* out);
+
+  Status FlushMemTable();
+  Status CompactAll();
+
+  /// Same names as DB::GetProperty, aggregated across shards, plus
+  /// "talus.shards" — a per-shard breakdown (range, writes, reads, data
+  /// bytes, runs, stall time). With one shard every property passes
+  /// through bit-identically.
+  bool GetProperty(const std::string& property, std::string* value);
+
+  uint64_t ApproximateDataBytes() const;
+  std::string DebugString() const;
+
+  /// Field-wise aggregate of the per-shard engine stats. Like DB::stats(),
+  /// precise only when quiesced.
+  EngineStats AggregatedStats() const;
+  metrics::GroupCommitStats GetGroupCommitStats() const;
+
+  size_t shard_count() const { return shards_.size(); }
+  DB* shard(size_t i) { return shards_[i].get(); }
+  const ShardRouter& router() const { return router_; }
+  /// Global visibility watermark (largest sequence applied everywhere).
+  SequenceNumber VisibleSequence() const { return alloc_.visible(); }
+
+ private:
+  ShardedDB() = default;
+
+  DB* Route(const Slice& key) { return shards_[router_.ShardFor(key)].get(); }
+  /// Registers a snapshot at `sequence` in every shard; out lives until
+  /// ReleaseChildren. Guards cross-shard pins against concurrent
+  /// tombstone-GC (see NewIterator's implementation comment).
+  void PinAllShards(SequenceNumber sequence,
+                    std::vector<const Snapshot*>* children);
+  void ReleaseChildren(const std::vector<const Snapshot*>& children);
+  std::unique_ptr<Iterator> NewIteratorAt(SequenceNumber sequence);
+
+  DbOptions options_;  // As passed (env, path, shard_count, ...).
+  ShardRouter router_;
+  SequenceAllocator alloc_;
+  std::unique_ptr<ShardBackpressure> backpressure_;
+  // Declared before shards_ so shards (whose schedulers drain jobs onto the
+  // pool) are destroyed first, then the pool.
+  std::unique_ptr<exec::ThreadPool> pool_;
+  std::vector<std::unique_ptr<DB>> shards_;
+
+  // Live cross-shard snapshots → their per-shard registrations.
+  std::mutex snapshot_mu_;
+  std::unordered_map<const Snapshot*, std::vector<const Snapshot*>>
+      snapshot_children_;
+};
+
+}  // namespace shard
+}  // namespace talus
+
+#endif  // TALUS_SHARD_SHARDED_DB_H_
