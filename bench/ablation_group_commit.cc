@@ -14,7 +14,15 @@
 // switches to the deterministic in-memory env. --smoke shrinks the sweep to
 // a CI-friendly <60 s run; --json PATH additionally emits the rows as JSON
 // (the CI bench-smoke job uploads BENCH_write.json per PR to accumulate a
-// perf trajectory).
+// perf trajectory). Rows carry put-latency percentiles (lat_p50_us /
+// lat_p99_us / lat_p999_us from the engine's obs::LatencyRecorder) so the
+// same baseline that gates throughput also gates tail latency.
+//
+// --trace PATH streams the engine's event ring (flushes, compactions,
+// stalls) to PATH as JSONL while the sweep runs. --overhead replaces the
+// sweep with an A/B of enable_latency_stats on/off at 8 writers and reports
+// the observer's throughput cost (DESIGN.md §6.5 documents the measured
+// delta; target <3%).
 #include <unistd.h>
 
 #include <chrono>
@@ -36,7 +44,9 @@ namespace {
 struct BenchConfig {
   bool smoke = false;
   bool use_mem_env = false;
+  bool overhead = false;
   std::string json_path;
+  std::string trace_path;
 };
 
 struct RunResult {
@@ -44,6 +54,10 @@ struct RunResult {
   double wall_seconds = 0;
   metrics::GroupCommitStats gc;
   uint64_t stall_ms = 0;
+  // Caller-observed Put percentiles (microseconds) from talus.latency.
+  double lat_p50_us = 0;
+  double lat_p99_us = 0;
+  double lat_p999_us = 0;
 };
 
 struct Variant {
@@ -74,7 +88,7 @@ void CleanupDir(Env* env, const std::string& path) {
 }
 
 RunResult RunOne(const BenchConfig& cfg, const Variant& variant, int writers,
-                 int run_index) {
+                 int run_index, bool latency_stats = true) {
   std::unique_ptr<Env> owned_env;
   Env* env;
   if (cfg.use_mem_env) {
@@ -95,6 +109,13 @@ RunResult RunOne(const BenchConfig& cfg, const Variant& variant, int writers,
   opts.num_background_threads = 2;
   opts.wal_sync_mode = variant.sync_mode;
   opts.parallel_memtable_writes = variant.parallel_memtable;
+  opts.enable_latency_stats = latency_stats;
+  if (!cfg.trace_path.empty()) {
+    // One trace per run: OpenTraceFile truncates, so sharing PATH across
+    // the sweep would leave only the last run's events.
+    opts.trace_file_path =
+        cfg.trace_path + "." + std::to_string(run_index) + ".jsonl";
+  }
   if (!variant.grouped) {
     // A 1-byte budget always keeps just the leader: every batch pays its
     // own WAL append and sync, like the pre-group-commit engine.
@@ -131,6 +152,13 @@ RunResult RunOne(const BenchConfig& cfg, const Variant& variant, int writers,
   r.kops_per_sec = static_cast<double>(ops) * writers / r.wall_seconds / 1000;
   r.gc = db->GetGroupCommitStats();
   r.stall_ms = db->stats().stall_micros / 1000;
+  if (latency_stats) {
+    const std::vector<Histogram> lat = db->GetLatencyHistograms();
+    const Histogram& put = lat[static_cast<size_t>(obs::OpType::kPut)];
+    r.lat_p50_us = put.Median();
+    r.lat_p99_us = put.Percentile(99);
+    r.lat_p999_us = put.Percentile(99.9);
+  }
   const std::string path = opts.path;
   db.reset();
   if (!cfg.use_mem_env) CleanupDir(env, path);
@@ -151,11 +179,62 @@ int main(int argc, char** argv) {
       cfg.use_mem_env = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       cfg.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      cfg.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--overhead") == 0) {
+      cfg.overhead = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--mem] [--json PATH]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--mem] [--json PATH] [--trace PATH] "
+                   "[--overhead]\n",
                    argv[0]);
       return 1;
     }
+  }
+
+  if (cfg.overhead) {
+    // A/B the observer itself: identical 8-writer runs with latency stats
+    // on and off, alternated and best-of-N so background noise hits both
+    // arms equally. wal_sync=none keeps the workload CPU-bound — fsync
+    // time would mask the recorder's cost.
+    const Variant variant = {"group", true, false, WalSyncMode::kNone,
+                             "none"};
+    const int writers = 8;
+    const int reps = cfg.smoke ? 2 : 3;
+    double best_on = 0, best_off = 0;
+    std::printf("# Observer-overhead ablation: %llu puts/thread, 8 writers, "
+                "group commit, wal_sync=none, %s env, best of %d\n",
+                static_cast<unsigned long long>(OpsPerThread(cfg)),
+                cfg.use_mem_env ? "mem" : "posix", reps);
+    for (int rep = 0; rep < reps; rep++) {
+      RunResult on = RunOne(cfg, variant, writers, 2 * rep, true);
+      RunResult off = RunOne(cfg, variant, writers, 2 * rep + 1, false);
+      std::printf("rep %d: stats_on %9.1f kops/s (p99 %.0f us)   "
+                  "stats_off %9.1f kops/s\n",
+                  rep, on.kops_per_sec, on.lat_p99_us, off.kops_per_sec);
+      best_on = std::max(best_on, on.kops_per_sec);
+      best_off = std::max(best_off, off.kops_per_sec);
+    }
+    const double overhead_pct =
+        best_off > 0 ? (best_off - best_on) / best_off * 100 : 0;
+    std::printf("best: stats_on %.1f kops/s, stats_off %.1f kops/s, "
+                "observer overhead %.2f%%\n",
+                best_on, best_off, overhead_pct);
+    if (!cfg.json_path.empty()) {
+      std::FILE* f = std::fopen(cfg.json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", cfg.json_path.c_str());
+        return 1;
+      }
+      std::fprintf(f,
+                   "{\"bench\":\"ablation_observer_overhead\","
+                   "\"writers\":%d,\"kops_stats_on\":%.1f,"
+                   "\"kops_stats_off\":%.1f,\"overhead_pct\":%.2f}\n",
+                   writers, best_on, best_off, overhead_pct);
+      std::fclose(f);
+      std::printf("wrote %s\n", cfg.json_path.c_str());
+    }
+    return 0;
   }
 
   const std::vector<Variant> variants = {
@@ -173,9 +252,10 @@ int main(int argc, char** argv) {
               "background mode, %s env\n",
               static_cast<unsigned long long>(OpsPerThread(cfg)),
               cfg.use_mem_env ? "mem" : "posix");
-  std::printf("%-10s %-10s %7s %9s %8s %10s %10s %9s %11s %9s\n", "mode",
-              "wal_sync", "writers", "kops/s", "wall_s", "groups",
-              "grp_avg", "grp_max", "wal_syncs", "wait_us");
+  std::printf("%-10s %-10s %7s %9s %8s %10s %10s %9s %11s %9s %8s %8s\n",
+              "mode", "wal_sync", "writers", "kops/s", "wall_s", "groups",
+              "grp_avg", "grp_max", "wal_syncs", "wait_us", "p99_us",
+              "p999_us");
 
   std::string json = "{\"bench\":\"ablation_group_commit\",\"smoke\":" +
                      std::string(cfg.smoke ? "true" : "false") +
@@ -186,15 +266,16 @@ int main(int argc, char** argv) {
     for (int writers : thread_counts) {
       RunResult r = RunOne(cfg, variant, writers, run_index++);
       std::printf("%-10s %-10s %7d %9.1f %8.2f %10llu %10.2f %9.0f %11llu "
-                  "%9llu\n",
+                  "%9llu %8.0f %8.0f\n",
                   variant.name, variant.sync_name, writers, r.kops_per_sec,
                   r.wall_seconds,
                   static_cast<unsigned long long>(r.gc.group_commits),
                   r.gc.group_size_avg, r.gc.group_size_max,
                   static_cast<unsigned long long>(r.gc.wal_syncs),
                   static_cast<unsigned long long>(
-                      r.gc.write_queue_wait_micros));
-      char row[512];
+                      r.gc.write_queue_wait_micros),
+                  r.lat_p99_us, r.lat_p999_us);
+      char row[640];
       std::snprintf(
           row, sizeof(row),
           "%s{\"mode\":\"%s\",\"wal_sync\":\"%s\",\"writers\":%d,"
@@ -202,14 +283,16 @@ int main(int argc, char** argv) {
           "\"group_commits\":%llu,\"group_size_avg\":%.3f,"
           "\"group_size_p50\":%.1f,\"group_size_max\":%.0f,"
           "\"wal_syncs\":%llu,\"write_queue_wait_micros\":%llu,"
-          "\"stall_ms\":%llu}",
+          "\"stall_ms\":%llu,\"lat_p50_us\":%.1f,\"lat_p99_us\":%.1f,"
+          "\"lat_p999_us\":%.1f}",
           first_row ? "" : ",\n", variant.name, variant.sync_name, writers,
           r.kops_per_sec, r.wall_seconds,
           static_cast<unsigned long long>(r.gc.group_commits),
           r.gc.group_size_avg, r.gc.group_size_p50, r.gc.group_size_max,
           static_cast<unsigned long long>(r.gc.wal_syncs),
           static_cast<unsigned long long>(r.gc.write_queue_wait_micros),
-          static_cast<unsigned long long>(r.stall_ms));
+          static_cast<unsigned long long>(r.stall_ms), r.lat_p50_us,
+          r.lat_p99_us, r.lat_p999_us);
       json += row;
       first_row = false;
     }

@@ -53,6 +53,11 @@ struct RunResult {
   uint64_t stall_ms = 0;
   uint64_t bg_flushes = 0;
   uint64_t bg_compactions = 0;
+  // Fleet-wide Put percentiles (microseconds): the per-shard latency
+  // histograms merged exactly, so the tail covers every shard.
+  double lat_p50_us = 0;
+  double lat_p99_us = 0;
+  double lat_p999_us = 0;
 };
 
 uint64_t OpsPerThread(const BenchConfig& cfg) {
@@ -142,6 +147,13 @@ RunResult RunOne(const BenchConfig& cfg, const PolicyVariant& policy,
   r.stall_ms = agg.stall_micros / 1000;
   r.bg_flushes = agg.bg_flushes;
   r.bg_compactions = agg.bg_compactions;
+  {
+    const std::vector<Histogram> lat = db->GetLatencyHistograms();
+    const Histogram& put = lat[static_cast<size_t>(obs::OpType::kPut)];
+    r.lat_p50_us = put.Median();
+    r.lat_p99_us = put.Percentile(99);
+    r.lat_p999_us = put.Percentile(99.9);
+  }
   const std::string path = opts.path;
   db.reset();
   if (!cfg.use_mem_env) CleanupTree(env, path);
@@ -186,9 +198,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(OpsPerThread(cfg)),
               cfg.use_mem_env ? "mem" : "posix",
               std::thread::hardware_concurrency());
-  std::printf("%-10s %7s %8s %9s %8s %10s %10s %9s %8s %8s\n", "policy",
+  std::printf("%-10s %7s %8s %9s %8s %10s %10s %9s %8s %8s %8s\n", "policy",
               "shards", "writers", "kops/s", "wall_s", "min_puts", "max_puts",
-              "stall_ms", "bg_fl", "bg_comp");
+              "stall_ms", "bg_fl", "bg_comp", "p99_us");
 
   std::string json = "{\"bench\":\"ablation_sharding\",\"smoke\":" +
                      std::string(cfg.smoke ? "true" : "false") +
@@ -200,27 +212,31 @@ int main(int argc, char** argv) {
       for (int writers : thread_counts) {
         RunResult r = RunOne(cfg, policy, shards, writers, run_index++);
         std::printf(
-            "%-10s %7d %8d %9.1f %8.2f %10llu %10llu %9llu %8llu %8llu\n",
+            "%-10s %7d %8d %9.1f %8.2f %10llu %10llu %9llu %8llu %8llu "
+            "%8.0f\n",
             policy.name, shards, writers, r.kops_per_sec, r.wall_seconds,
             static_cast<unsigned long long>(r.min_shard_puts),
             static_cast<unsigned long long>(r.max_shard_puts),
             static_cast<unsigned long long>(r.stall_ms),
             static_cast<unsigned long long>(r.bg_flushes),
-            static_cast<unsigned long long>(r.bg_compactions));
-        char row[512];
+            static_cast<unsigned long long>(r.bg_compactions),
+            r.lat_p99_us);
+        char row[640];
         std::snprintf(
             row, sizeof(row),
             "%s{\"policy\":\"%s\",\"shards\":%d,\"writers\":%d,"
             "\"kops_per_sec\":%.1f,\"wall_seconds\":%.3f,"
             "\"min_shard_puts\":%llu,\"max_shard_puts\":%llu,"
-            "\"stall_ms\":%llu,\"bg_flushes\":%llu,\"bg_compactions\":%llu}",
+            "\"stall_ms\":%llu,\"bg_flushes\":%llu,\"bg_compactions\":%llu,"
+            "\"lat_p50_us\":%.1f,\"lat_p99_us\":%.1f,\"lat_p999_us\":%.1f}",
             first_row ? "" : ",\n", policy.name, shards, writers,
             r.kops_per_sec, r.wall_seconds,
             static_cast<unsigned long long>(r.min_shard_puts),
             static_cast<unsigned long long>(r.max_shard_puts),
             static_cast<unsigned long long>(r.stall_ms),
             static_cast<unsigned long long>(r.bg_flushes),
-            static_cast<unsigned long long>(r.bg_compactions));
+            static_cast<unsigned long long>(r.bg_compactions),
+            r.lat_p50_us, r.lat_p99_us, r.lat_p999_us);
         json += row;
         first_row = false;
       }

@@ -4,7 +4,9 @@ baseline and fail on throughput regressions beyond a tolerance band.
 
 Rows are matched by their identity fields (mode, wal_sync, policy, shards,
 writers — whichever the bench emits) and compared on --metric (default
-kops_per_sec).
+kops_per_sec). --direction lower-better flips the gate for latency metrics
+like lat_p99_us: best-of-N keeps the minimum and a regression is the fresh
+value rising above the band.
 
 Raw throughput is machine-dependent, so CI passes --normalize: each side's
 metric is divided by that side's geometric mean over all matched configs
@@ -73,6 +75,10 @@ def main():
                         help="One or more runs of the same bench; each "
                              "config keeps its best metric across files.")
     parser.add_argument("--metric", default="kops_per_sec")
+    parser.add_argument("--direction", default="higher-better",
+                        choices=("higher-better", "lower-better"),
+                        help="Whether a larger metric is an improvement "
+                             "(throughput) or a regression (latency).")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="Allowed relative regression (0.25 = -25%%).")
     parser.add_argument("--normalize", action="store_true",
@@ -90,12 +96,19 @@ def main():
                   f"({base_name} vs {fresh_name})", file=sys.stderr)
             sys.exit(2)
         fresh_rows.extend(rows)
-    # Best-of-N: keep each config's fastest observation.
+    # Best-of-N: keep each config's best observation — the fastest
+    # (higher-better) or the quietest tail (lower-better). Interference
+    # only ever makes a run worse, so "best" is the least-noisy sample
+    # either way.
+    lower_better = args.direction == "lower-better"
     merged = {}
     for row in fresh_rows:
         ident = identity(row)
-        if (ident not in merged or
-                row.get(args.metric, 0) > merged[ident].get(args.metric, 0)):
+        if ident not in merged:
+            merged[ident] = row
+            continue
+        new, old = row.get(args.metric, 0), merged[ident].get(args.metric, 0)
+        if (new < old) if lower_better else (new > old):
             merged[ident] = row
 
     # Match configs, then normalize both sides by their own geometric mean
@@ -117,20 +130,23 @@ def main():
 
     regressions = []
     improved = []
-    print(f"# {base_name}: {args.metric}"
+    print(f"# {base_name}: {args.metric} ({args.direction})"
           f"{' (normalized by geomean)' if args.normalize else ''}, "
-          f"tolerance -{args.tolerance:.0%}")
+          f"tolerance {args.tolerance:.0%}")
     for ident, base_raw, fresh_raw in matched:
         if base_raw <= 0:
             continue
         base_value = base_raw / base_norm
         fresh_value = fresh_raw / fresh_norm
         delta = (fresh_value - base_value) / base_value
+        # Signed so that negative = regressed, positive = improved,
+        # regardless of direction.
+        signed = -delta if lower_better else delta
         marker = " "
-        if delta < -args.tolerance:
+        if signed < -args.tolerance:
             regressions.append((ident, delta))
             marker = "!"
-        elif delta > args.tolerance:
+        elif signed > args.tolerance:
             improved.append((ident, delta))
             marker = "+"
         print(f"{marker} {fmt_identity(ident):55s} "

@@ -46,6 +46,11 @@ struct ExperimentResult {
   double update_cost = 0;          // mean clock units per update.
   double lookup_cost = 0;          // mean clock units per point lookup.
   double range_cost = 0;           // mean clock units per range lookup.
+  // Wall-clock latency percentiles from the engine's per-op histograms
+  // (obs::LatencyRecorder): real microseconds, unlike the virtual-clock
+  // costs above, so they expose tail behaviour the means hide.
+  double put_p50_us = 0, put_p99_us = 0, put_p999_us = 0;
+  double get_p50_us = 0, get_p99_us = 0, get_p999_us = 0;
   uint64_t flushes = 0;
   uint64_t compactions = 0;
   double max_stall = 0;            // longest inline stall, clock units.

@@ -16,15 +16,29 @@ StallController::StallController(const StallConfig& config) : config_(config) {
 
 StallDecision StallController::Decide(size_t imm_count,
                                       size_t l0_runs) const {
+  StallCause cause;
+  return Decide(imm_count, l0_runs, &cause);
+}
+
+StallDecision StallController::Decide(size_t imm_count, size_t l0_runs,
+                                      StallCause* cause) const {
   if (imm_count >= config_.max_immutable_memtables ||
       l0_runs >= config_.l0_stop_runs) {
+    *cause = imm_count >= config_.max_immutable_memtables
+                 ? StallCause::kMemtable
+                 : StallCause::kL0;
     return StallDecision::kStop;
   }
   if ((config_.max_immutable_memtables > 1 &&
        imm_count + 1 >= config_.max_immutable_memtables) ||
       l0_runs >= config_.l0_slowdown_runs) {
+    *cause = (config_.max_immutable_memtables > 1 &&
+              imm_count + 1 >= config_.max_immutable_memtables)
+                 ? StallCause::kMemtable
+                 : StallCause::kL0;
     return StallDecision::kSlowdown;
   }
+  *cause = StallCause::kNone;
   return StallDecision::kNone;
 }
 

@@ -34,6 +34,12 @@ struct StallConfig {
 
 enum class StallDecision { kNone, kSlowdown, kStop };
 
+/// Which debt triggered the decision. When both debts trip the same regime,
+/// memtable debt wins the attribution: it is the nearer-term emergency (one
+/// flush retires it) and the distinction is what talus.stats and the event
+/// trace report as the stall cause.
+enum class StallCause { kNone, kMemtable, kL0 };
+
 class StallController {
  public:
   explicit StallController(const StallConfig& config);
@@ -41,6 +47,10 @@ class StallController {
   /// Decision for the current engine state (imm_count = immutable memtables
   /// queued or flushing, l0_runs = sorted runs in level 0).
   StallDecision Decide(size_t imm_count, size_t l0_runs) const;
+  /// Same, also reporting which debt triggered the decision (kNone cause for
+  /// a kNone decision).
+  StallDecision Decide(size_t imm_count, size_t l0_runs,
+                       StallCause* cause) const;
 
   /// Sanitized configuration (thresholds re-ordered, caps clamped).
   const StallConfig& config() const { return config_; }

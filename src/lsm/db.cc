@@ -10,6 +10,7 @@
 #include "compaction/compaction_planner.h"
 #include "compaction/sorted_output.h"
 #include "lsm/filename.h"
+#include "metrics/shard_stats.h"
 #include "shard/backpressure.h"
 #include "shard/sequence_allocator.h"
 #include "table/merging_iterator.h"
@@ -76,18 +77,22 @@ class MemTableInserter : public WriteBatch::Handler {
 class DbIterator final : public Iterator {
  public:
   DbIterator(std::shared_ptr<const read::ReadView> view,
-             std::unique_ptr<Iterator> internal)
+             std::unique_ptr<Iterator> internal,
+             obs::LatencyRecorder* recorder)
       : view_(std::move(view)),
         internal_(std::move(internal)),
+        recorder_(recorder),
         sequence_(view_->sequence) {}
 
   bool Valid() const override { return valid_; }
   void SeekToFirst() override {
+    obs::ScopedOpTimer timer(recorder_, obs::OpType::kIterSeek);
     has_current_ = false;
     internal_->SeekToFirst();
     FindNextUserEntry();
   }
   void Seek(const Slice& user_key) override {
+    obs::ScopedOpTimer timer(recorder_, obs::OpType::kIterSeek);
     has_current_ = false;
     std::string target;
     AppendInternalKey(&target, user_key, sequence_, kValueTypeForSeek);
@@ -140,6 +145,7 @@ class DbIterator final : public Iterator {
   // references before the view's deleter runs obsolete-file GC.
   std::shared_ptr<const read::ReadView> view_;
   std::unique_ptr<Iterator> internal_;
+  obs::LatencyRecorder* recorder_ = nullptr;
   SequenceNumber sequence_ = 0;
   bool valid_ = false;
   bool has_current_ = false;
@@ -163,6 +169,19 @@ DB::DB(const DbOptions& options) : options_(options) {
       options_.table_cache_open_files);
   compaction_exec_ = std::make_unique<compaction::CompactionExecutor>(
       OutputShapeForDb(), table_cache_.get());
+  if (options_.enable_latency_stats) {
+    latency_ = std::make_unique<obs::LatencyRecorder>();
+  }
+  if (options_.event_ring != nullptr) {
+    // Borrowed ring (sharded store): its owner decides about tracing.
+    ring_ = options_.event_ring;
+  } else {
+    owned_ring_ = std::make_unique<obs::EventRing>(options_.event_ring_size);
+    ring_ = owned_ring_.get();
+    if (!options_.trace_file_path.empty()) {
+      ring_->OpenTraceFile(options_.trace_file_path);
+    }
+  }
   current_ = new Version();
   current_->Ref();
 }
@@ -445,7 +464,20 @@ Status DB::WriteAt(const WriteBatch& batch, SequenceNumber base_seq) {
 
 Status DB::CommitWriter(write::Writer* writer) {
   write::Writer& w = *writer;
-  if (!write_queue_->JoinAndAwaitLeadership(&w)) return w.status;
+  // kPut spans the whole call — queue wait, group commit, stall gate — which
+  // is the latency the caller of Put/Delete/Write actually observed.
+  obs::ScopedOpTimer put_timer(latency_.get(), obs::OpType::kPut);
+  if (!write_queue_->JoinAndAwaitLeadership(&w)) {
+    // Committed (or failed) by another leader; join_micros is the time this
+    // writer sat in the queue before its group's leader took it.
+    if (latency_ != nullptr) {
+      latency_->Record(obs::OpType::kGroupWait, w.join_micros);
+    }
+    return w.status;
+  }
+  if (latency_ != nullptr) {
+    latency_->Record(obs::OpType::kGroupWait, w.join_micros);
+  }
 
   // ---- Leader: gate + claim (first short mutex section). ----
   write::WriteGroup group;
@@ -513,6 +545,7 @@ Status DB::CommitWriter(write::Writer* writer) {
   Status s;
   bool synced = false;
   if (wal != nullptr && group_count > 0) {
+    const uint64_t wal_t0 = latency_ != nullptr ? NowMicros() : 0;
     if (claim_count > 0) {
       std::string rec;
       PutFixed64(&rec, base_seq);
@@ -532,7 +565,18 @@ Status DB::CommitWriter(write::Writer* writer) {
       rec.append(wr->batch->rep());
       s = wal->AddRecord(Slice(rec));
     }
-    if (s.ok()) s = MaybeSyncWal(wal, &synced);
+    if (latency_ != nullptr) {
+      latency_->Record(obs::OpType::kWalAppend, NowMicros() - wal_t0);
+    }
+    if (s.ok()) {
+      const uint64_t sync_t0 = latency_ != nullptr ? NowMicros() : 0;
+      s = MaybeSyncWal(wal, &synced);
+      // Only actual fsyncs are observations; skipped intervals would bury
+      // the sync tail under zeros.
+      if (latency_ != nullptr && synced) {
+        latency_->Record(obs::OpType::kWalSync, NowMicros() - sync_t0);
+      }
+    }
   }
 
   // ---- Memtable inserts (no mutex). ----
@@ -623,12 +667,19 @@ Status DB::MaybeStallLocked(std::unique_lock<std::mutex>& lock) {
   bool already_slowed = false;
   bool already_agg_stopped = false;
   shard::ShardBackpressure* agg = options_.shard_backpressure;
+  const uint16_t shard = static_cast<uint16_t>(options_.shard_index);
   while (true) {
     if (!bg_error_.ok()) return bg_error_;
     const size_t l0_runs =
         current_->levels.empty() ? 0 : current_->levels[0].runs.size();
+    exec::StallCause cause = exec::StallCause::kNone;
     const exec::StallDecision decision =
-        stall_->Decide(imm_.size(), l0_runs);
+        stall_->Decide(imm_.size(), l0_runs, &cause);
+    const uint64_t cause_code = cause == exec::StallCause::kMemtable
+                                    ? obs::kCauseMemtable
+                                    : cause == exec::StallCause::kL0
+                                          ? obs::kCauseL0
+                                          : obs::kCauseNone;
     const exec::StallDecision agg_decision =
         agg != nullptr ? agg->Decide() : exec::StallDecision::kNone;
     if (decision != exec::StallDecision::kStop &&
@@ -637,14 +688,19 @@ Status DB::MaybeStallLocked(std::unique_lock<std::mutex>& lock) {
       // debt — possibly all on one hot shard — stops intake everywhere.
       // The wait is bounded (and taken at most once per write) because the
       // local controllers own unbounded stops; this layer only paces
-      // intake while the shared pool catches up.
+      // intake while the shared pool catches up. The debt is remote, so it
+      // counts toward stop time but not the local memtable/l0 causes.
       already_agg_stopped = true;
       stats_.stall_stops++;
+      ring_->Emit(obs::EventType::kShardBackpressure, shard, 1, 0);
       const uint64_t start = NowMicros();
       lock.unlock();
       agg->WaitWhileStopped();
       lock.lock();
-      stats_.stall_micros += NowMicros() - start;
+      const uint64_t waited = NowMicros() - start;
+      stats_.stall_micros += waited;
+      stats_.stall_stop_micros += waited;
+      ring_->Emit(obs::EventType::kShardBackpressure, shard, 0, waited);
       continue;
     }
     if (decision == exec::StallDecision::kStop) {
@@ -655,8 +711,14 @@ Status DB::MaybeStallLocked(std::unique_lock<std::mutex>& lock) {
       // wait sound: it is decremented under mutex_ together with a
       // bg_cv_.notify_all(), so the last job's completion is never missed.
       if (imm_.empty() && bg_jobs_pending_ == 0) return Status::OK();
-      const uint64_t start = NowMicros();
       stats_.stall_stops++;
+      if (cause == exec::StallCause::kMemtable) {
+        stats_.stall_stops_memtable++;
+      } else {
+        stats_.stall_stops_l0++;
+      }
+      ring_->Emit(obs::EventType::kStallEnter, shard, cause_code, 1);
+      const uint64_t start = NowMicros();
       bg_cv_.wait(lock, [this] {
         if (!bg_error_.ok()) return true;
         const size_t l0 =
@@ -668,12 +730,27 @@ Status DB::MaybeStallLocked(std::unique_lock<std::mutex>& lock) {
       });
       const uint64_t waited = NowMicros() - start;
       stats_.stall_micros += waited;
+      stats_.stall_stop_micros += waited;
+      ring_->Emit(obs::EventType::kStallExit, shard, cause_code, waited);
       continue;
     }
     if ((decision == exec::StallDecision::kSlowdown ||
          agg_decision == exec::StallDecision::kSlowdown) &&
         !already_slowed) {
       already_slowed = true;
+      // An aggregate-only slowdown has no local cause; its event carries
+      // cause=none and it stays out of the local cause counters.
+      const uint64_t slow_cause =
+          decision == exec::StallDecision::kSlowdown ? cause_code
+                                                     : obs::kCauseNone;
+      if (decision == exec::StallDecision::kSlowdown) {
+        if (cause == exec::StallCause::kMemtable) {
+          stats_.stall_slowdowns_memtable++;
+        } else {
+          stats_.stall_slowdowns_l0++;
+        }
+      }
+      ring_->Emit(obs::EventType::kStallEnter, shard, slow_cause, 0);
       const uint64_t start = NowMicros();
       lock.unlock();
       std::this_thread::sleep_for(std::chrono::microseconds(
@@ -682,6 +759,8 @@ Status DB::MaybeStallLocked(std::unique_lock<std::mutex>& lock) {
       const uint64_t waited = NowMicros() - start;
       stats_.stall_slowdowns++;
       stats_.stall_micros += waited;
+      stats_.stall_slowdown_micros += waited;
+      ring_->Emit(obs::EventType::kStallExit, shard, slow_cause, waited);
       continue;
     }
     return Status::OK();
@@ -689,6 +768,9 @@ Status DB::MaybeStallLocked(std::unique_lock<std::mutex>& lock) {
 }
 
 Status DB::SwitchMemTableLocked() {
+  ring_->Emit(obs::EventType::kMemtableSwitch,
+              static_cast<uint16_t>(options_.shard_index),
+              mem_->payload_bytes(), 0);
   imm_.push_back(ImmPartition{mem_, wal_number_});
   stats_.memtable_switches++;
   if (imm_.size() > stats_.max_imm_queue_depth) {
@@ -866,6 +948,10 @@ Status DB::FlushMemToL0Locked(MemTable* mem,
                               std::unique_lock<std::mutex>& lock,
                               bool allow_unlock,
                               std::vector<FileMetaPtr>* obsolete) {
+  const uint16_t shard = static_cast<uint16_t>(options_.shard_index);
+  const uint64_t flush_t0 = NowMicros();
+  const uint64_t written_before = stats_.flush_bytes_written;
+  ring_->Emit(obs::EventType::kFlushBegin, shard, mem->payload_bytes(), 0);
   EnsurePaddedLocked(
       static_cast<size_t>(std::max(1, policy_->RequiredLevels(*current_))));
 
@@ -887,6 +973,10 @@ Status DB::FlushMemToL0Locked(MemTable* mem,
     if (merged) {
       stats_.flushes++;
       flush_count_++;
+      const uint64_t dur = NowMicros() - flush_t0;
+      ring_->Emit(obs::EventType::kFlushEnd, shard,
+                  stats_.flush_bytes_written - written_before, dur);
+      if (latency_ != nullptr) latency_->Record(obs::OpType::kFlush, dur);
       return Status::OK();
     }
     // The mutex was released: a concurrent compaction may have emptied
@@ -976,6 +1066,10 @@ Status DB::FlushMemToL0Locked(MemTable* mem,
   // pre-pipeline engine did) inflated the per-level compaction accounting.
   stats_.flush_bytes_read += bytes_read;
   flush_count_++;
+  const uint64_t dur = NowMicros() - flush_t0;
+  ring_->Emit(obs::EventType::kFlushEnd, shard,
+              stats_.flush_bytes_written - written_before, dur);
+  if (latency_ != nullptr) latency_->Record(obs::OpType::kFlush, dur);
   return Status::OK();
 }
 
@@ -1085,6 +1179,8 @@ Status DB::ExecutePlanLocked(
     compaction::CompactionExecutor::Result* result,
     std::vector<FileMetaPtr>* obsolete, bool* installed) {
   *installed = false;
+  const uint16_t shard = static_cast<uint16_t>(options_.shard_index);
+  const uint64_t t0 = NowMicros();
 
   // ---- Merge (mutex released in background mode). ----
   // The plan's FileMetaPtr references pin every input SST: deferred GC
@@ -1102,12 +1198,17 @@ Status DB::ExecutePlanLocked(
     DeleteUninstalledOutputs(result->outputs);
     return s;
   }
+  ring_->Emit(obs::EventType::kCompactionMerge, shard,
+              static_cast<uint64_t>(plan.output_level),
+              result->bytes_written);
 
   // ---- Install (under mutex), conflict-checked. ----
   if (allow_unlock && !compaction::PlanStillValid(plan, *current_)) {
     // A concurrent flush reshaped an input while the merge ran: discard
     // the outputs and let the caller re-plan against the fresh version.
     stats_.compaction_conflicts++;
+    ring_->Emit(obs::EventType::kCompactionConflict, shard,
+                static_cast<uint64_t>(plan.output_level), 0);
     DeleteUninstalledOutputs(result->outputs);
     return Status::OK();
   }
@@ -1117,6 +1218,8 @@ Status DB::ExecutePlanLocked(
                                   &next_run_id_, next.get(), obsolete);
   InstallVersionLocked(std::move(next));
   *installed = true;
+  ring_->Emit(obs::EventType::kCompactionInstall, shard,
+              static_cast<uint64_t>(plan.output_level), NowMicros() - t0);
   return Status::OK();
 }
 
@@ -1126,6 +1229,7 @@ Status DB::RunCompactionRequestLocked(const CompactionRequest& req,
   *installed = false;
 
   // ---- Plan (under mutex). ----
+  const uint64_t comp_t0 = latency_ != nullptr ? NowMicros() : 0;
   compaction::CompactionPlan plan;
   Status s = PlanForRequestLocked(req, &plan);
   if (!s.ok()) return s;
@@ -1133,6 +1237,9 @@ Status DB::RunCompactionRequestLocked(const CompactionRequest& req,
     *installed = true;  // Nothing to do counts as completed.
     return Status::OK();
   }
+  ring_->Emit(obs::EventType::kCompactionPlan,
+              static_cast<uint16_t>(options_.shard_index),
+              static_cast<uint64_t>(req.output_level), plan.inputs.size());
 
   compaction::CompactionExecutor::Result result;
   std::vector<FileMetaPtr> obsolete;
@@ -1141,6 +1248,9 @@ Status DB::RunCompactionRequestLocked(const CompactionRequest& req,
   if (!s.ok() || !*installed) return s;
 
   stats_.compactions++;
+  if (latency_ != nullptr) {
+    latency_->Record(obs::OpType::kCompaction, NowMicros() - comp_t0);
+  }
   stats_.compaction_bytes_read += result.bytes_read;
   stats_.compaction_bytes_written += result.bytes_written;
   if (stats_.level_stats.size() <= static_cast<size_t>(req.output_level)) {
@@ -1230,7 +1340,10 @@ bool DB::GetProperty(const std::string& property, std::string* value) {
         "flush_read=%llu comp_read=%llu conflicts=%llu "
         "filter_negatives=%llu cache_hits=%llu max_stall=%.1f "
         "switches=%llu bg_flushes=%llu bg_compactions=%llu "
-        "stall_us=%llu slowdowns=%llu stops=%llu",
+        "stall_us=%llu slowdowns=%llu stops=%llu "
+        "stall_slowdown_us=%llu stall_stop_us=%llu "
+        "slowdowns_memtable=%llu slowdowns_l0=%llu "
+        "stops_memtable=%llu stops_l0=%llu",
         static_cast<unsigned long long>(stats_.puts),
         static_cast<unsigned long long>(stats_.deletes),
         static_cast<unsigned long long>(stats_.gets),
@@ -1249,7 +1362,13 @@ bool DB::GetProperty(const std::string& property, std::string* value) {
         static_cast<unsigned long long>(stats_.bg_compactions),
         static_cast<unsigned long long>(stats_.stall_micros),
         static_cast<unsigned long long>(stats_.stall_slowdowns),
-        static_cast<unsigned long long>(stats_.stall_stops));
+        static_cast<unsigned long long>(stats_.stall_stops),
+        static_cast<unsigned long long>(stats_.stall_slowdown_micros),
+        static_cast<unsigned long long>(stats_.stall_stop_micros),
+        static_cast<unsigned long long>(stats_.stall_slowdowns_memtable),
+        static_cast<unsigned long long>(stats_.stall_slowdowns_l0),
+        static_cast<unsigned long long>(stats_.stall_stops_memtable),
+        static_cast<unsigned long long>(stats_.stall_stops_l0));
     const read::TableCache::Stats tc = table_cache_->GetStats();
     char caches[512];
     std::snprintf(
@@ -1303,6 +1422,19 @@ bool DB::GetProperty(const std::string& property, std::string* value) {
         static_cast<unsigned long long>(stats_.stall_stops));
     *value = std::string(buf) + scheduler_->GetStats().ToString() + " | " +
              compaction_exec_->GetStats().ToString();
+    return true;
+  }
+  if (property == "talus.latency") {
+    // Empty (but recognized) when latency stats are disabled.
+    if (latency_ != nullptr) {
+      lock.unlock();  // Snapshots only touch the recorder's own atomics.
+      *value = latency_->ToString();
+    }
+    return true;
+  }
+  if (property == "talus.events") {
+    lock.unlock();  // The ring has its own lock.
+    *value = ring_->ToString();
     return true;
   }
   return false;
@@ -1361,6 +1493,7 @@ void DB::MarkObsoleteLocked(std::vector<FileMetaPtr> files) {
 
 Status DB::CollectObsoleteLocked() {
   Status result;
+  uint64_t deleted_now = 0;
   for (auto it = gc_pending_.begin(); it != gc_pending_.end();) {
     // use_count() == 1 means the queue's own reference is the last: every
     // version, view, and iterator has let go. A stale concurrent read can
@@ -1380,8 +1513,13 @@ Status DB::CollectObsoleteLocked() {
     }
     it = gc_pending_.erase(it);
     stats_.obsolete_files_deleted++;
+    deleted_now++;
   }
   gc_pending_count_.store(gc_pending_.size(), std::memory_order_release);
+  if (deleted_now > 0) {
+    ring_->Emit(obs::EventType::kGcDelete,
+                static_cast<uint16_t>(options_.shard_index), deleted_now, 0);
+  }
   return result;
 }
 
@@ -1447,6 +1585,7 @@ Status DB::Get(const Slice& key, std::string* value) {
 
 Status DB::Get(const Slice& key, std::string* value,
                const Snapshot* snapshot) {
+  obs::ScopedOpTimer timer(latency_.get(), obs::OpType::kGet);
   // The view pin is the only mutex acquisition on the lookup path; the
   // probe itself runs against immutable state and the lock-free memtables.
   auto view = AcquireReadView();
@@ -1542,11 +1681,13 @@ std::unique_ptr<Iterator> DB::NewPinnedIterator(
   }
   auto merged =
       NewMergingIterator(InternalKeyComparator(), std::move(children));
-  return std::make_unique<DbIterator>(std::move(view), std::move(merged));
+  return std::make_unique<DbIterator>(std::move(view), std::move(merged),
+                                      latency_.get());
 }
 
 Status DB::Scan(const Slice& start, size_t count,
                 std::vector<std::pair<std::string, std::string>>* out) {
+  obs::ScopedOpTimer timer(latency_.get(), obs::OpType::kScan);
   // Pin once, then iterate with no lock held: the view's sequence bound
   // makes the whole scan a consistent snapshot even while writers and
   // background maintenance proceed.
@@ -1590,6 +1731,25 @@ uint64_t DB::ApproximateDataBytesLocked() const {
 std::string DB::DebugString() const {
   std::unique_lock<std::mutex> lock(mutex_);
   return current_->DebugString();
+}
+
+std::vector<Histogram> DB::GetLatencyHistograms() const {
+  if (latency_ == nullptr) {
+    return std::vector<Histogram>(obs::kNumOpTypes);  // All empty.
+  }
+  return latency_->SnapshotAll();
+}
+
+std::string DB::DumpPrometheus() const {
+  EngineStats stats;
+  uint64_t data_bytes = 0;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stats = stats_;
+    data_bytes = ApproximateDataBytesLocked();
+  }
+  return metrics::DumpPrometheusText(stats, ring_->TotalEmitted(), data_bytes,
+                                     GetLatencyHistograms());
 }
 
 }  // namespace talus

@@ -52,6 +52,8 @@
 #include "lsm/write_batch.h"
 #include "mem/memtable.h"
 #include "metrics/write_stats.h"
+#include "obs/event_ring.h"
+#include "obs/latency_recorder.h"
 #include "policy/growth_policy.h"
 #include "read/read_view.h"
 #include "read/table_cache.h"
@@ -105,7 +107,16 @@ struct EngineStats {
   uint64_t bg_compactions = 0;      // Compactions executed by background jobs.
   uint64_t stall_slowdowns = 0;     // Writes delayed by the slowdown regime.
   uint64_t stall_stops = 0;         // Writes blocked until debt retired.
-  uint64_t stall_micros = 0;        // Wall time writers spent stalled.
+  uint64_t stall_micros = 0;        // Wall time writers spent stalled (total).
+  // Stall time split by regime (slowdown + stop == stall_micros) and stall
+  // entries split by cause, so talus.stats says *why* writes stalled:
+  // memtable = immutable-memtable debt, l0 = level-0 run debt.
+  uint64_t stall_slowdown_micros = 0;
+  uint64_t stall_stop_micros = 0;
+  uint64_t stall_slowdowns_memtable = 0;
+  uint64_t stall_slowdowns_l0 = 0;
+  uint64_t stall_stops_memtable = 0;
+  uint64_t stall_stops_l0 = 0;
   uint64_t max_imm_queue_depth = 0; // High-water immutable-memtable count.
 
   // Per-output-level compaction accounting (index = output level).
@@ -144,6 +155,12 @@ struct EngineStats {
     stall_slowdowns = o.stall_slowdowns;
     stall_stops = o.stall_stops;
     stall_micros = o.stall_micros;
+    stall_slowdown_micros = o.stall_slowdown_micros;
+    stall_stop_micros = o.stall_stop_micros;
+    stall_slowdowns_memtable = o.stall_slowdowns_memtable;
+    stall_slowdowns_l0 = o.stall_slowdowns_l0;
+    stall_stops_memtable = o.stall_stops_memtable;
+    stall_stops_l0 = o.stall_stops_l0;
     max_imm_queue_depth = o.max_imm_queue_depth;
     level_stats = o.level_stats;
     return *this;
@@ -216,9 +233,20 @@ class DB {
   /// background work first.
   Status CompactAll();
 
-  /// Introspection: "talus.stats", "talus.levels", "talus.cstats",
-  /// "talus.num-runs", "talus.data-bytes", "talus.exec". Returns false for
-  /// unknown names.
+  /// Introspection. Returns false for unknown names.
+  ///   "talus.stats"      engine counters, incl. stall split by regime/cause
+  ///   "talus.levels"     per-level shape
+  ///   "talus.cstats"     per-level compaction accounting
+  ///   "talus.num-runs"   total sorted runs
+  ///   "talus.data-bytes" approximate live logical bytes
+  ///   "talus.exec"       background execution / scheduler state
+  ///   "talus.latency"    per-op latency histograms, one line per op:
+  ///                      `op=put count=N p50_us=.. p99_us=.. p999_us=..
+  ///                      max_us=.. avg_us=..` (empty string when
+  ///                      enable_latency_stats is off; DESIGN.md §6.1)
+  ///   "talus.events"     the in-memory event ring, oldest first:
+  ///                      `t_us=.. seq=.. shard=.. event=.. a=.. b=..`
+  ///                      (DESIGN.md §6.2)
   bool GetProperty(const std::string& property, std::string* value);
 
   /// Collects up to `count` live entries with user key >= start, in order.
@@ -258,6 +286,17 @@ class DB {
   const EngineStats& stats() const { return stats_; }
   /// Snapshot of the write pipeline's group-commit counters (§2.9).
   metrics::GroupCommitStats GetGroupCommitStats() const;
+  /// Per-op latency recorder; null when enable_latency_stats is off.
+  obs::LatencyRecorder* latency_recorder() { return latency_.get(); }
+  /// Event ring (owned or borrowed via DbOptions::event_ring); never null.
+  obs::EventRing* event_ring() { return ring_; }
+  /// SnapshotAll() of the recorder, indexed by obs::OpType; all-empty
+  /// histograms when latency stats are disabled. The sharding layer merges
+  /// these per-shard vectors into fleet-wide talus.latency.
+  std::vector<Histogram> GetLatencyHistograms() const;
+  /// Prometheus text exposition of the engine counters and latency
+  /// histograms (talus_* families; DESIGN.md §6.4).
+  std::string DumpPrometheus() const;
   /// Largest sequence this engine has committed (recovery/sharding
   /// bookkeeping; takes the mutex).
   SequenceNumber LastSequence() const;
@@ -483,6 +522,16 @@ class DB {
   std::multiset<SequenceNumber> snapshot_seqs_;
 
   EngineStats stats_;
+
+  // ---- Observability (src/obs/, DESIGN.md §6) ----
+  // Null when enable_latency_stats is off: the hot paths then skip both the
+  // clock reads and the recorder stores (ScopedOpTimer's null fast path).
+  std::unique_ptr<obs::LatencyRecorder> latency_;
+  // ring_ points at owned_ring_ unless DbOptions::event_ring lends a shared
+  // one (sharded stores). Emits happen inside and outside mutex_; the ring
+  // has its own lock.
+  std::unique_ptr<obs::EventRing> owned_ring_;
+  obs::EventRing* ring_ = nullptr;
 
   // ---- Background execution (null / unused under kInline) ----
   // The pool is either owned (standalone DB) or borrowed from the sharded

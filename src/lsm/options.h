@@ -18,6 +18,9 @@ namespace talus {
 namespace exec {
 class ThreadPool;
 }  // namespace exec
+namespace obs {
+class EventRing;
+}  // namespace obs
 namespace shard {
 class SequenceAllocator;
 class ShardBackpressure;
@@ -131,6 +134,25 @@ struct DbOptions {
   /// 1 (the default) preserves the seed's bit-identical behavior while
   /// larger values stay scan-equivalent.
   int max_subcompactions = 1;
+
+  // ---- Observability (src/obs/, DESIGN.md §6) ----
+  /// Record per-op latency histograms (talus.latency) via the lock-free
+  /// obs::LatencyRecorder. On by default: the recorder costs <3% at 8
+  /// concurrent writers (DESIGN.md §6.5) and tail latency is a first-class
+  /// metric. When off the DB allocates no recorder and the hot paths skip
+  /// the clock reads entirely.
+  bool enable_latency_stats = true;
+  /// Capacity of the in-memory event ring behind talus.events.
+  size_t event_ring_size = 1024;
+  /// When non-empty, every engine event is appended to this file as one
+  /// JSON object per line (the talus.events taxonomy) for postmortem stall
+  /// reconstruction. Ignored when event_ring is supplied (the owner of the
+  /// shared ring decides where its trace goes).
+  std::string trace_file_path;
+  /// Borrowed shared event ring (ShardedDB passes its own to every shard so
+  /// cross-shard events land in one ordered stream). Null = the DB owns a
+  /// private ring of event_ring_size.
+  obs::EventRing* event_ring = nullptr;
 
   // CPU epsilons for the virtual clock (see env/io_stats.h).
   double cpu_cost_per_write = 0.02;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/latency_recorder.h"
+#include "obs/prometheus.h"
+
 namespace talus {
 namespace metrics {
 
@@ -37,6 +40,12 @@ EngineStats AggregateEngineStats(const std::vector<const EngineStats*>& in) {
     out.stall_slowdowns += s->stall_slowdowns;
     out.stall_stops += s->stall_stops;
     out.stall_micros += s->stall_micros;
+    out.stall_slowdown_micros += s->stall_slowdown_micros;
+    out.stall_stop_micros += s->stall_stop_micros;
+    out.stall_slowdowns_memtable += s->stall_slowdowns_memtable;
+    out.stall_slowdowns_l0 += s->stall_slowdowns_l0;
+    out.stall_stops_memtable += s->stall_stops_memtable;
+    out.stall_stops_l0 += s->stall_stops_l0;
     out.max_imm_queue_depth =
         std::max(out.max_imm_queue_depth, s->max_imm_queue_depth);
     if (s->level_stats.size() > out.level_stats.size()) {
@@ -68,6 +77,64 @@ GroupCommitStats AggregateGroupCommitStats(
           ? 0
           : static_cast<double>(out.batches_committed) /
                 static_cast<double>(out.group_commits);
+  return out;
+}
+
+std::string DumpPrometheusText(const EngineStats& stats,
+                               uint64_t events_total, uint64_t data_bytes,
+                               const std::vector<Histogram>& latency_per_op) {
+  obs::PrometheusWriter w;
+  w.AddCounter("talus_puts_total", "", stats.puts);
+  w.AddCounter("talus_deletes_total", "", stats.deletes);
+  w.AddCounter("talus_gets_total", "", stats.gets.load());
+  w.AddCounter("talus_scans_total", "", stats.scans.load());
+  w.AddCounter("talus_flushes_total", "", stats.flushes);
+  w.AddCounter("talus_compactions_total", "", stats.compactions);
+  w.AddCounter("talus_compaction_conflicts_total", "",
+               stats.compaction_conflicts);
+  w.AddCounter("talus_flush_bytes_written_total", "",
+               stats.flush_bytes_written);
+  w.AddCounter("talus_compaction_bytes_written_total", "",
+               stats.compaction_bytes_written);
+  w.AddCounter("talus_stall_micros_total", "regime=\"slowdown\"",
+               stats.stall_slowdown_micros);
+  w.AddCounter("talus_stall_micros_total", "regime=\"stop\"",
+               stats.stall_stop_micros);
+  w.AddCounter("talus_stalls_total", "regime=\"slowdown\",cause=\"memtable\"",
+               stats.stall_slowdowns_memtable);
+  w.AddCounter("talus_stalls_total", "regime=\"slowdown\",cause=\"l0\"",
+               stats.stall_slowdowns_l0);
+  w.AddCounter("talus_stalls_total", "regime=\"stop\",cause=\"memtable\"",
+               stats.stall_stops_memtable);
+  w.AddCounter("talus_stalls_total", "regime=\"stop\",cause=\"l0\"",
+               stats.stall_stops_l0);
+  w.AddCounter("talus_obsolete_files_deleted_total", "",
+               stats.obsolete_files_deleted);
+  w.AddCounter("talus_events_total", "", events_total);
+  w.AddGauge("talus_data_bytes", "", static_cast<double>(data_bytes));
+  for (size_t op = 0;
+       op < latency_per_op.size() &&
+       op < static_cast<size_t>(obs::kNumOpTypes);
+       op++) {
+    if (latency_per_op[op].Count() == 0) continue;  // Untouched op series.
+    w.AddHistogram("talus_latency_us",
+                   std::string("op=\"") +
+                       obs::OpTypeName(static_cast<obs::OpType>(op)) + "\"",
+                   latency_per_op[op]);
+  }
+  return w.Output();
+}
+
+std::vector<Histogram> MergeLatencyHistograms(
+    const std::vector<std::vector<Histogram>>& per_shard) {
+  size_t ops = 0;
+  for (const auto& shard : per_shard) ops = std::max(ops, shard.size());
+  std::vector<Histogram> out(ops);
+  for (const auto& shard : per_shard) {
+    for (size_t op = 0; op < shard.size(); op++) {
+      out[op].Merge(shard[op]);
+    }
+  }
   return out;
 }
 

@@ -25,6 +25,22 @@ EngineStats AggregateEngineStats(const std::vector<const EngineStats*>& in);
 GroupCommitStats AggregateGroupCommitStats(
     const std::vector<GroupCommitStats>& in);
 
+/// Per-op latency merge: element-wise Histogram::Merge of each shard's
+/// DB::GetLatencyHistograms() vector. Unlike the group-size p50 above this
+/// merge is exact — shards share one bucket layout, so fleet-wide
+/// percentiles come from summed bucket counts, not a max-of-maxes.
+std::vector<Histogram> MergeLatencyHistograms(
+    const std::vector<std::vector<Histogram>>& per_shard);
+
+/// The talus_* Prometheus exposition shared by DB::DumpPrometheus and
+/// ShardedDB::DumpPrometheus: engine counters, the stall split, and one
+/// talus_latency_us histogram family per op with observations.
+/// `latency_per_op` is indexed by obs::OpType (DB::GetLatencyHistograms /
+/// MergeLatencyHistograms output).
+std::string DumpPrometheusText(const EngineStats& stats,
+                               uint64_t events_total, uint64_t data_bytes,
+                               const std::vector<Histogram>& latency_per_op);
+
 }  // namespace metrics
 }  // namespace talus
 

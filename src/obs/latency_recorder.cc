@@ -1,0 +1,97 @@
+#include "obs/latency_recorder.h"
+
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+namespace talus {
+namespace obs {
+
+const char* OpTypeName(OpType op) {
+  switch (op) {
+    case OpType::kPut: return "put";
+    case OpType::kGroupWait: return "group_wait";
+    case OpType::kWalAppend: return "wal_append";
+    case OpType::kWalSync: return "wal_sync";
+    case OpType::kGet: return "get";
+    case OpType::kScan: return "scan";
+    case OpType::kIterSeek: return "iter_seek";
+    case OpType::kFlush: return "flush";
+    case OpType::kCompaction: return "compaction";
+  }
+  return "unknown";
+}
+
+LatencyRecorder::LatencyRecorder() = default;
+
+LatencyRecorder::Cell& LatencyRecorder::CellFor(OpType op) {
+  // Hash the thread id once per call; cheap relative to the clock reads that
+  // bracket every Record. Stripe collisions only cost a shared cache line.
+  const size_t tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return cells_[tid % kStripes][static_cast<int>(op)];
+}
+
+void LatencyRecorder::Record(OpType op, uint64_t micros) {
+  Cell& c = CellFor(op);
+  c.count.fetch_add(1, std::memory_order_relaxed);
+  c.sum.fetch_add(micros, std::memory_order_relaxed);
+  c.buckets[Histogram::BucketFor(static_cast<double>(micros))].fetch_add(
+      1, std::memory_order_relaxed);
+  uint64_t seen = c.min.load(std::memory_order_relaxed);
+  while (micros < seen &&
+         !c.min.compare_exchange_weak(seen, micros,
+                                      std::memory_order_relaxed)) {
+  }
+  seen = c.max.load(std::memory_order_relaxed);
+  while (micros > seen &&
+         !c.max.compare_exchange_weak(seen, micros,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+Histogram LatencyRecorder::SnapshotOp(OpType op) const {
+  Histogram h;
+  uint64_t counts[Histogram::kNumBuckets];
+  for (int s = 0; s < kStripes; s++) {
+    const Cell& c = cells_[s][static_cast<int>(op)];
+    const uint64_t num = c.count.load(std::memory_order_relaxed);
+    if (num == 0) continue;
+    for (int b = 0; b < Histogram::kNumBuckets; b++) {
+      counts[b] = c.buckets[b].load(std::memory_order_relaxed);
+    }
+    h.MergeRaw(counts, num,
+               static_cast<double>(c.sum.load(std::memory_order_relaxed)),
+               static_cast<double>(c.min.load(std::memory_order_relaxed)),
+               static_cast<double>(c.max.load(std::memory_order_relaxed)));
+  }
+  return h;
+}
+
+std::vector<Histogram> LatencyRecorder::SnapshotAll() const {
+  std::vector<Histogram> out;
+  out.reserve(kNumOpTypes);
+  for (int op = 0; op < kNumOpTypes; op++) {
+    out.push_back(SnapshotOp(static_cast<OpType>(op)));
+  }
+  return out;
+}
+
+std::string LatencyRecorder::Format(const std::vector<Histogram>& per_op) {
+  std::string out;
+  char line[256];
+  for (int op = 0; op < kNumOpTypes && op < static_cast<int>(per_op.size());
+       op++) {
+    const Histogram& h = per_op[op];
+    std::snprintf(line, sizeof(line),
+                  "op=%s count=%llu p50_us=%.1f p99_us=%.1f p999_us=%.1f "
+                  "max_us=%.0f avg_us=%.1f\n",
+                  OpTypeName(static_cast<OpType>(op)),
+                  static_cast<unsigned long long>(h.Count()), h.Median(),
+                  h.Percentile(99), h.Percentile(99.9), h.Max(), h.Average());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace talus

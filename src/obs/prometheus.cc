@@ -1,0 +1,72 @@
+#include "obs/prometheus.h"
+
+#include <cstdio>
+
+namespace talus {
+namespace obs {
+
+namespace {
+
+std::string SampleName(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name;
+  return name + "{" + labels + "}";
+}
+
+}  // namespace
+
+void PrometheusWriter::TypeHeader(const std::string& name, const char* type) {
+  // Series of the same family (different labels) share one # TYPE line.
+  if (name == last_typed_) return;
+  out_ += "# TYPE " + name + " " + type + "\n";
+  last_typed_ = name;
+}
+
+void PrometheusWriter::AddCounter(const std::string& name,
+                                  const std::string& labels, uint64_t value) {
+  TypeHeader(name, "counter");
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %llu\n",
+                static_cast<unsigned long long>(value));
+  out_ += SampleName(name, labels) + buf;
+}
+
+void PrometheusWriter::AddGauge(const std::string& name,
+                                const std::string& labels, double value) {
+  TypeHeader(name, "gauge");
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), " %.6g\n", value);
+  out_ += SampleName(name, labels) + buf;
+}
+
+void PrometheusWriter::AddHistogram(const std::string& name,
+                                    const std::string& labels,
+                                    const Histogram& h) {
+  TypeHeader(name, "histogram");
+  const std::string sep = labels.empty() ? "" : ",";
+  char buf[96];
+  // Cumulative buckets up to the last occupied one; the tail collapses into
+  // +Inf so empty histograms still produce a complete, scrapable family.
+  int last = -1;
+  for (int b = 0; b < Histogram::kNumBuckets; b++) {
+    if (h.BucketCount(b) > 0) last = b;
+  }
+  uint64_t cum = 0;
+  for (int b = 0; b <= last; b++) {
+    cum += h.BucketCount(b);
+    std::snprintf(buf, sizeof(buf), "le=\"%.6g\"} %llu\n",
+                  Histogram::BucketUpperBound(b),
+                  static_cast<unsigned long long>(cum));
+    out_ += name + "_bucket{" + labels + sep + buf;
+  }
+  std::snprintf(buf, sizeof(buf), "le=\"+Inf\"} %llu\n",
+                static_cast<unsigned long long>(h.Count()));
+  out_ += name + "_bucket{" + labels + sep + buf;
+  std::snprintf(buf, sizeof(buf), " %.6g\n", h.Sum());
+  out_ += SampleName(name + "_sum", labels) + buf;
+  std::snprintf(buf, sizeof(buf), " %llu\n",
+                static_cast<unsigned long long>(h.Count()));
+  out_ += SampleName(name + "_count", labels) + buf;
+}
+
+}  // namespace obs
+}  // namespace talus

@@ -1,0 +1,46 @@
+// Prometheus text-exposition builder (DESIGN.md §6.4). A small generic
+// writer so the obs layer stays decoupled from lsm/EngineStats: the DB (and
+// ShardedDB) walk their own counters/histograms and feed them in here; the
+// future src/server/ /metrics endpoint serves the resulting string verbatim.
+//
+// Histograms follow the Prometheus convention: cumulative `_bucket` series
+// with `le` labels over the shared util/Histogram layout (only buckets up to
+// the last occupied one, plus +Inf), then `_sum` and `_count`.
+#ifndef TALUS_OBS_PROMETHEUS_H_
+#define TALUS_OBS_PROMETHEUS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/histogram.h"
+
+namespace talus {
+namespace obs {
+
+class PrometheusWriter {
+ public:
+  /// Emits `# TYPE <name> counter` (once per name) and one sample line.
+  /// `labels` is the raw inner label text, e.g. `op="put"`, or "" for none.
+  void AddCounter(const std::string& name, const std::string& labels,
+                  uint64_t value);
+  /// Same, for free-form gauge values.
+  void AddGauge(const std::string& name, const std::string& labels,
+                double value);
+  /// Emits the full histogram family for `name{labels}`. Empty histograms
+  /// still emit a zero +Inf bucket so the series exists.
+  void AddHistogram(const std::string& name, const std::string& labels,
+                    const Histogram& h);
+
+  const std::string& Output() const { return out_; }
+
+ private:
+  void TypeHeader(const std::string& name, const char* type);
+
+  std::string out_;
+  std::string last_typed_;  // Last name a # TYPE line was written for.
+};
+
+}  // namespace obs
+}  // namespace talus
+
+#endif  // TALUS_OBS_PROMETHEUS_H_

@@ -84,6 +84,19 @@ Status ShardedDB::Open(const DbOptions& options,
   if (!s.ok()) return s;
 
   const size_t n = db->router_.shard_count();
+  // One shared event ring for the whole store: every shard emits into it,
+  // so cross-shard causality (a hot shard's stall vs. another's flush)
+  // lands in one ordered stream — and one JSONL trace file.
+  if (options.event_ring != nullptr) {
+    db->ring_ = options.event_ring;
+  } else {
+    db->owned_ring_ =
+        std::make_unique<obs::EventRing>(options.event_ring_size);
+    db->ring_ = db->owned_ring_.get();
+    if (!options.trace_file_path.empty()) {
+      db->ring_->OpenTraceFile(options.trace_file_path);
+    }
+  }
   db->pool_ =
       std::make_unique<exec::ThreadPool>(options.num_background_threads);
   if (options.execution_mode == ExecutionMode::kBackground) {
@@ -112,6 +125,7 @@ Status ShardedDB::Open(const DbOptions& options,
     shard_opts.sequence_allocator = &db->alloc_;
     shard_opts.shard_backpressure = db->backpressure_.get();
     shard_opts.shared_pool = db->pool_.get();
+    shard_opts.event_ring = db->ring_;
     auto open_one = [&db, &results, &mu, &cv, &remaining, i, shard_opts] {
       Status os = DB::Open(shard_opts, &db->shards_[i]);
       std::lock_guard<std::mutex> lock(mu);
@@ -374,7 +388,20 @@ bool ShardedDB::GetProperty(const std::string& property, std::string* value) {
     return true;
   }
   // One shard: the engine's own output, bit-identical to a standalone DB.
+  // (talus.latency and talus.events included: the shard's ring IS the
+  // shared ring, and its recorder holds every observation.)
   if (shards_.size() == 1) return shards_[0]->GetProperty(property, value);
+
+  if (property == "talus.latency") {
+    // Exact fleet-wide percentiles: the shards share one bucket layout, so
+    // merging their histograms is a sum of bucket counts (DESIGN.md §6.3).
+    *value = obs::LatencyRecorder::Format(GetLatencyHistograms());
+    return true;
+  }
+  if (property == "talus.events") {
+    *value = ring_->ToString();
+    return true;
+  }
 
   if (property == "talus.num-runs" || property == "talus.data-bytes") {
     uint64_t total = 0;
@@ -417,6 +444,9 @@ bool ShardedDB::GetProperty(const std::string& property, std::string* value) {
         "flush_read=%llu comp_read=%llu conflicts=%llu "
         "switches=%llu bg_flushes=%llu bg_compactions=%llu "
         "stall_us=%llu slowdowns=%llu stops=%llu "
+        "stall_slowdown_us=%llu stall_stop_us=%llu "
+        "slowdowns_memtable=%llu slowdowns_l0=%llu "
+        "stops_memtable=%llu stops_l0=%llu "
         "bc_hits=%llu bc_misses=%llu tc_hits=%llu tc_misses=%llu",
         shards_.size(), static_cast<unsigned long long>(agg.puts),
         static_cast<unsigned long long>(agg.deletes),
@@ -434,6 +464,12 @@ bool ShardedDB::GetProperty(const std::string& property, std::string* value) {
         static_cast<unsigned long long>(agg.stall_micros),
         static_cast<unsigned long long>(agg.stall_slowdowns),
         static_cast<unsigned long long>(agg.stall_stops),
+        static_cast<unsigned long long>(agg.stall_slowdown_micros),
+        static_cast<unsigned long long>(agg.stall_stop_micros),
+        static_cast<unsigned long long>(agg.stall_slowdowns_memtable),
+        static_cast<unsigned long long>(agg.stall_slowdowns_l0),
+        static_cast<unsigned long long>(agg.stall_stops_memtable),
+        static_cast<unsigned long long>(agg.stall_stops_l0),
         static_cast<unsigned long long>(bc_hits),
         static_cast<unsigned long long>(bc_misses),
         static_cast<unsigned long long>(tc_hits),
@@ -449,6 +485,22 @@ uint64_t ShardedDB::ApproximateDataBytes() const {
   uint64_t total = 0;
   for (const auto& sh : shards_) total += sh->ApproximateDataBytes();
   return total;
+}
+
+std::vector<Histogram> ShardedDB::GetLatencyHistograms() const {
+  std::vector<std::vector<Histogram>> per_shard;
+  per_shard.reserve(shards_.size());
+  for (const auto& sh : shards_) {
+    per_shard.push_back(sh->GetLatencyHistograms());
+  }
+  return metrics::MergeLatencyHistograms(per_shard);
+}
+
+std::string ShardedDB::DumpPrometheus() const {
+  const EngineStats agg = AggregatedStats();
+  return metrics::DumpPrometheusText(agg, ring_->TotalEmitted(),
+                                     ApproximateDataBytes(),
+                                     GetLatencyHistograms());
 }
 
 std::string ShardedDB::DebugString() const {

@@ -84,8 +84,10 @@ class ShardedDB {
 
   /// Same names as DB::GetProperty, aggregated across shards, plus
   /// "talus.shards" — a per-shard breakdown (range, writes, reads, data
-  /// bytes, runs, stall time). With one shard every property passes
-  /// through bit-identically.
+  /// bytes, runs, stall time). "talus.latency" reports fleet-wide per-op
+  /// percentiles (exact merge of the per-shard histograms) and
+  /// "talus.events" the shared event ring every shard emits into. With one
+  /// shard every property passes through bit-identically.
   bool GetProperty(const std::string& property, std::string* value);
 
   uint64_t ApproximateDataBytes() const;
@@ -95,6 +97,14 @@ class ShardedDB {
   /// precise only when quiesced.
   EngineStats AggregatedStats() const;
   metrics::GroupCommitStats GetGroupCommitStats() const;
+  /// Exact fleet-wide per-op latency merge, indexed by obs::OpType.
+  std::vector<Histogram> GetLatencyHistograms() const;
+  /// Prometheus exposition of the aggregated counters and merged latency
+  /// histograms (same talus_* families as DB::DumpPrometheus).
+  std::string DumpPrometheus() const;
+  /// The shared event ring every shard emits into (one globally ordered
+  /// stream; cross-shard causality preserved).
+  obs::EventRing* event_ring() { return ring_; }
 
   size_t shard_count() const { return shards_.size(); }
   DB* shard(size_t i) { return shards_[i].get(); }
@@ -118,6 +128,12 @@ class ShardedDB {
   ShardRouter router_;
   SequenceAllocator alloc_;
   std::unique_ptr<ShardBackpressure> backpressure_;
+  // Shared event ring, passed to every shard via DbOptions::event_ring.
+  // Declared before shards_ so it outlives them: shard destructors still
+  // emit (GC events) while draining. ring_ is owned_ring_ unless the caller
+  // lent a ring through DbOptions::event_ring.
+  std::unique_ptr<obs::EventRing> owned_ring_;
+  obs::EventRing* ring_ = nullptr;
   // Declared before shards_ so shards (whose schedulers drain jobs onto the
   // pool) are destroyed first, then the pool.
   std::unique_ptr<exec::ThreadPool> pool_;

@@ -1,5 +1,6 @@
 #include "util/histogram.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -40,12 +41,16 @@ void Histogram::Clear() {
   for (double& b : buckets_) b = 0;
 }
 
+int Histogram::BucketFor(double value) {
+  // First bucket whose (exclusive) upper limit exceeds the value; the last
+  // bucket absorbs everything beyond the table.
+  const double* end = kBucketLimit + kNumBuckets - 1;
+  return static_cast<int>(std::upper_bound(kBucketLimit, end, value) -
+                          kBucketLimit);
+}
+
 void Histogram::Add(double value) {
-  int b = 0;
-  while (b < kNumBuckets - 1 && kBucketLimit[b] <= value) {
-    b++;
-  }
-  buckets_[b] += 1.0;
+  buckets_[BucketFor(value)] += 1.0;
   if (min_ > value) min_ = value;
   if (max_ < value) max_ = value;
   num_++;
@@ -54,6 +59,9 @@ void Histogram::Add(double value) {
 }
 
 void Histogram::Merge(const Histogram& other) {
+  // An empty side must be a no-op for min/max: its sentinel min_ (huge) and
+  // max_ (0) carry no observations and must not survive into the merge.
+  if (other.num_ == 0) return;
   if (other.min_ < min_) min_ = other.min_;
   if (other.max_ > max_) max_ = other.max_;
   num_ += other.num_;
@@ -62,7 +70,20 @@ void Histogram::Merge(const Histogram& other) {
   for (int b = 0; b < kNumBuckets; b++) buckets_[b] += other.buckets_[b];
 }
 
+void Histogram::MergeRaw(const uint64_t counts[kNumBuckets], uint64_t num,
+                         double sum, double min, double max) {
+  if (num == 0) return;
+  if (min < min_) min_ = min;
+  if (max > max_) max_ = max;
+  num_ += num;
+  sum_ += sum;
+  for (int b = 0; b < kNumBuckets; b++) {
+    buckets_[b] += static_cast<double>(counts[b]);
+  }
+}
+
 double Histogram::Percentile(double p) const {
+  if (num_ == 0) return 0;  // Well-defined on an empty histogram.
   double threshold = static_cast<double>(num_) * (p / 100.0);
   double sum = 0;
   for (int b = 0; b < kNumBuckets; b++) {
@@ -102,8 +123,8 @@ std::string Histogram::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "count=%llu avg=%.2f min=%.2f max=%.2f p50=%.2f p99=%.2f",
-                static_cast<unsigned long long>(num_), Average(),
-                num_ ? min_ : 0.0, max_, Median(), Percentile(99));
+                static_cast<unsigned long long>(num_), Average(), Min(),
+                max_, Median(), Percentile(99));
   return buf;
 }
 

@@ -1,4 +1,9 @@
 // Histogram with exponentially-spaced buckets for latency/size distributions.
+// The bucket layout (kNumBuckets exponential limits) is the single source of
+// truth for every histogram in the engine: obs::LatencyRecorder's lock-free
+// per-stripe counters use BucketFor()/BucketUpperBound() and fold back into a
+// Histogram via MergeRaw(), so recorder snapshots and plain histograms always
+// agree on percentiles.
 #ifndef TALUS_UTIL_HISTOGRAM_H_
 #define TALUS_UTIL_HISTOGRAM_H_
 
@@ -10,24 +15,47 @@ namespace talus {
 
 class Histogram {
  public:
+  static constexpr int kNumBuckets = 162;
+
   Histogram() { Clear(); }
 
   void Clear();
   void Add(double value);
+  /// Folds `other` into this histogram. Merging an empty histogram is a
+  /// no-op; min/max survive the merge (an empty side never clobbers them).
   void Merge(const Histogram& other);
+  /// Folds raw per-bucket counts (laid out by BucketFor) plus their summary
+  /// stats into this histogram. This is how obs::LatencyRecorder snapshots
+  /// collapse per-stripe atomic counters into a mergeable Histogram.
+  /// Ignored when num == 0. Sum-of-squares is not tracked by raw counters,
+  /// so StandardDeviation() is meaningless after a MergeRaw.
+  void MergeRaw(const uint64_t counts[kNumBuckets], uint64_t num, double sum,
+                double min, double max);
 
   double Median() const { return Percentile(50.0); }
+  /// Interpolated percentile; 0 on an empty histogram.
   double Percentile(double p) const;
   double Average() const;
   double StandardDeviation() const;
-  double Min() const { return min_; }
+  /// 0 on an empty histogram.
+  double Min() const { return num_ == 0 ? 0 : min_; }
   double Max() const { return max_; }
   uint64_t Count() const { return num_; }
+  double Sum() const { return sum_; }
+  /// Count in bucket b (exact while counts fit a double's 53-bit mantissa).
+  uint64_t BucketCount(int b) const {
+    return static_cast<uint64_t>(buckets_[b]);
+  }
+
+  /// Index of the bucket that holds `value`: the first bucket whose upper
+  /// limit exceeds it (binary search over the shared layout).
+  static int BucketFor(double value);
+  /// Exclusive upper limit of bucket b.
+  static double BucketUpperBound(int b) { return kBucketLimit[b]; }
 
   std::string ToString() const;
 
  private:
-  static constexpr int kNumBuckets = 162;
   static const double kBucketLimit[kNumBuckets];
 
   double min_;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -90,6 +91,89 @@ TEST(Histogram, ClearResets) {
   h.Clear();
   EXPECT_EQ(h.Count(), 0u);
   EXPECT_EQ(h.Average(), 0.0);
+}
+
+TEST(Histogram, EmptyIsZeroEverywhere) {
+  Histogram h;
+  // No sentinel leakage: an untouched histogram reports 0, not the
+  // internal min/max initializers.
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99.9), 0.0);
+  EXPECT_DOUBLE_EQ(h.Median(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Average(), 0.0);
+}
+
+TEST(Histogram, MergeWithEmptySides) {
+  Histogram a, empty;
+  a.Add(5);
+  a.Add(500);
+  // Empty into populated: a no-op; min/max survive.
+  a.Merge(empty);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.Max(), 500.0);
+  // Populated into empty: adopts the source's min/max exactly.
+  Histogram b;
+  b.Merge(a);
+  EXPECT_EQ(b.Count(), 2u);
+  EXPECT_DOUBLE_EQ(b.Min(), 5.0);
+  EXPECT_DOUBLE_EQ(b.Max(), 500.0);
+  // Empty into empty stays empty.
+  Histogram c;
+  c.Merge(empty);
+  EXPECT_EQ(c.Count(), 0u);
+  EXPECT_DOUBLE_EQ(c.Min(), 0.0);
+}
+
+TEST(Histogram, BucketLayoutIsTheSharedSourceOfTruth) {
+  // BucketFor and BucketUpperBound agree: a value lands in the first
+  // bucket whose (exclusive) upper limit exceeds it.
+  for (double v : {0.0, 1.0, 2.0, 99.0, 1e6, 1e17}) {
+    const int b = Histogram::BucketFor(v);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, Histogram::kNumBuckets);
+    EXPECT_LT(v, Histogram::BucketUpperBound(b)) << v;
+    if (b > 0) {
+      EXPECT_GE(v, Histogram::BucketUpperBound(b - 1)) << v;
+    }
+  }
+  // The last bucket is a catch-all for anything beyond the layout.
+  EXPECT_EQ(Histogram::BucketFor(1e200), Histogram::kNumBuckets - 1);
+}
+
+TEST(Histogram, MergeRawMatchesEquivalentAdds) {
+  // MergeRaw (the obs::LatencyRecorder snapshot path) must agree with the
+  // same observations recorded through Add().
+  uint64_t counts[Histogram::kNumBuckets] = {};
+  Histogram direct;
+  double sum = 0, mn = 1e30, mx = 0;
+  uint64_t num = 0;
+  for (int v : {3, 17, 17, 250, 9000}) {
+    counts[Histogram::BucketFor(v)]++;
+    direct.Add(v);
+    sum += v;
+    mn = std::min<double>(mn, v);
+    mx = std::max<double>(mx, v);
+    num++;
+  }
+  Histogram raw;
+  raw.MergeRaw(counts, num, sum, mn, mx);
+  EXPECT_EQ(raw.Count(), direct.Count());
+  EXPECT_DOUBLE_EQ(raw.Min(), direct.Min());
+  EXPECT_DOUBLE_EQ(raw.Max(), direct.Max());
+  EXPECT_DOUBLE_EQ(raw.Sum(), direct.Sum());
+  EXPECT_DOUBLE_EQ(raw.Median(), direct.Median());
+  EXPECT_DOUBLE_EQ(raw.Percentile(99), direct.Percentile(99));
+
+  // num == 0 is ignored outright — even with garbage summary stats.
+  Histogram untouched;
+  untouched.MergeRaw(counts, 0, 123.0, -5.0, 1e9);
+  EXPECT_EQ(untouched.Count(), 0u);
+  EXPECT_DOUBLE_EQ(untouched.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(untouched.Max(), 0.0);
 }
 
 // ---------------------------------------------- Cache counters in GetProperty

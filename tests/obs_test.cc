@@ -1,0 +1,368 @@
+// Observability subsystem (src/obs/, DESIGN.md §6): the lock-free latency
+// recorder, the event ring + JSONL trace, the talus.latency / talus.events
+// property surface, and the Prometheus exposition — including the end-to-end
+// promise that a write stall is reconstructible from the trace alone.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "env/env.h"
+#include "lsm/db.h"
+#include "obs/event_ring.h"
+#include "obs/latency_recorder.h"
+#include "shard/sharded_db.h"
+#include "util/histogram.h"
+#include "workload/generator.h"
+
+namespace talus {
+namespace {
+
+// ------------------------------------------------------------ LatencyRecorder
+
+TEST(LatencyRecorder, RecordsAcrossThreadsAndMergesStripes) {
+  obs::LatencyRecorder recorder;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        // Spread across decades so the exponential buckets all see traffic.
+        recorder.Record(obs::OpType::kPut, 1 + (i % 1000));
+        if (t == 0 && i == 0) recorder.Record(obs::OpType::kGet, 7);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const Histogram put = recorder.SnapshotOp(obs::OpType::kPut);
+  EXPECT_EQ(put.Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(put.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(put.Max(), 1000.0);
+  EXPECT_GT(put.Percentile(99), put.Median());
+  // Exact sum survives the striped counters: 4 * sum(1..1000) * 10.
+  EXPECT_NEAR(put.Sum(),
+              static_cast<double>(kThreads) * kPerThread * 500.5, 1e-6);
+
+  // Ops never recorded stay empty; the one-shot Get landed exactly once.
+  EXPECT_EQ(recorder.SnapshotOp(obs::OpType::kScan).Count(), 0u);
+  EXPECT_EQ(recorder.SnapshotOp(obs::OpType::kGet).Count(), 1u);
+
+  const std::vector<Histogram> all = recorder.SnapshotAll();
+  ASSERT_EQ(all.size(), static_cast<size_t>(obs::kNumOpTypes));
+  EXPECT_EQ(all[static_cast<size_t>(obs::OpType::kPut)].Count(),
+            put.Count());
+}
+
+TEST(LatencyRecorder, FormatEmitsOneLinePerOp) {
+  obs::LatencyRecorder recorder;
+  recorder.Record(obs::OpType::kGet, 42);
+  const std::string text = recorder.ToString();
+  // Every op type appears, count parses, and the op with traffic shows it.
+  for (int op = 0; op < obs::kNumOpTypes; op++) {
+    const std::string needle =
+        std::string("op=") + obs::OpTypeName(static_cast<obs::OpType>(op));
+    EXPECT_NE(text.find(needle), std::string::npos) << text;
+  }
+  EXPECT_NE(text.find("op=get count=1"), std::string::npos) << text;
+  EXPECT_NE(text.find("p99_us="), std::string::npos) << text;
+  EXPECT_NE(text.find("p999_us="), std::string::npos) << text;
+}
+
+// ----------------------------------------------------------------- EventRing
+
+TEST(EventRing, OrderedSnapshotAndWraparound) {
+  obs::EventRing ring(4);
+  for (uint64_t i = 0; i < 10; i++) {
+    ring.Emit(obs::EventType::kGcDelete, /*shard=*/0, /*a=*/i, /*b=*/0);
+  }
+  EXPECT_EQ(ring.TotalEmitted(), 10u);
+  const std::vector<obs::Event> events = ring.Snapshot();
+  // Only the newest `capacity` events survive, oldest first, seq monotonic.
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < events.size(); i++) {
+    EXPECT_EQ(events[i].seq, 6 + i);
+    EXPECT_EQ(events[i].a, 6 + i);
+  }
+  const std::string text = ring.ToString();
+  EXPECT_NE(text.find("event=gc_delete"), std::string::npos);
+  EXPECT_EQ(text.find("seq=5"), std::string::npos);  // Overwritten.
+}
+
+TEST(EventRing, JsonCarriesStallCauseByName) {
+  obs::Event e{};
+  e.micros = 12;
+  e.seq = 3;
+  e.type = obs::EventType::kStallEnter;
+  e.shard = 1;
+  e.a = obs::kCauseMemtable;
+  e.b = 1;
+  const std::string stall = obs::EventRing::ToJson(e);
+  EXPECT_NE(stall.find("\"event\": \"stall_enter\""), std::string::npos);
+  EXPECT_NE(stall.find("\"cause\": \"memtable\""), std::string::npos);
+
+  e.type = obs::EventType::kFlushEnd;
+  e.a = 4096;
+  const std::string flush = obs::EventRing::ToJson(e);
+  EXPECT_NE(flush.find("\"event\": \"flush_end\""), std::string::npos);
+  EXPECT_NE(flush.find("\"a\": 4096"), std::string::npos);
+}
+
+TEST(EventRing, TraceFileRoundTrip) {
+  const std::string path = "/tmp/talus_obs_trace_unit_" +
+                           std::to_string(::getpid()) + ".jsonl";
+  {
+    obs::EventRing ring(8);
+    ASSERT_TRUE(ring.OpenTraceFile(path));
+    ring.Emit(obs::EventType::kFlushBegin, 0, 100, 0);
+    ring.Emit(obs::EventType::kFlushEnd, 0, 200, 1234);
+    ring.CloseTraceFile();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"event\": \"flush_begin\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"event\": \"flush_end\""), std::string::npos);
+  // Each line is one self-contained JSON object.
+  for (const std::string& l : lines) {
+    EXPECT_EQ(l.front(), '{');
+    EXPECT_EQ(l.back(), '}');
+  }
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- DB property surface
+
+DbOptions SmallDbOptions(Env* env) {
+  DbOptions opts;
+  opts.env = env;
+  opts.path = "/db";
+  opts.write_buffer_size = 16 << 10;
+  opts.target_file_size = 16 << 10;
+  opts.block_size = 1024;
+  opts.policy = GrowthPolicyConfig::VTLevelFull(3);
+  return opts;
+}
+
+TEST(ObsProperty, TalusLatencyReportsPerOpPercentiles) {
+  auto env = NewMemEnv();
+  DbOptions opts = SmallDbOptions(env.get());
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(opts, &db).ok());
+  for (int i = 0; i < 500; i++) {
+    ASSERT_TRUE(
+        db->Put(workload::FormatKey(i, 16), std::string(64, 'v')).ok());
+  }
+  std::string value;
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(db->Get(workload::FormatKey(i, 16), &value).ok());
+  }
+
+  std::string latency;
+  ASSERT_TRUE(db->GetProperty("talus.latency", &latency));
+  EXPECT_NE(latency.find("op=put count=500"), std::string::npos) << latency;
+  EXPECT_NE(latency.find("op=get count=100"), std::string::npos) << latency;
+
+  const std::vector<Histogram> hists = db->GetLatencyHistograms();
+  ASSERT_EQ(hists.size(), static_cast<size_t>(obs::kNumOpTypes));
+  const Histogram& put = hists[static_cast<size_t>(obs::OpType::kPut)];
+  EXPECT_EQ(put.Count(), 500u);
+  EXPECT_GE(put.Percentile(99), put.Median());
+  EXPECT_GE(put.Percentile(99.9), put.Percentile(99));
+}
+
+TEST(ObsProperty, DisabledStatsMeansNoRecorderAndEmptyProperty) {
+  auto env = NewMemEnv();
+  DbOptions opts = SmallDbOptions(env.get());
+  opts.enable_latency_stats = false;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(opts, &db).ok());
+  ASSERT_TRUE(db->Put("k", "v").ok());
+
+  EXPECT_EQ(db->latency_recorder(), nullptr);
+  std::string latency = "sentinel";
+  ASSERT_TRUE(db->GetProperty("talus.latency", &latency));
+  EXPECT_TRUE(latency.empty());
+  // The histogram surface stays shaped (indexed by OpType) but empty.
+  const std::vector<Histogram> hists = db->GetLatencyHistograms();
+  ASSERT_EQ(hists.size(), static_cast<size_t>(obs::kNumOpTypes));
+  for (const Histogram& h : hists) EXPECT_EQ(h.Count(), 0u);
+}
+
+TEST(ObsProperty, TalusEventsAndPrometheusExposition) {
+  auto env = NewMemEnv();
+  DbOptions opts = SmallDbOptions(env.get());
+  // Background mode: memtable_switch events come from the active→immutable
+  // handoff, which the inline flush path doesn't take.
+  opts.execution_mode = ExecutionMode::kBackground;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(opts, &db).ok());
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(
+        db->Put(workload::FormatKey(i, 16), std::string(64, 'v')).ok());
+  }
+  ASSERT_TRUE(db->FlushMemTable().ok());
+
+  std::string events;
+  ASSERT_TRUE(db->GetProperty("talus.events", &events));
+  EXPECT_NE(events.find("event=memtable_switch"), std::string::npos)
+      << events;
+  EXPECT_NE(events.find("event=flush_begin"), std::string::npos) << events;
+  EXPECT_NE(events.find("event=flush_end"), std::string::npos) << events;
+  EXPECT_GT(db->event_ring()->TotalEmitted(), 0u);
+
+  const std::string prom = db->DumpPrometheus();
+  EXPECT_NE(prom.find("# TYPE talus_puts_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("talus_puts_total 2000"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("talus_flushes_total"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE talus_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("talus_latency_us_bucket{op=\"put\",le="),
+            std::string::npos);
+  EXPECT_NE(prom.find("talus_latency_us_count{op=\"put\"} 2000"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+}
+
+// ----------------------------------------- End-to-end stall reconstruction
+
+// The tentpole promise: when writes stall, the JSONL trace alone explains
+// why — stall_enter names the cause, the flush that retired the debt sits
+// between enter and exit, and stall_exit reports the stalled time.
+TEST(ObsEndToEnd, WriteStallReconstructibleFromTrace) {
+  const std::string trace_path = "/tmp/talus_obs_trace_e2e_" +
+                                 std::to_string(::getpid()) + ".jsonl";
+  auto env = NewMemEnv();
+  DbOptions opts;
+  opts.env = env.get();
+  opts.path = "/db";
+  // Tiny buffer + a single allowed immutable memtable: back-to-back fills
+  // outrun the one background thread and hit the stop regime quickly.
+  opts.write_buffer_size = 4 << 10;
+  opts.target_file_size = 16 << 10;
+  opts.block_size = 1024;
+  opts.policy = GrowthPolicyConfig::VTLevelFull(3);
+  opts.execution_mode = ExecutionMode::kBackground;
+  opts.num_background_threads = 1;
+  opts.max_immutable_memtables = 1;
+  opts.trace_file_path = trace_path;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(opts, &db).ok());
+
+  const std::string value(512, 's');
+  bool stalled = false;
+  for (int i = 0; i < 50000 && !stalled; i++) {
+    ASSERT_TRUE(db->Put(workload::FormatKey(i % 4000, 16), value).ok());
+    if (i % 64 == 0) stalled = db->stats().stall_stops > 0;
+  }
+  ASSERT_TRUE(stalled) << "no write stall after 50000 puts";
+  const EngineStats stats = db->stats();
+  // The regime/cause split accounts for every stop we hit.
+  EXPECT_EQ(stats.stall_stops_memtable + stats.stall_stops_l0,
+            stats.stall_stops);
+  EXPECT_GT(stats.stall_stop_micros, 0u);
+  db.reset();  // Quiesce and flush the trace.
+
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good());
+  size_t enter_line = std::string::npos, exit_line = std::string::npos;
+  size_t flush_between = 0;
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  for (size_t i = 0; i < lines.size(); i++) {
+    if (enter_line == std::string::npos &&
+        lines[i].find("\"event\": \"stall_enter\"") != std::string::npos) {
+      // A stop for memtable debt, named as such.
+      if (lines[i].find("\"cause\": \"memtable\"") != std::string::npos &&
+          lines[i].find("\"b\": 1") != std::string::npos) {
+        enter_line = i;
+      }
+    } else if (enter_line != std::string::npos &&
+               exit_line == std::string::npos) {
+      if (lines[i].find("\"event\": \"flush_") != std::string::npos) {
+        flush_between++;
+      }
+      if (lines[i].find("\"event\": \"stall_exit\"") != std::string::npos) {
+        exit_line = i;
+      }
+    }
+  }
+  ASSERT_NE(enter_line, std::string::npos)
+      << "no memtable stop in the trace";
+  ASSERT_NE(exit_line, std::string::npos) << "stall never exited";
+  // The flush that retired the memtable debt shows up inside the stall
+  // window (begin or end, depending on where the flush was when we
+  // entered), so the trace explains the stall end to end.
+  EXPECT_GT(flush_between, 0u);
+  std::remove(trace_path.c_str());
+}
+
+// --------------------------------------------------------- Sharded frontend
+
+TEST(ObsSharded, SharedRingAndMergedLatency) {
+  auto env = NewMemEnv();
+  DbOptions opts;
+  opts.env = env.get();
+  opts.path = "/db";
+  opts.write_buffer_size = 16 << 10;
+  opts.target_file_size = 16 << 10;
+  opts.block_size = 1024;
+  opts.policy = GrowthPolicyConfig::VTLevelFull(3);
+  opts.execution_mode = ExecutionMode::kBackground;
+  opts.shard_count = 2;
+  opts.shard_split_points = {workload::FormatKey(500, 16)};
+  std::unique_ptr<shard::ShardedDB> db;
+  ASSERT_TRUE(shard::ShardedDB::Open(opts, &db).ok());
+
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_TRUE(
+        db->Put(workload::FormatKey(i, 16), std::string(64, 'v')).ok());
+  }
+  ASSERT_TRUE(db->FlushMemTable().ok());
+
+  // Both shards emit into ONE ring (cross-shard causality in one stream):
+  // the shard field distinguishes them, and the shards' own rings are the
+  // shared one.
+  ASSERT_EQ(db->shard(0)->event_ring(), db->event_ring());
+  ASSERT_EQ(db->shard(1)->event_ring(), db->event_ring());
+  std::string events;
+  ASSERT_TRUE(db->GetProperty("talus.events", &events));
+  EXPECT_NE(events.find("shard=0"), std::string::npos) << events;
+  EXPECT_NE(events.find("shard=1"), std::string::npos) << events;
+
+  // Fleet-wide latency merges the per-shard histograms exactly: the put
+  // count equals the total across shards.
+  const std::vector<Histogram> merged = db->GetLatencyHistograms();
+  ASSERT_EQ(merged.size(), static_cast<size_t>(obs::kNumOpTypes));
+  const size_t put_idx = static_cast<size_t>(obs::OpType::kPut);
+  uint64_t per_shard_total = 0;
+  for (size_t i = 0; i < db->shard_count(); i++) {
+    per_shard_total +=
+        db->shard(i)->GetLatencyHistograms()[put_idx].Count();
+  }
+  EXPECT_EQ(merged[put_idx].Count(), per_shard_total);
+  EXPECT_EQ(merged[put_idx].Count(), 1000u);
+
+  std::string latency;
+  ASSERT_TRUE(db->GetProperty("talus.latency", &latency));
+  EXPECT_NE(latency.find("op=put count=1000"), std::string::npos)
+      << latency;
+  const std::string prom = db->DumpPrometheus();
+  EXPECT_NE(prom.find("talus_puts_total 1000"), std::string::npos) << prom;
+}
+
+}  // namespace
+}  // namespace talus
