@@ -19,10 +19,12 @@
 // same baseline that gates throughput also gates tail latency.
 //
 // --trace PATH streams the engine's event ring (flushes, compactions,
-// stalls) to PATH as JSONL while the sweep runs. --overhead replaces the
-// sweep with an A/B of enable_latency_stats on/off at 8 writers and reports
-// the observer's throughput cost (DESIGN.md §6.5 documents the measured
-// delta; target <3%).
+// stalls) to PATH as JSONL while the sweep runs; --stats-jsonl PREFIX
+// additionally runs the obs::StatsSnapshotter during each run, writing the
+// amp/latency/drift time series to PREFIX.<run>.jsonl. --overhead replaces
+// the sweep with two A/Bs at 8 threads: enable_latency_stats on/off on the
+// write path (DESIGN.md §6.5, target <3%) and enable_amp_stats on/off on
+// the read path, where the per-lookup probe fold lives (DESIGN.md §6.9).
 #include <unistd.h>
 
 #include <chrono>
@@ -47,6 +49,7 @@ struct BenchConfig {
   bool overhead = false;
   std::string json_path;
   std::string trace_path;
+  std::string stats_jsonl_prefix;
 };
 
 struct RunResult {
@@ -58,6 +61,10 @@ struct RunResult {
   double lat_p50_us = 0;
   double lat_p99_us = 0;
   double lat_p999_us = 0;
+  // Cumulative amplification (talus.amp) at the end of the run.
+  double write_amp = 0;
+  double read_amp = 0;
+  double space_amp = 0;
 };
 
 struct Variant {
@@ -116,6 +123,13 @@ RunResult RunOne(const BenchConfig& cfg, const Variant& variant, int writers,
     opts.trace_file_path =
         cfg.trace_path + "." + std::to_string(run_index) + ".jsonl";
   }
+  if (!cfg.stats_jsonl_prefix.empty()) {
+    // Same per-run naming as --trace: the snapshotter's file is truncated
+    // at Open.
+    opts.stats_snapshot_interval_ms = 100;
+    opts.stats_snapshot_path =
+        cfg.stats_jsonl_prefix + "." + std::to_string(run_index) + ".jsonl";
+  }
   if (!variant.grouped) {
     // A 1-byte budget always keeps just the leader: every batch pays its
     // own WAL append and sync, like the pre-group-commit engine.
@@ -159,10 +173,77 @@ RunResult RunOne(const BenchConfig& cfg, const Variant& variant, int writers,
     r.lat_p99_us = put.Percentile(99);
     r.lat_p999_us = put.Percentile(99.9);
   }
+  const obs::AmpSnapshot amp = db->GetAmpSnapshot();
+  r.write_amp = amp.WriteAmp();
+  r.read_amp = amp.ReadAmp();
+  r.space_amp = amp.SpaceAmp();
   const std::string path = opts.path;
   db.reset();
   if (!cfg.use_mem_env) CleanupDir(env, path);
   return r;
+}
+
+// Read-path arm of --overhead: load a fixed key space once, then time
+// concurrent point lookups with amp accounting on or off. The write-only
+// sweep cannot see the probe fold (it only runs on Get), so this is where
+// the enable_amp_stats cost is measured.
+double ReadRunOne(const BenchConfig& cfg, int readers, int run_index,
+                  bool amp_stats) {
+  std::unique_ptr<Env> owned_env;
+  Env* env;
+  if (cfg.use_mem_env) {
+    owned_env = NewMemEnv();
+    env = owned_env.get();
+  } else {
+    env = Env::Default();
+  }
+
+  DbOptions opts;
+  opts.env = env;
+  opts.path = RunPath(cfg, 100 + run_index);
+  opts.write_buffer_size = 256 << 10;
+  opts.target_file_size = 256 << 10;
+  opts.block_cache_bytes = 4 << 20;
+  opts.policy = GrowthPolicyConfig::VTLevelFull(3);
+  opts.enable_latency_stats = false;  // Isolate the probe-fold cost.
+  opts.enable_amp_stats = amp_stats;
+
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(opts, &db);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return 0;
+  }
+
+  const uint64_t key_space = 50000;
+  const std::string value(100, 'g');
+  for (uint64_t k = 0; k < key_space; k++) {
+    db->Put(workload::FormatKey(k, 16), value);
+  }
+  db->FlushMemTable();
+
+  const uint64_t ops = OpsPerThread(cfg);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int w = 0; w < readers; w++) {
+    threads.emplace_back([&db, w, ops, key_space] {
+      Random rnd(9300 + w);
+      std::string got;
+      for (uint64_t i = 0; i < ops; i++) {
+        db->Get(workload::FormatKey(rnd.Uniform(key_space), 16), &got);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto end = std::chrono::steady_clock::now();
+  const double wall =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+          .count();
+
+  const std::string path = opts.path;
+  db.reset();
+  if (!cfg.use_mem_env) CleanupDir(env, path);
+  return static_cast<double>(ops) * readers / wall / 1000;
 }
 
 }  // namespace
@@ -181,12 +262,14 @@ int main(int argc, char** argv) {
       cfg.json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       cfg.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--stats-jsonl") == 0 && i + 1 < argc) {
+      cfg.stats_jsonl_prefix = argv[++i];
     } else if (std::strcmp(argv[i], "--overhead") == 0) {
       cfg.overhead = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--mem] [--json PATH] [--trace PATH] "
-                   "[--overhead]\n",
+                   "[--stats-jsonl PREFIX] [--overhead]\n",
                    argv[0]);
       return 1;
     }
@@ -220,6 +303,30 @@ int main(int argc, char** argv) {
     std::printf("best: stats_on %.1f kops/s, stats_off %.1f kops/s, "
                 "observer overhead %.2f%%\n",
                 best_on, best_off, overhead_pct);
+
+    // Read-path arm: same alternated best-of-N discipline, amp accounting
+    // on vs off, 8 concurrent readers over a loaded key space.
+    std::printf("# Probe-accounting ablation: %llu gets/thread, 8 readers, "
+                "%s env, best of %d\n",
+                static_cast<unsigned long long>(OpsPerThread(cfg)),
+                cfg.use_mem_env ? "mem" : "posix", reps);
+    double best_amp_on = 0, best_amp_off = 0;
+    for (int rep = 0; rep < reps; rep++) {
+      const double on = ReadRunOne(cfg, writers, 2 * rep, true);
+      const double off = ReadRunOne(cfg, writers, 2 * rep + 1, false);
+      std::printf("rep %d: amp_on %9.1f kops/s   amp_off %9.1f kops/s\n",
+                  rep, on, off);
+      best_amp_on = std::max(best_amp_on, on);
+      best_amp_off = std::max(best_amp_off, off);
+    }
+    const double amp_overhead_pct =
+        best_amp_off > 0
+            ? (best_amp_off - best_amp_on) / best_amp_off * 100
+            : 0;
+    std::printf("best: amp_on %.1f kops/s, amp_off %.1f kops/s, "
+                "probe-accounting overhead %.2f%%\n",
+                best_amp_on, best_amp_off, amp_overhead_pct);
+
     if (!cfg.json_path.empty()) {
       std::FILE* f = std::fopen(cfg.json_path.c_str(), "w");
       if (f == nullptr) {
@@ -229,8 +336,11 @@ int main(int argc, char** argv) {
       std::fprintf(f,
                    "{\"bench\":\"ablation_observer_overhead\","
                    "\"writers\":%d,\"kops_stats_on\":%.1f,"
-                   "\"kops_stats_off\":%.1f,\"overhead_pct\":%.2f}\n",
-                   writers, best_on, best_off, overhead_pct);
+                   "\"kops_stats_off\":%.1f,\"overhead_pct\":%.2f,"
+                   "\"kops_amp_on\":%.1f,\"kops_amp_off\":%.1f,"
+                   "\"amp_overhead_pct\":%.2f}\n",
+                   writers, best_on, best_off, overhead_pct, best_amp_on,
+                   best_amp_off, amp_overhead_pct);
       std::fclose(f);
       std::printf("wrote %s\n", cfg.json_path.c_str());
     }
@@ -275,7 +385,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(
                       r.gc.write_queue_wait_micros),
                   r.lat_p99_us, r.lat_p999_us);
-      char row[640];
+      char row[768];
       std::snprintf(
           row, sizeof(row),
           "%s{\"mode\":\"%s\",\"wal_sync\":\"%s\",\"writers\":%d,"
@@ -284,7 +394,8 @@ int main(int argc, char** argv) {
           "\"group_size_p50\":%.1f,\"group_size_max\":%.0f,"
           "\"wal_syncs\":%llu,\"write_queue_wait_micros\":%llu,"
           "\"stall_ms\":%llu,\"lat_p50_us\":%.1f,\"lat_p99_us\":%.1f,"
-          "\"lat_p999_us\":%.1f}",
+          "\"lat_p999_us\":%.1f,\"write_amp\":%.3f,\"read_amp\":%.3f,"
+          "\"space_amp\":%.3f}",
           first_row ? "" : ",\n", variant.name, variant.sync_name, writers,
           r.kops_per_sec, r.wall_seconds,
           static_cast<unsigned long long>(r.gc.group_commits),
@@ -292,7 +403,7 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(r.gc.wal_syncs),
           static_cast<unsigned long long>(r.gc.write_queue_wait_micros),
           static_cast<unsigned long long>(r.stall_ms), r.lat_p50_us,
-          r.lat_p99_us, r.lat_p999_us);
+          r.lat_p99_us, r.lat_p999_us, r.write_amp, r.read_amp, r.space_amp);
       json += row;
       first_row = false;
     }

@@ -58,6 +58,10 @@ struct RunResult {
   double lat_p50_us = 0;
   double lat_p99_us = 0;
   double lat_p999_us = 0;
+  // Fleet-wide amplification (merged per-shard talus.amp snapshots).
+  double write_amp = 0;
+  double read_amp = 0;
+  double space_amp = 0;
 };
 
 uint64_t OpsPerThread(const BenchConfig& cfg) {
@@ -154,6 +158,10 @@ RunResult RunOne(const BenchConfig& cfg, const PolicyVariant& policy,
     r.lat_p99_us = put.Percentile(99);
     r.lat_p999_us = put.Percentile(99.9);
   }
+  const obs::AmpSnapshot amp = db->AggregatedAmpSnapshot();
+  r.write_amp = amp.WriteAmp();
+  r.read_amp = amp.ReadAmp();
+  r.space_amp = amp.SpaceAmp();
   const std::string path = opts.path;
   db.reset();
   if (!cfg.use_mem_env) CleanupTree(env, path);
@@ -228,7 +236,8 @@ int main(int argc, char** argv) {
             "\"kops_per_sec\":%.1f,\"wall_seconds\":%.3f,"
             "\"min_shard_puts\":%llu,\"max_shard_puts\":%llu,"
             "\"stall_ms\":%llu,\"bg_flushes\":%llu,\"bg_compactions\":%llu,"
-            "\"lat_p50_us\":%.1f,\"lat_p99_us\":%.1f,\"lat_p999_us\":%.1f}",
+            "\"lat_p50_us\":%.1f,\"lat_p99_us\":%.1f,\"lat_p999_us\":%.1f,"
+            "\"write_amp\":%.3f,\"read_amp\":%.3f,\"space_amp\":%.3f}",
             first_row ? "" : ",\n", policy.name, shards, writers,
             r.kops_per_sec, r.wall_seconds,
             static_cast<unsigned long long>(r.min_shard_puts),
@@ -236,7 +245,8 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(r.stall_ms),
             static_cast<unsigned long long>(r.bg_flushes),
             static_cast<unsigned long long>(r.bg_compactions),
-            r.lat_p50_us, r.lat_p99_us, r.lat_p999_us);
+            r.lat_p50_us, r.lat_p99_us, r.lat_p999_us, r.write_amp,
+            r.read_amp, r.space_amp);
         json += row;
         first_row = false;
       }

@@ -153,6 +153,28 @@ def main():
               f"base={base_value:10.3f} fresh={fresh_value:10.3f} "
               f"delta={delta:+7.1%}")
 
+    # Informational amplification report: write/read/space amp per config
+    # when both sides carry the keys. Amp is a property of the workload and
+    # the growth policy, not the machine, so drifts here are meaningful —
+    # but they are never gated (older baselines predate the keys, and an
+    # intentional policy change legitimately moves them).
+    amp_keys = ("write_amp", "read_amp", "space_amp")
+    amp_lines = []
+    for base_row in base_rows:
+        fresh_row = merged.get(identity(base_row))
+        if fresh_row is None:
+            continue
+        pairs = [(k, base_row[k], fresh_row[k]) for k in amp_keys
+                 if k in base_row and k in fresh_row]
+        if not pairs:
+            continue
+        cells = "  ".join(f"{k}={b:.3f}->{f:.3f}" for k, b, f in pairs)
+        amp_lines.append(f"  {fmt_identity(identity(base_row)):55s} {cells}")
+    if amp_lines:
+        print("\n# amplification (informational, not gated)")
+        for line in amp_lines:
+            print(line)
+
     if missing:
         print(f"\nFAIL: {len(missing)} baseline config(s) missing from the "
               f"fresh run:")

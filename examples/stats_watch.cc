@@ -1,0 +1,109 @@
+// stats_watch: tail an obs::StatsSnapshotter JSONL time series and print a
+// live amplification / latency table, one row per sample.
+//
+//   stats_watch [--once] [--interval-ms N] FILE.jsonl
+//
+// --once prints every sample currently in the file and exits (CI smoke
+// mode; exits nonzero when the file holds no parsable samples). Without it
+// the tool keeps the file open and follows appended samples like `tail -f`,
+// which is how a terminal next to a running bench watches write-amp climb
+// and drift events fire.
+//
+// The parser is deliberately tiny: it extracts the handful of keys the
+// table shows with string scans instead of a JSON library, and skips any
+// line it cannot parse (a torn final line while the writer is mid-append is
+// normal).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace {
+
+// Returns the number after `"key": ` in `line`, or `fallback`.
+double NumField(const std::string& line, const char* key, double fallback) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return fallback;
+  return std::strtod(line.c_str() + pos + needle.size(), nullptr);
+}
+
+bool PrintSample(const std::string& line, uint64_t index, uint64_t first_t) {
+  const double t_us = NumField(line, "t_us", -1);
+  if (t_us < 0) return false;  // Torn or foreign line.
+  const double rel_s = first_t == 0 ? 0 : (t_us - first_t) / 1e6;
+  std::printf(
+      "%6llu %8.1fs  w_amp %6.3f  r_amp %6.3f  s_amp %6.3f  blk/get %6.3f  "
+      "lookups %9.0f  put_p99 %7.1fus  get_p99 %7.1fus  drift %6.3f%s\n",
+      static_cast<unsigned long long>(index), rel_s,
+      NumField(line, "write_amp", 0), NumField(line, "read_amp", 0),
+      NumField(line, "space_amp", 0), NumField(line, "blocks_per_lookup", 0),
+      NumField(line, "lookups", 0), NumField(line, "put_p99_us", 0),
+      NumField(line, "get_p99_us", 0), NumField(line, "drift_score", 0),
+      NumField(line, "drifted", 0) > 0 ? "  [DRIFT]" : "");
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool once = false;
+  long interval_ms = 500;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else if (std::strcmp(argv[i], "--interval-ms") == 0 && i + 1 < argc) {
+      interval_ms = std::strtol(argv[++i], nullptr, 10);
+    } else if (argv[i][0] != '-' && path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--once] [--interval-ms N] FILE.jsonl\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: %s [--once] [--interval-ms N] FILE.jsonl\n",
+                 argv[0]);
+    return 1;
+  }
+
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+
+  uint64_t printed = 0;
+  uint64_t first_t = 0;
+  std::string line;
+  char buf[4096];
+  for (;;) {
+    // fgets returns partial lines too; accumulate until '\n' so a sample
+    // the writer is mid-append never parses as garbage.
+    while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+      line += buf;
+      if (line.empty() || line.back() != '\n') continue;
+      if (first_t == 0) {
+        const double t = NumField(line, "t_us", 0);
+        if (t > 0) first_t = static_cast<uint64_t>(t);
+      }
+      if (PrintSample(line, printed, first_t)) printed++;
+      line.clear();
+    }
+    if (once) break;
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    std::clearerr(f);  // EOF is transient while the writer appends.
+  }
+  std::fclose(f);
+
+  if (once && printed == 0) {
+    std::fprintf(stderr, "%s: no parsable samples\n", path);
+    return 1;
+  }
+  return 0;
+}

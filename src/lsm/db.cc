@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cinttypes>
+#include <cmath>
 #include <set>
 #include <thread>
 
@@ -49,6 +51,29 @@ void PublishGroupSequences(shard::SequenceAllocator* alloc,
       alloc->Publish(wr->base_seq, wr->batch->Count());
     }
   }
+}
+
+// The merge discipline the drift monitor's analytical model should price
+// the active policy with: every scheme reduces to leveled or tiered merge
+// behavior for cost purposes (the paper's W/R/Q formulas, DESIGN.md §6.7).
+tuning::HorizontalMerge MergeForDriftModel(const GrowthPolicyConfig& config) {
+  switch (config.scheme) {
+    case GrowthScheme::kVertical:
+      return config.merge == MergePolicy::kTiering
+                 ? tuning::HorizontalMerge::kTiering
+                 : tuning::HorizontalMerge::kLeveling;
+    case GrowthScheme::kHorizontalTiering:
+      return tuning::HorizontalMerge::kTiering;
+    case GrowthScheme::kVertiorizon:
+      return config.vrn_fixed_merge == MergePolicy::kTiering
+                 ? tuning::HorizontalMerge::kTiering
+                 : tuning::HorizontalMerge::kLeveling;
+    case GrowthScheme::kHorizontalLeveling:
+    case GrowthScheme::kLazyLeveling:
+    case GrowthScheme::kUniversal:
+      return tuning::HorizontalMerge::kLeveling;
+  }
+  return tuning::HorizontalMerge::kLeveling;
 }
 
 // Applies a batch to a memtable with sequences base, base+1, ...
@@ -172,6 +197,18 @@ DB::DB(const DbOptions& options) : options_(options) {
   if (options_.enable_latency_stats) {
     latency_ = std::make_unique<obs::LatencyRecorder>();
   }
+  if (options_.enable_amp_stats) {
+    amp_ = std::make_unique<obs::AmpTracker>();
+    obs::ModelDriftMonitor::Params drift_params;
+    drift_params.merge = MergeForDriftModel(options_.policy);
+    drift_params.size_ratio = options_.policy.size_ratio;
+    // Optimal-k Bloom FPR for the configured bits/key: f = 2^(-bits·ln 2).
+    drift_params.bloom_fpr =
+        std::pow(2.0, -options_.bloom_bits_per_key * 0.6931471805599453);
+    drift_params.drift_threshold = options_.model_drift_threshold;
+    drift_params.mix_shift_threshold = options_.model_mix_shift_threshold;
+    drift_ = std::make_unique<obs::ModelDriftMonitor>(drift_params);
+  }
   if (options_.event_ring != nullptr) {
     // Borrowed ring (sharded store): its owner decides about tracing.
     ring_ = options_.event_ring;
@@ -198,6 +235,9 @@ compaction::OutputShape DB::OutputShapeForDb() {
 }
 
 DB::~DB() {
+  // The snapshotter samples live engine state (possibly on the shared
+  // pool); quiesce it before anything else is torn down.
+  if (snapshotter_ != nullptr) snapshotter_->Stop();
   // Drain accepted background jobs, then the pool's task queue, before any
   // member is destroyed. Both calls are idempotent. A borrowed pool (shared
   // across shards) is the sharded store's to shut down, not ours.
@@ -327,6 +367,17 @@ Status DB::Open(const DbOptions& options, std::unique_ptr<DB>* dbptr) {
     // Attach the pool so background compactions fan their subcompactions
     // out (bounded by DbOptions::max_subcompactions).
     db->compaction_exec_->SetPool(db->pool_);
+  }
+
+  if (options.stats_snapshot_interval_ms > 0) {
+    obs::StatsSnapshotter::Options snap_opts;
+    snap_opts.interval_ms = options.stats_snapshot_interval_ms;
+    snap_opts.ring_capacity = options.stats_snapshot_ring;
+    snap_opts.jsonl_path = options.stats_snapshot_path;
+    DB* raw = db.get();
+    db->snapshotter_ = std::make_unique<obs::StatsSnapshotter>(
+        db->pool_, snap_opts, [raw] { return raw->BuildStatsSample(); });
+    db->snapshotter_->Start();
   }
 
   *dbptr = std::move(db);
@@ -643,6 +694,7 @@ Status DB::CommitWriter(write::Writer* writer) {
     stats_.puts += wr->batch->Puts();
     stats_.deletes += wr->batch->Deletes();
     stats_.user_payload_written += wr->batch->PayloadBytes();
+    if (amp_ != nullptr) amp_->RecordUserPayload(wr->batch->PayloadBytes());
     mix_tracker_.RecordUpdate();
     options_.env->io_stats()->RecordCpu(options_.cpu_cost_per_write);
   }
@@ -973,6 +1025,10 @@ Status DB::FlushMemToL0Locked(MemTable* mem,
     if (merged) {
       stats_.flushes++;
       flush_count_++;
+      if (amp_ != nullptr) {
+        amp_->RecordFlushWrite(0,
+                               stats_.flush_bytes_written - written_before);
+      }
       const uint64_t dur = NowMicros() - flush_t0;
       ring_->Emit(obs::EventType::kFlushEnd, shard,
                   stats_.flush_bytes_written - written_before, dur);
@@ -1066,6 +1122,9 @@ Status DB::FlushMemToL0Locked(MemTable* mem,
   // pre-pipeline engine did) inflated the per-level compaction accounting.
   stats_.flush_bytes_read += bytes_read;
   flush_count_++;
+  if (amp_ != nullptr) {
+    amp_->RecordFlushWrite(0, stats_.flush_bytes_written - written_before);
+  }
   const uint64_t dur = NowMicros() - flush_t0;
   ring_->Emit(obs::EventType::kFlushEnd, shard,
               stats_.flush_bytes_written - written_before, dur);
@@ -1260,6 +1319,10 @@ Status DB::RunCompactionRequestLocked(const CompactionRequest& req,
   ls.compactions++;
   ls.bytes_read += result.bytes_read;
   ls.bytes_written += result.bytes_written;
+  if (amp_ != nullptr) {
+    amp_->RecordCompactionWrite(req.output_level, result.bytes_read,
+                                result.bytes_written);
+  }
 
   // Persist the new structure before queueing the inputs for deletion
   // (crash safety); the caller runs CollectObsoleteLocked once the merge
@@ -1437,6 +1500,38 @@ bool DB::GetProperty(const std::string& property, std::string* value) {
     *value = ring_->ToString();
     return true;
   }
+  if (property == "talus.amp") {
+    // Empty (but recognized) when amp accounting is disabled.
+    if (amp_ != nullptr) {
+      obs::AmpSnapshot cumulative = amp_->Snapshot();
+      obs::AmpSnapshot window = amp_->WindowSnapshot();
+      FillLiveSpaceLocked(&cumulative);
+      FillLiveSpaceLocked(&window);
+      lock.unlock();
+      *value = "cumulative:\n" + cumulative.ToString() + "window:\n" +
+               window.ToString();
+    }
+    return true;
+  }
+  if (property == "talus.model") {
+    if (amp_ != nullptr) {
+      lock.unlock();  // EvaluateModelDrift manages its own locking.
+      *value = EvaluateModelDrift().ToString();
+    }
+    return true;
+  }
+  if (property == "talus.snapshots") {
+    if (snapshotter_ != nullptr) {
+      lock.unlock();  // The snapshotter has its own lock.
+      std::string out;
+      for (const std::string& line : snapshotter_->RingContents()) {
+        out += line;
+        out += '\n';
+      }
+      *value = out;
+    }
+    return true;
+  }
   return false;
 }
 
@@ -1606,6 +1701,7 @@ Status DB::Get(const Slice& key, std::string* value,
                                     std::memory_order_relaxed);
   stats_.block_cache_hits.fetch_add(probe.cache_hits,
                                     std::memory_order_relaxed);
+  if (amp_ != nullptr) amp_->RecordLookup(probe.amp);
   mix_tracker_.RecordPointLookup();
   return result;
 }
@@ -1613,15 +1709,23 @@ Status DB::Get(const Slice& key, std::string* value,
 Status DB::GetFromView(const read::ReadView& view, const LookupKey& lkey,
                        std::string* value, ReadProbeStats* probe) {
   Status s;
-  if (view.mem->Get(lkey, value, &s)) return s;
+  if (view.mem->Get(lkey, value, &s)) {
+    probe->amp.hit_level = obs::LookupProbe::kHitMemtable;
+    return s;
+  }
   // Immutable memtables, newest first.
   for (const auto& mem : view.imm) {
-    if (mem->Get(lkey, value, &s)) return s;
+    if (mem->Get(lkey, value, &s)) {
+      probe->amp.hit_level = obs::LookupProbe::kHitMemtable;
+      return s;
+    }
   }
 
   const Slice key = lkey.user_key();
-  for (const auto& level : view.version->levels) {
-    for (const auto& run : level.runs) {
+  const auto& levels = view.version->levels;
+  for (size_t level_idx = 0; level_idx < levels.size(); level_idx++) {
+    const int slot = obs::AmpSlot(static_cast<int>(level_idx));
+    for (const auto& run : levels[level_idx].runs) {
       // Locate the single file that may contain the key.
       const auto& files = run.files;
       size_t left = 0, right = files.size();
@@ -1647,7 +1751,20 @@ Status DB::GetFromView(const read::ReadView& view, const LookupKey& lkey,
       if (gs.filter_negative) probe->filter_negatives++;
       if (gs.block_read) probe->block_reads++;
       if (gs.cache_hit) probe->cache_hits++;
-      if (decided) return s;
+      // Per-level attribution for the amp tracker. A probe whose filter
+      // passed but that did not decide the key is a Bloom false positive —
+      // exactly the per-lookup cost the model's R term prices.
+      probe->amp.files_probed[slot]++;
+      if (gs.filter_negative) probe->amp.filter_negatives[slot]++;
+      if (gs.block_read) probe->amp.block_reads[slot]++;
+      if (!decided && !gs.filter_negative) {
+        probe->amp.bloom_false_positives[slot]++;
+      }
+      if (slot > probe->amp.deepest_slot) probe->amp.deepest_slot = slot;
+      if (decided) {
+        probe->amp.hit_level = static_cast<int>(level_idx);
+        return s;
+      }
     }
   }
   return Status::NotFound(Slice());
@@ -1743,13 +1860,131 @@ std::vector<Histogram> DB::GetLatencyHistograms() const {
 std::string DB::DumpPrometheus() const {
   EngineStats stats;
   uint64_t data_bytes = 0;
+  obs::AmpSnapshot amp;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     stats = stats_;
     data_bytes = ApproximateDataBytesLocked();
+    if (amp_ != nullptr) {
+      amp = amp_->Snapshot();
+      FillLiveSpaceLocked(&amp);
+    }
   }
   return metrics::DumpPrometheusText(stats, ring_->TotalEmitted(), data_bytes,
-                                     GetLatencyHistograms());
+                                     GetLatencyHistograms(),
+                                     amp_ != nullptr ? &amp : nullptr);
+}
+
+void DB::FillLiveSpaceLocked(obs::AmpSnapshot* snap) const {
+  const auto& levels = current_->levels;
+  for (size_t i = 0; i < levels.size(); i++) {
+    const int slot = obs::AmpSlot(static_cast<int>(i));
+    for (const auto& run : levels[i].runs) {
+      for (const auto& f : run.files) {
+        snap->levels[slot].live_sst_bytes += f->file_size;
+        snap->levels[slot].live_payload_bytes += f->payload_bytes;
+        if (slot + 1 > snap->num_levels) snap->num_levels = slot + 1;
+      }
+    }
+  }
+}
+
+obs::AmpSnapshot DB::GetAmpSnapshot() const {
+  obs::AmpSnapshot snap;
+  if (amp_ == nullptr) return snap;
+  snap = amp_->Snapshot();
+  std::unique_lock<std::mutex> lock(mutex_);
+  FillLiveSpaceLocked(&snap);
+  return snap;
+}
+
+obs::DriftSample DB::EvaluateModelDrift() {
+  obs::DriftSample sample;
+  if (amp_ == nullptr || drift_ == nullptr) return sample;
+
+  const obs::AmpSnapshot window = amp_->WindowSnapshot();
+  const WorkloadMixTracker::RawCounts window_ops =
+      mix_tracker_.WindowRawCounts();
+  uint64_t data_bytes = 0;
+  uint64_t ops = 0;
+  uint64_t payload = 0;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    data_bytes = ApproximateDataBytesLocked();
+    ops = stats_.puts + stats_.deletes;
+    payload = stats_.user_payload_written;
+  }
+
+  obs::ModelDriftMonitor::Measured m;
+  m.mix = mix_tracker_.WindowEstimate();
+  m.window_lookups = window.lookups;
+  m.window_updates = window_ops.updates;
+  if (window.lookups > 0) {
+    m.found_fraction =
+        static_cast<double>(window.lookups - window.misses) /
+        static_cast<double>(window.lookups);
+  }
+  m.blocks_per_lookup = window.BlocksPerLookup();
+  m.write_amp = window.WriteAmp();
+  // P: entries per data block, from the observed mean entry size (the
+  // model prices I/O in pages of P entries).
+  const double avg_entry =
+      ops > 0 ? static_cast<double>(payload) / static_cast<double>(ops)
+              : 64.0;
+  m.page_entries =
+      std::max(1.0, static_cast<double>(options_.block_size) /
+                        std::max(1.0, avg_entry));
+  m.data_buffers = std::max<uint64_t>(
+      1, data_bytes / std::max<uint64_t>(1, options_.write_buffer_size));
+
+  sample = drift_->Evaluate(m);
+
+  const uint16_t shard = static_cast<uint16_t>(options_.shard_index);
+  ring_->Emit(obs::EventType::kAmpSample, shard,
+              static_cast<uint64_t>(m.write_amp * 1000.0),
+              static_cast<uint64_t>(m.blocks_per_lookup * 1000.0));
+  if (sample.drifted) {
+    ring_->Emit(obs::EventType::kModelDrift, shard,
+                static_cast<uint64_t>(sample.drift_score * 1000.0),
+                static_cast<uint64_t>(sample.mix_shift * 1000.0));
+  }
+
+  // The evaluated window is consumed; the next evaluation sees only newer
+  // traffic.
+  amp_->AdvanceWindow();
+  mix_tracker_.AdvanceWindow();
+  return sample;
+}
+
+std::string DB::BuildStatsSample() {
+  const obs::AmpSnapshot amp = GetAmpSnapshot();
+  const obs::DriftSample drift = EvaluateModelDrift();
+  uint64_t data_bytes = ApproximateDataBytes();
+
+  double put_p99 = 0;
+  double get_p99 = 0;
+  if (latency_ != nullptr) {
+    put_p99 = latency_->SnapshotOp(obs::OpType::kPut).Percentile(99.0);
+    get_p99 = latency_->SnapshotOp(obs::OpType::kGet).Percentile(99.0);
+  }
+
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"t_us\": %llu, \"shard\": %zu, \"write_amp\": %.4f, "
+      "\"read_amp\": %.4f, \"space_amp\": %.4f, \"blocks_per_lookup\": %.4f, "
+      "\"lookups\": %llu, \"user_payload\": %llu, \"data_bytes\": %llu, "
+      "\"put_p99_us\": %.1f, \"get_p99_us\": %.1f, \"mix_w\": %.3f, "
+      "\"mix_r\": %.3f, \"predicted_point\": %.4f, \"measured_point\": %.4f, "
+      "\"drift_score\": %.3f, \"drifted\": %d}",
+      static_cast<unsigned long long>(NowMicros()), options_.shard_index,
+      amp.WriteAmp(), amp.ReadAmp(), amp.SpaceAmp(), amp.BlocksPerLookup(),
+      static_cast<unsigned long long>(amp.lookups),
+      static_cast<unsigned long long>(amp.user_payload_bytes),
+      static_cast<unsigned long long>(data_bytes), put_p99, get_p99,
+      drift.mix.updates, drift.mix.point_lookups, drift.predicted_point,
+      drift.measured_point, drift.drift_score, drift.drifted ? 1 : 0);
+  return buf;
 }
 
 }  // namespace talus

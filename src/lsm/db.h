@@ -52,8 +52,11 @@
 #include "lsm/write_batch.h"
 #include "mem/memtable.h"
 #include "metrics/write_stats.h"
+#include "obs/amp_tracker.h"
 #include "obs/event_ring.h"
 #include "obs/latency_recorder.h"
+#include "obs/model_drift.h"
+#include "obs/stats_snapshotter.h"
 #include "policy/growth_policy.h"
 #include "read/read_view.h"
 #include "read/table_cache.h"
@@ -247,6 +250,16 @@ class DB {
   ///   "talus.events"     the in-memory event ring, oldest first:
   ///                      `t_us=.. seq=.. shard=.. event=.. a=.. b=..`
   ///                      (DESIGN.md §6.2)
+  ///   "talus.amp"        per-level amplification accounting, cumulative
+  ///                      then windowed (empty when enable_amp_stats is
+  ///                      off; DESIGN.md §6.6)
+  ///   "talus.model"      cost-model drift: predicted vs measured per-op
+  ///                      cost for the active policy's design. Evaluates
+  ///                      one window (advancing it) and emits kAmpSample /
+  ///                      kModelDrift events (DESIGN.md §6.7)
+  ///   "talus.snapshots"  the stats snapshotter's in-memory ring, one JSON
+  ///                      sample per line, oldest first (empty unless
+  ///                      stats_snapshot_interval_ms > 0; DESIGN.md §6.8)
   bool GetProperty(const std::string& property, std::string* value);
 
   /// Collects up to `count` live entries with user key >= start, in order.
@@ -288,6 +301,21 @@ class DB {
   metrics::GroupCommitStats GetGroupCommitStats() const;
   /// Per-op latency recorder; null when enable_latency_stats is off.
   obs::LatencyRecorder* latency_recorder() { return latency_.get(); }
+  /// Per-level amplification tracker; null when enable_amp_stats is off.
+  obs::AmpTracker* amp_tracker() { return amp_.get(); }
+  /// Cumulative amp snapshot with live per-level space filled in from the
+  /// current version (takes the mutex briefly). All-zero when
+  /// enable_amp_stats is off. The sharding layer merges these per-shard
+  /// snapshots into fleet-wide talus.amp.
+  obs::AmpSnapshot GetAmpSnapshot() const;
+  /// Evaluates one drift window against the active policy's cost model:
+  /// feeds the windowed workload mix and windowed amp measurements into
+  /// the model, emits a kAmpSample event (and kModelDrift when drift
+  /// crosses the thresholds), then starts a new window. Returns a default
+  /// sample when enable_amp_stats is off.
+  obs::DriftSample EvaluateModelDrift();
+  /// Time-series snapshotter; null unless stats_snapshot_interval_ms > 0.
+  obs::StatsSnapshotter* stats_snapshotter() { return snapshotter_.get(); }
   /// Event ring (owned or borrowed via DbOptions::event_ring); never null.
   obs::EventRing* event_ring() { return ring_; }
   /// SnapshotAll() of the recorder, indexed by obs::OpType; all-empty
@@ -328,6 +356,9 @@ class DB {
     uint64_t filter_negatives = 0;
     uint64_t block_reads = 0;
     uint64_t cache_hits = 0;
+    // Per-level attribution for the amp tracker (filled only when amp
+    // accounting is on; folded once per Get).
+    obs::LookupProbe amp;
   };
 
   // ---- Group-commit write pipeline (DESIGN.md §2.9) ----
@@ -532,6 +563,20 @@ class DB {
   // has its own lock.
   std::unique_ptr<obs::EventRing> owned_ring_;
   obs::EventRing* ring_ = nullptr;
+  // Null when enable_amp_stats is off (the read path then skips the probe
+  // fold, mirroring latency_'s null fast path). Write-side hooks run under
+  // mutex_; the tracker itself is lock-free.
+  std::unique_ptr<obs::AmpTracker> amp_;
+  // Null when amp stats are off (drift needs measured amplification).
+  std::unique_ptr<obs::ModelDriftMonitor> drift_;
+  // Null unless stats_snapshot_interval_ms > 0. ~DB stops it first thing:
+  // its samples read engine state and may run on the shared pool, so it
+  // must quiesce before anything else is torn down.
+  std::unique_ptr<obs::StatsSnapshotter> snapshotter_;
+  /// Fills the per-level live_sst/live_payload fields from current_.
+  void FillLiveSpaceLocked(obs::AmpSnapshot* snap) const;
+  /// One snapshotter JSON sample line (amp + latency + drift).
+  std::string BuildStatsSample();
 
   // ---- Background execution (null / unused under kInline) ----
   // The pool is either owned (standalone DB) or borrowed from the sharded

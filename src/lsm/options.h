@@ -153,6 +153,31 @@ struct DbOptions {
   /// cross-shard events land in one ordered stream). Null = the DB owns a
   /// private ring of event_ring_size.
   obs::EventRing* event_ring = nullptr;
+  /// Per-level amplification accounting (talus.amp, talus.model, the
+  /// talus_amp_* Prometheus families) via the lock-free obs::AmpTracker.
+  /// On by default: write-side hooks ride rare flush/compaction installs
+  /// and the read-side probe fold costs one striped-atomic pass per Get
+  /// (measured in DESIGN.md §6.9). When off the DB allocates no tracker
+  /// and both properties return empty.
+  bool enable_amp_stats = true;
+  /// A talus.model evaluation flags drift (and emits kModelDrift) when the
+  /// measured/predicted per-op cost ratio exceeds this factor in either
+  /// direction.
+  double model_drift_threshold = 4.0;
+  /// ... or when the windowed workload mix moves more than this L1/2
+  /// distance from the previous window (a workload flip the cost model's
+  /// design inputs no longer reflect).
+  double model_mix_shift_threshold = 0.35;
+  /// When > 0, a background obs::StatsSnapshotter samples amp, latency and
+  /// drift stats every this many milliseconds into a bounded in-memory
+  /// ring (talus.snapshots) and, when stats_snapshot_path is set, an
+  /// append-only JSONL time-series file. 0 disables the snapshotter.
+  /// ShardedDB runs one fleet-level snapshotter instead of per-shard ones.
+  uint64_t stats_snapshot_interval_ms = 0;
+  /// Samples retained in the snapshotter's in-memory ring.
+  size_t stats_snapshot_ring = 240;
+  /// Snapshotter JSONL output file ("" = in-memory ring only).
+  std::string stats_snapshot_path;
 
   // CPU epsilons for the virtual clock (see env/io_stats.h).
   double cpu_cost_per_write = 0.02;

@@ -82,7 +82,8 @@ GroupCommitStats AggregateGroupCommitStats(
 
 std::string DumpPrometheusText(const EngineStats& stats,
                                uint64_t events_total, uint64_t data_bytes,
-                               const std::vector<Histogram>& latency_per_op) {
+                               const std::vector<Histogram>& latency_per_op,
+                               const obs::AmpSnapshot* amp) {
   obs::PrometheusWriter w;
   w.AddCounter("talus_puts_total", "", stats.puts);
   w.AddCounter("talus_deletes_total", "", stats.deletes);
@@ -121,6 +122,51 @@ std::string DumpPrometheusText(const EngineStats& stats,
                    std::string("op=\"") +
                        obs::OpTypeName(static_cast<obs::OpType>(op)) + "\"",
                    latency_per_op[op]);
+  }
+  if (amp != nullptr) {
+    // Per-level families are emitted level-major (every series of a level
+    // together); the writer regroups them family-major as the exposition
+    // format requires.
+    for (int i = 0; i < amp->num_levels; i++) {
+      const obs::AmpSnapshot::Level& l = amp->levels[i];
+      const std::string lv = "level=\"" + std::to_string(i) + "\"";
+      w.AddCounter("talus_amp_bytes_written_total",
+                   lv + ",source=\"flush\"", l.flush_bytes_written,
+                   "Bytes written per level, split flush vs compaction");
+      w.AddCounter("talus_amp_bytes_written_total",
+                   lv + ",source=\"compaction\"", l.compaction_bytes_written,
+                   "Bytes written per level, split flush vs compaction");
+      w.AddCounter("talus_amp_compaction_bytes_read_total", lv,
+                   l.compaction_bytes_read);
+      w.AddCounter("talus_amp_files_probed_total", lv, l.files_probed,
+                   "Point-lookup file probes per level");
+      w.AddCounter("talus_amp_filter_negatives_total", lv,
+                   l.filter_negatives);
+      w.AddCounter("talus_amp_bloom_fp_total", lv, l.bloom_false_positives,
+                   "Probes whose Bloom filter passed but held no result");
+      w.AddCounter("talus_amp_block_reads_total", lv, l.block_reads);
+      w.AddCounter("talus_amp_hits_total", lv, l.hits,
+                   "Lookups decided per level (memtable hits separate)");
+      w.AddGauge("talus_amp_live_bytes", lv + ",kind=\"sst\"",
+                 static_cast<double>(l.live_sst_bytes),
+                 "Live bytes per level: physical SST vs logical payload");
+      w.AddGauge("talus_amp_live_bytes", lv + ",kind=\"payload\"",
+                 static_cast<double>(l.live_payload_bytes),
+                 "Live bytes per level: physical SST vs logical payload");
+    }
+    w.AddCounter("talus_amp_lookups_total", "", amp->lookups);
+    w.AddCounter("talus_amp_memtable_hits_total", "", amp->memtable_hits);
+    w.AddCounter("talus_amp_misses_total", "", amp->misses);
+    w.AddCounter("talus_amp_user_payload_bytes_total", "",
+                 amp->user_payload_bytes);
+    w.AddGauge("talus_write_amp", "", amp->WriteAmp(),
+               "Physical bytes written per user payload byte");
+    w.AddGauge("talus_read_amp", "", amp->ReadAmp(),
+               "Files probed per point lookup");
+    w.AddGauge("talus_space_amp", "", amp->SpaceAmp(),
+               "Live SST bytes per live logical payload byte");
+    w.AddGauge("talus_blocks_per_lookup", "", amp->BlocksPerLookup(),
+               "Data blocks fetched per point lookup (the model's R unit)");
   }
   return w.Output();
 }

@@ -11,6 +11,7 @@
 
 #include "lsm/db.h"
 #include "metrics/write_stats.h"
+#include "obs/amp_tracker.h"
 
 namespace talus {
 namespace metrics {
@@ -33,13 +34,18 @@ std::vector<Histogram> MergeLatencyHistograms(
     const std::vector<std::vector<Histogram>>& per_shard);
 
 /// The talus_* Prometheus exposition shared by DB::DumpPrometheus and
-/// ShardedDB::DumpPrometheus: engine counters, the stall split, and one
-/// talus_latency_us histogram family per op with observations.
+/// ShardedDB::DumpPrometheus: engine counters, the stall split, one
+/// talus_latency_us histogram family per op with observations, and — when
+/// `amp` is non-null — the per-level talus_amp_* families plus the derived
+/// write/read/space amplification gauges (DESIGN.md §6.6).
 /// `latency_per_op` is indexed by obs::OpType (DB::GetLatencyHistograms /
-/// MergeLatencyHistograms output).
+/// MergeLatencyHistograms output); `amp` is a cumulative
+/// DB::GetAmpSnapshot() (or a fleet-wide merge of them), null when amp
+/// accounting is disabled.
 std::string DumpPrometheusText(const EngineStats& stats,
                                uint64_t events_total, uint64_t data_bytes,
-                               const std::vector<Histogram>& latency_per_op);
+                               const std::vector<Histogram>& latency_per_op,
+                               const obs::AmpSnapshot* amp = nullptr);
 
 }  // namespace metrics
 }  // namespace talus

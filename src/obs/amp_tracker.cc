@@ -1,0 +1,270 @@
+#include "obs/amp_tracker.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+namespace talus {
+namespace obs {
+
+namespace {
+
+uint64_t SatSub(uint64_t a, uint64_t b) { return a >= b ? a - b : 0; }
+
+}  // namespace
+
+uint64_t AmpSnapshot::TotalBytesFlushed() const {
+  uint64_t total = 0;
+  for (int i = 0; i < num_levels; i++) total += levels[i].flush_bytes_written;
+  return total;
+}
+
+uint64_t AmpSnapshot::TotalBytesCompacted() const {
+  uint64_t total = 0;
+  for (int i = 0; i < num_levels; i++) {
+    total += levels[i].compaction_bytes_written;
+  }
+  return total;
+}
+
+double AmpSnapshot::WriteAmp() const {
+  if (user_payload_bytes == 0) return 0.0;
+  return static_cast<double>(TotalBytesFlushed() + TotalBytesCompacted()) /
+         static_cast<double>(user_payload_bytes);
+}
+
+double AmpSnapshot::ReadAmp() const {
+  if (lookups == 0) return 0.0;
+  uint64_t probed = 0;
+  for (int i = 0; i < num_levels; i++) probed += levels[i].files_probed;
+  return static_cast<double>(probed) / static_cast<double>(lookups);
+}
+
+double AmpSnapshot::BlocksPerLookup() const {
+  if (lookups == 0) return 0.0;
+  uint64_t blocks = 0;
+  for (int i = 0; i < num_levels; i++) blocks += levels[i].block_reads;
+  return static_cast<double>(blocks) / static_cast<double>(lookups);
+}
+
+double AmpSnapshot::SpaceAmp() const {
+  uint64_t sst = 0;
+  uint64_t payload = 0;
+  for (int i = 0; i < num_levels; i++) {
+    sst += levels[i].live_sst_bytes;
+    payload += levels[i].live_payload_bytes;
+  }
+  if (payload == 0) return 1.0;
+  return static_cast<double>(sst) / static_cast<double>(payload);
+}
+
+void AmpSnapshot::Add(const AmpSnapshot& other) {
+  for (int i = 0; i < kAmpMaxLevels; i++) {
+    Level& l = levels[i];
+    const Level& o = other.levels[i];
+    l.flush_bytes_written += o.flush_bytes_written;
+    l.compaction_bytes_written += o.compaction_bytes_written;
+    l.compaction_bytes_read += o.compaction_bytes_read;
+    l.files_probed += o.files_probed;
+    l.filter_negatives += o.filter_negatives;
+    l.bloom_false_positives += o.bloom_false_positives;
+    l.block_reads += o.block_reads;
+    l.hits += o.hits;
+    l.live_sst_bytes += o.live_sst_bytes;
+    l.live_payload_bytes += o.live_payload_bytes;
+  }
+  if (other.num_levels > num_levels) num_levels = other.num_levels;
+  lookups += other.lookups;
+  memtable_hits += other.memtable_hits;
+  misses += other.misses;
+  user_payload_bytes += other.user_payload_bytes;
+}
+
+void AmpSnapshot::Subtract(const AmpSnapshot& base) {
+  for (int i = 0; i < kAmpMaxLevels; i++) {
+    Level& l = levels[i];
+    const Level& b = base.levels[i];
+    l.flush_bytes_written = SatSub(l.flush_bytes_written, b.flush_bytes_written);
+    l.compaction_bytes_written =
+        SatSub(l.compaction_bytes_written, b.compaction_bytes_written);
+    l.compaction_bytes_read =
+        SatSub(l.compaction_bytes_read, b.compaction_bytes_read);
+    l.files_probed = SatSub(l.files_probed, b.files_probed);
+    l.filter_negatives = SatSub(l.filter_negatives, b.filter_negatives);
+    l.bloom_false_positives =
+        SatSub(l.bloom_false_positives, b.bloom_false_positives);
+    l.block_reads = SatSub(l.block_reads, b.block_reads);
+    l.hits = SatSub(l.hits, b.hits);
+    // live_* stay: "live bytes now" is already the window value.
+  }
+  lookups = SatSub(lookups, base.lookups);
+  memtable_hits = SatSub(memtable_hits, base.memtable_hits);
+  misses = SatSub(misses, base.misses);
+  user_payload_bytes = SatSub(user_payload_bytes, base.user_payload_bytes);
+}
+
+std::string AmpSnapshot::ToString() const {
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "write_amp=%.3f read_amp=%.3f space_amp=%.3f "
+                "blocks_per_lookup=%.3f lookups=%" PRIu64
+                " memtable_hits=%" PRIu64 " misses=%" PRIu64
+                " user_payload=%" PRIu64 "\n",
+                WriteAmp(), ReadAmp(), SpaceAmp(), BlocksPerLookup(), lookups,
+                memtable_hits, misses, user_payload_bytes);
+  out += buf;
+  out +=
+      "level flush_w comp_w comp_r probes fneg bloom_fp blocks hits "
+      "live_sst live_payload\n";
+  for (int i = 0; i < num_levels; i++) {
+    const Level& l = levels[i];
+    std::snprintf(buf, sizeof(buf),
+                  "L%d %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                  " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                  " %" PRIu64 "\n",
+                  i, l.flush_bytes_written, l.compaction_bytes_written,
+                  l.compaction_bytes_read, l.files_probed, l.filter_negatives,
+                  l.bloom_false_positives, l.block_reads, l.hits,
+                  l.live_sst_bytes, l.live_payload_bytes);
+    out += buf;
+  }
+  return out;
+}
+
+AmpTracker::AmpTracker() {
+  for (int s = 0; s < kStripes; s++) {
+    ReadCell& c = cells_[s];
+    for (int i = 0; i < kAmpMaxLevels; i++) {
+      c.files_probed[i].store(0, std::memory_order_relaxed);
+      c.filter_negatives[i].store(0, std::memory_order_relaxed);
+      c.bloom_false_positives[i].store(0, std::memory_order_relaxed);
+      c.block_reads[i].store(0, std::memory_order_relaxed);
+      c.hits[i].store(0, std::memory_order_relaxed);
+    }
+    c.lookups.store(0, std::memory_order_relaxed);
+    c.memtable_hits.store(0, std::memory_order_relaxed);
+    c.misses.store(0, std::memory_order_relaxed);
+  }
+  for (int i = 0; i < kAmpMaxLevels; i++) {
+    flush_bytes_[i].store(0, std::memory_order_relaxed);
+    compaction_bytes_written_[i].store(0, std::memory_order_relaxed);
+    compaction_bytes_read_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+int AmpTracker::StripeForThisThread() {
+  // Same scheme as LatencyRecorder: hash the thread id once per thread.
+  static thread_local int stripe =
+      static_cast<int>(std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+                       kStripes);
+  return stripe;
+}
+
+void AmpTracker::NoteSlot(int slot) {
+  int seen = max_slot_.load(std::memory_order_relaxed);
+  while (slot > seen && !max_slot_.compare_exchange_weak(
+                            seen, slot, std::memory_order_relaxed)) {
+  }
+}
+
+void AmpTracker::RecordFlushWrite(int level, uint64_t bytes) {
+  int slot = AmpSlot(level);
+  flush_bytes_[slot].fetch_add(bytes, std::memory_order_relaxed);
+  NoteSlot(slot);
+}
+
+void AmpTracker::RecordCompactionWrite(int level, uint64_t bytes_read,
+                                       uint64_t bytes_written) {
+  int slot = AmpSlot(level);
+  compaction_bytes_read_[slot].fetch_add(bytes_read,
+                                         std::memory_order_relaxed);
+  compaction_bytes_written_[slot].fetch_add(bytes_written,
+                                            std::memory_order_relaxed);
+  NoteSlot(slot);
+}
+
+void AmpTracker::RecordUserPayload(uint64_t bytes) {
+  user_payload_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void AmpTracker::RecordLookup(const LookupProbe& probe) {
+  ReadCell& c = cells_[StripeForThisThread()];
+  for (int i = 0; i <= probe.deepest_slot && i < kAmpMaxLevels; i++) {
+    if (probe.files_probed[i] != 0) {
+      c.files_probed[i].fetch_add(probe.files_probed[i],
+                                  std::memory_order_relaxed);
+    }
+    if (probe.filter_negatives[i] != 0) {
+      c.filter_negatives[i].fetch_add(probe.filter_negatives[i],
+                                      std::memory_order_relaxed);
+    }
+    if (probe.bloom_false_positives[i] != 0) {
+      c.bloom_false_positives[i].fetch_add(probe.bloom_false_positives[i],
+                                           std::memory_order_relaxed);
+    }
+    if (probe.block_reads[i] != 0) {
+      c.block_reads[i].fetch_add(probe.block_reads[i],
+                                 std::memory_order_relaxed);
+    }
+  }
+  c.lookups.fetch_add(1, std::memory_order_relaxed);
+  if (probe.hit_level == LookupProbe::kHitMemtable) {
+    c.memtable_hits.fetch_add(1, std::memory_order_relaxed);
+  } else if (probe.hit_level == LookupProbe::kMiss) {
+    c.misses.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    c.hits[AmpSlot(probe.hit_level)].fetch_add(1, std::memory_order_relaxed);
+  }
+  if (probe.deepest_slot >= 0) NoteSlot(probe.deepest_slot);
+}
+
+AmpSnapshot AmpTracker::Snapshot() const {
+  AmpSnapshot snap;
+  int max_slot = max_slot_.load(std::memory_order_relaxed);
+  snap.num_levels = max_slot + 1;
+  for (int i = 0; i < kAmpMaxLevels; i++) {
+    AmpSnapshot::Level& l = snap.levels[i];
+    l.flush_bytes_written = flush_bytes_[i].load(std::memory_order_relaxed);
+    l.compaction_bytes_written =
+        compaction_bytes_written_[i].load(std::memory_order_relaxed);
+    l.compaction_bytes_read =
+        compaction_bytes_read_[i].load(std::memory_order_relaxed);
+  }
+  for (int s = 0; s < kStripes; s++) {
+    const ReadCell& c = cells_[s];
+    for (int i = 0; i < kAmpMaxLevels; i++) {
+      AmpSnapshot::Level& l = snap.levels[i];
+      l.files_probed += c.files_probed[i].load(std::memory_order_relaxed);
+      l.filter_negatives +=
+          c.filter_negatives[i].load(std::memory_order_relaxed);
+      l.bloom_false_positives +=
+          c.bloom_false_positives[i].load(std::memory_order_relaxed);
+      l.block_reads += c.block_reads[i].load(std::memory_order_relaxed);
+      l.hits += c.hits[i].load(std::memory_order_relaxed);
+    }
+    snap.lookups += c.lookups.load(std::memory_order_relaxed);
+    snap.memtable_hits += c.memtable_hits.load(std::memory_order_relaxed);
+    snap.misses += c.misses.load(std::memory_order_relaxed);
+  }
+  snap.user_payload_bytes =
+      user_payload_bytes_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+AmpSnapshot AmpTracker::WindowSnapshot() const {
+  AmpSnapshot snap = Snapshot();
+  std::lock_guard<std::mutex> lock(window_mu_);
+  snap.Subtract(window_base_);
+  return snap;
+}
+
+void AmpTracker::AdvanceWindow() {
+  AmpSnapshot now = Snapshot();
+  std::lock_guard<std::mutex> lock(window_mu_);
+  window_base_ = now;
+}
+
+}  // namespace obs
+}  // namespace talus

@@ -1,0 +1,164 @@
+#ifndef TALUS_OBS_AMP_TRACKER_H_
+#define TALUS_OBS_AMP_TRACKER_H_
+
+// Per-level amplification accounting: the measured counterpart of the
+// cost models in src/tuning/.  The write side counts bytes written per
+// level split flush-vs-compaction; the read side attributes every lookup
+// probe (files touched, bloom negatives and false positives, data blocks
+// fetched, the level that decided the key) to its level without taking a
+// lock on the read path.  Snapshots are linearizable enough for
+// monitoring: each counter is read atomically, cross-counter skew is
+// bounded by in-flight operations.
+//
+// Write-side events (flush/compaction install, committed batches) are
+// rare, so they use plain relaxed atomics.  Read-side folding happens
+// once per Get, so it uses the same cache-line-striped cell layout as
+// LatencyRecorder to keep concurrent readers off each other's lines.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace talus {
+namespace obs {
+
+// Levels at or beyond the last slot fold into it; 16 levels hold any
+// realistic tree (size ratio >= 2 over 2^64 bytes).
+constexpr int kAmpMaxLevels = 16;
+
+inline int AmpSlot(int level) {
+  if (level < 0) return 0;
+  if (level >= kAmpMaxLevels) return kAmpMaxLevels - 1;
+  return level;
+}
+
+/// A point-in-time copy of every amp counter, plus live space per level
+/// (filled by the owner from the current Version — the tracker itself
+/// has no view of file metadata).  Value type: snapshots subtract to
+/// form windows and add to form fleet-wide aggregates.
+struct AmpSnapshot {
+  struct Level {
+    // Write side.
+    uint64_t flush_bytes_written = 0;
+    uint64_t compaction_bytes_written = 0;
+    uint64_t compaction_bytes_read = 0;
+    // Read side.
+    uint64_t files_probed = 0;
+    uint64_t filter_negatives = 0;
+    uint64_t bloom_false_positives = 0;
+    uint64_t block_reads = 0;
+    uint64_t hits = 0;
+    // Space (live Version at snapshot time; not windowed/merged-cumulative
+    // semantics — Subtract leaves them at the "now" value).
+    uint64_t live_sst_bytes = 0;
+    uint64_t live_payload_bytes = 0;
+  };
+
+  Level levels[kAmpMaxLevels];
+  int num_levels = 0;  // 1 + deepest slot ever touched
+  uint64_t lookups = 0;
+  uint64_t memtable_hits = 0;  // active + immutable memtables
+  uint64_t misses = 0;
+  uint64_t user_payload_bytes = 0;  // committed key+value bytes
+
+  uint64_t TotalBytesFlushed() const;
+  uint64_t TotalBytesCompacted() const;
+  // (flush + compaction bytes written) / user payload; 0 when no payload.
+  double WriteAmp() const;
+  // Files probed per point lookup; 0 when no lookups.
+  double ReadAmp() const;
+  // Data blocks fetched per point lookup (the model's R unit).
+  double BlocksPerLookup() const;
+  // Live SST bytes / live logical payload bytes across levels; 1 when the
+  // tree is empty.  Memtable contents are excluded (documented in
+  // DESIGN.md §6.6).
+  double SpaceAmp() const;
+
+  // Element-wise accumulate (fleet-wide aggregation across shards).
+  void Add(const AmpSnapshot& other);
+  // Saturating element-wise subtract (windowed deltas).  Space fields are
+  // left at this snapshot's values: "live bytes now" is already a window
+  // quantity.
+  void Subtract(const AmpSnapshot& base);
+
+  // The talus.amp text format: a summary line, then one line per level.
+  // All byte counts are exact integers so tests can assert ground truth.
+  std::string ToString() const;
+};
+
+/// Per-lookup probe attribution, filled on the caller's stack by the
+/// read path and folded into the tracker once per Get.
+struct LookupProbe {
+  static constexpr int kHitMemtable = -1;
+  static constexpr int kMiss = -2;
+
+  uint16_t files_probed[kAmpMaxLevels] = {};
+  uint16_t filter_negatives[kAmpMaxLevels] = {};
+  uint16_t bloom_false_positives[kAmpMaxLevels] = {};
+  uint16_t block_reads[kAmpMaxLevels] = {};
+  int deepest_slot = -1;             // deepest slot with any activity
+  int hit_level = kMiss;             // kHitMemtable, kMiss, or level index
+};
+
+class AmpTracker {
+ public:
+  AmpTracker();
+
+  AmpTracker(const AmpTracker&) = delete;
+  AmpTracker& operator=(const AmpTracker&) = delete;
+
+  // ---- Write side (rare; called with the DB mutex held or from the
+  // commit pipeline — plain relaxed atomics). ----
+  void RecordFlushWrite(int level, uint64_t bytes);
+  void RecordCompactionWrite(int level, uint64_t bytes_read,
+                             uint64_t bytes_written);
+  void RecordUserPayload(uint64_t bytes);
+
+  // ---- Read side (hot; mutex-free, striped by thread). ----
+  void RecordLookup(const LookupProbe& probe);
+
+  // Cumulative counters since construction.  Space fields are zero; the
+  // owner fills them from the live Version.
+  AmpSnapshot Snapshot() const;
+  // Counters since the last AdvanceWindow() (or construction).
+  AmpSnapshot WindowSnapshot() const;
+  // Start a new window at "now".  Single-consumer (the drift monitor /
+  // property reader); safe against concurrent recorders.
+  void AdvanceWindow();
+
+ private:
+  static constexpr int kStripes = 8;
+
+  struct alignas(64) ReadCell {
+    std::atomic<uint64_t> files_probed[kAmpMaxLevels];
+    std::atomic<uint64_t> filter_negatives[kAmpMaxLevels];
+    std::atomic<uint64_t> bloom_false_positives[kAmpMaxLevels];
+    std::atomic<uint64_t> block_reads[kAmpMaxLevels];
+    std::atomic<uint64_t> hits[kAmpMaxLevels];
+    std::atomic<uint64_t> lookups;
+    std::atomic<uint64_t> memtable_hits;
+    std::atomic<uint64_t> misses;
+  };
+
+  static int StripeForThisThread();
+
+  ReadCell cells_[kStripes];
+
+  std::atomic<uint64_t> flush_bytes_[kAmpMaxLevels];
+  std::atomic<uint64_t> compaction_bytes_written_[kAmpMaxLevels];
+  std::atomic<uint64_t> compaction_bytes_read_[kAmpMaxLevels];
+  std::atomic<uint64_t> user_payload_bytes_{0};
+  std::atomic<int> max_slot_{-1};
+
+  void NoteSlot(int slot);
+
+  // Window base: a full snapshot taken at the last AdvanceWindow().
+  mutable std::mutex window_mu_;
+  AmpSnapshot window_base_;
+};
+
+}  // namespace obs
+}  // namespace talus
+
+#endif  // TALUS_OBS_AMP_TRACKER_H_

@@ -18,6 +18,8 @@ const char* EventTypeName(EventType type) {
     case EventType::kGcDelete: return "gc_delete";
     case EventType::kShardBackpressure: return "shard_backpressure";
     case EventType::kMemtableSwitch: return "memtable_switch";
+    case EventType::kAmpSample: return "amp_sample";
+    case EventType::kModelDrift: return "model_drift";
   }
   return "unknown";
 }

@@ -33,8 +33,10 @@ enum class EventType : uint8_t {
   kGcDelete,            // a: tables deleted
   kShardBackpressure,   // a: 1 entered / 0 cleared, b: aggregate L0 runs
   kMemtableSwitch,      // a: sealed memtable bytes
+  kAmpSample,           // a: window write-amp (milli), b: window blocks/lookup (milli)
+  kModelDrift,          // a: drift score (milli), b: mix shift (milli)
 };
-constexpr int kNumEventTypes = 11;
+constexpr int kNumEventTypes = 13;
 
 const char* EventTypeName(EventType type);
 

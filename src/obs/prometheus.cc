@@ -14,34 +14,44 @@ std::string SampleName(const std::string& name, const std::string& labels) {
 
 }  // namespace
 
-void PrometheusWriter::TypeHeader(const std::string& name, const char* type) {
-  // Series of the same family (different labels) share one # TYPE line.
-  if (name == last_typed_) return;
-  out_ += "# TYPE " + name + " " + type + "\n";
-  last_typed_ = name;
+PrometheusWriter::Family* PrometheusWriter::FamilyFor(
+    const std::string& name, const char* type, const std::string& help) {
+  // Linear scan: a metrics dump has a few dozen families at most, and the
+  // common case appends to the most recent one.
+  for (auto it = families_.rbegin(); it != families_.rend(); ++it) {
+    if (it->name == name) {
+      if (it->help.empty() && !help.empty()) it->help = help;
+      return &*it;
+    }
+  }
+  families_.push_back(Family{name, type, help, std::string()});
+  return &families_.back();
 }
 
 void PrometheusWriter::AddCounter(const std::string& name,
-                                  const std::string& labels, uint64_t value) {
-  TypeHeader(name, "counter");
+                                  const std::string& labels, uint64_t value,
+                                  const std::string& help) {
+  Family* f = FamilyFor(name, "counter", help);
   char buf[32];
   std::snprintf(buf, sizeof(buf), " %llu\n",
                 static_cast<unsigned long long>(value));
-  out_ += SampleName(name, labels) + buf;
+  f->body += SampleName(name, labels) + buf;
 }
 
 void PrometheusWriter::AddGauge(const std::string& name,
-                                const std::string& labels, double value) {
-  TypeHeader(name, "gauge");
+                                const std::string& labels, double value,
+                                const std::string& help) {
+  Family* f = FamilyFor(name, "gauge", help);
   char buf[48];
   std::snprintf(buf, sizeof(buf), " %.6g\n", value);
-  out_ += SampleName(name, labels) + buf;
+  f->body += SampleName(name, labels) + buf;
 }
 
 void PrometheusWriter::AddHistogram(const std::string& name,
                                     const std::string& labels,
-                                    const Histogram& h) {
-  TypeHeader(name, "histogram");
+                                    const Histogram& h,
+                                    const std::string& help) {
+  Family* f = FamilyFor(name, "histogram", help);
   const std::string sep = labels.empty() ? "" : ",";
   char buf[96];
   // Cumulative buckets up to the last occupied one; the tail collapses into
@@ -56,16 +66,30 @@ void PrometheusWriter::AddHistogram(const std::string& name,
     std::snprintf(buf, sizeof(buf), "le=\"%.6g\"} %llu\n",
                   Histogram::BucketUpperBound(b),
                   static_cast<unsigned long long>(cum));
-    out_ += name + "_bucket{" + labels + sep + buf;
+    f->body += name + "_bucket{" + labels + sep + buf;
   }
   std::snprintf(buf, sizeof(buf), "le=\"+Inf\"} %llu\n",
                 static_cast<unsigned long long>(h.Count()));
-  out_ += name + "_bucket{" + labels + sep + buf;
+  f->body += name + "_bucket{" + labels + sep + buf;
   std::snprintf(buf, sizeof(buf), " %.6g\n", h.Sum());
-  out_ += SampleName(name + "_sum", labels) + buf;
+  f->body += SampleName(name + "_sum", labels) + buf;
   std::snprintf(buf, sizeof(buf), " %llu\n",
                 static_cast<unsigned long long>(h.Count()));
-  out_ += SampleName(name + "_count", labels) + buf;
+  f->body += SampleName(name + "_count", labels) + buf;
+}
+
+std::string PrometheusWriter::Output() const {
+  std::string out;
+  for (const Family& f : families_) {
+    if (!f.help.empty()) {
+      out += "# HELP " + f.name + " " + f.help + "\n";
+    }
+    out += "# TYPE " + f.name + " ";
+    out += f.type;
+    out += "\n";
+    out += f.body;
+  }
+  return out;
 }
 
 }  // namespace obs

@@ -3,6 +3,12 @@
 // ShardedDB) walk their own counters/histograms and feed them in here; the
 // future src/server/ /metrics endpoint serves the resulting string verbatim.
 //
+// Samples are buffered per family (metric name) and assembled in Output():
+// each family appears exactly once, in first-insertion order, with one
+// `# HELP` (when provided) and one `# TYPE` line followed by all of its
+// samples contiguously — the exposition format requires this even when
+// callers interleave families (e.g. two label series emitted from one loop).
+//
 // Histograms follow the Prometheus convention: cumulative `_bucket` series
 // with `le` labels over the shared util/Histogram layout (only buckets up to
 // the last occupied one, plus +Inf), then `_sum` and `_count`.
@@ -11,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/histogram.h"
 
@@ -19,25 +26,36 @@ namespace obs {
 
 class PrometheusWriter {
  public:
-  /// Emits `# TYPE <name> counter` (once per name) and one sample line.
-  /// `labels` is the raw inner label text, e.g. `op="put"`, or "" for none.
+  /// Adds one counter sample to the `name` family. `labels` is the raw
+  /// inner label text, e.g. `op="put"`, or "" for none. `help` (first
+  /// non-empty one wins) becomes the family's # HELP line.
   void AddCounter(const std::string& name, const std::string& labels,
-                  uint64_t value);
+                  uint64_t value, const std::string& help = "");
   /// Same, for free-form gauge values.
   void AddGauge(const std::string& name, const std::string& labels,
-                double value);
-  /// Emits the full histogram family for `name{labels}`. Empty histograms
-  /// still emit a zero +Inf bucket so the series exists.
+                double value, const std::string& help = "");
+  /// Adds the full histogram series (`_bucket`/`_sum`/`_count`) for
+  /// `name{labels}`. Empty histograms still emit a zero +Inf bucket so the
+  /// series exists.
   void AddHistogram(const std::string& name, const std::string& labels,
-                    const Histogram& h);
+                    const Histogram& h, const std::string& help = "");
 
-  const std::string& Output() const { return out_; }
+  /// Assembles the exposition text: families contiguous, each headed by
+  /// its # HELP (if any) and # TYPE line exactly once.
+  std::string Output() const;
 
  private:
-  void TypeHeader(const std::string& name, const char* type);
+  struct Family {
+    std::string name;
+    const char* type;
+    std::string help;
+    std::string body;  // Sample lines, in insertion order.
+  };
 
-  std::string out_;
-  std::string last_typed_;  // Last name a # TYPE line was written for.
+  Family* FamilyFor(const std::string& name, const char* type,
+                    const std::string& help);
+
+  std::vector<Family> families_;  // First-insertion order.
 };
 
 }  // namespace obs

@@ -9,6 +9,7 @@
 #include "metrics/shard_stats.h"
 #include "shard/shard_iterator.h"
 #include "shard/shard_manifest.h"
+#include "util/wall_clock.h"
 
 namespace talus {
 namespace shard {
@@ -126,6 +127,10 @@ Status ShardedDB::Open(const DbOptions& options,
     shard_opts.shard_backpressure = db->backpressure_.get();
     shard_opts.shared_pool = db->pool_.get();
     shard_opts.event_ring = db->ring_;
+    // One fleet-level snapshotter (created below) samples the whole store;
+    // per-shard snapshotters would multiply timer threads and JSONL files.
+    shard_opts.stats_snapshot_interval_ms = 0;
+    shard_opts.stats_snapshot_path.clear();
     auto open_one = [&db, &results, &mu, &cv, &remaining, i, shard_opts] {
       Status os = DB::Open(shard_opts, &db->shards_[i]);
       std::lock_guard<std::mutex> lock(mu);
@@ -149,11 +154,26 @@ Status ShardedDB::Open(const DbOptions& options,
   }
   db->alloc_.Reset(last);
 
+  if (options.stats_snapshot_interval_ms > 0) {
+    obs::StatsSnapshotter::Options snap_opts;
+    snap_opts.interval_ms = options.stats_snapshot_interval_ms;
+    snap_opts.ring_capacity = options.stats_snapshot_ring;
+    snap_opts.jsonl_path = options.stats_snapshot_path;
+    ShardedDB* raw = db.get();
+    db->snapshotter_ = std::make_unique<obs::StatsSnapshotter>(
+        db->pool_.get(), snap_opts,
+        [raw] { return raw->BuildStatsSample(); });
+    db->snapshotter_->Start();
+  }
+
   *dbptr = std::move(db);
   return Status::OK();
 }
 
 ShardedDB::~ShardedDB() {
+  // The snapshotter's SampleFn walks every shard; stop it before any of
+  // them (or the pool it samples on) goes away.
+  if (snapshotter_ != nullptr) snapshotter_->Stop();
   // Stray snapshots (the caller should have released them) must drop their
   // per-shard registrations before the shards go away.
   {
@@ -387,6 +407,18 @@ bool ShardedDB::GetProperty(const std::string& property, std::string* value) {
     }
     return true;
   }
+  if (property == "talus.snapshots") {
+    // The fleet snapshotter's ring, not a shard's: per-shard snapshotters
+    // are disabled at Open, so even with one shard this is the only ring
+    // with samples in it.
+    if (snapshotter_ != nullptr) {
+      for (const std::string& line : snapshotter_->RingContents()) {
+        *value += line;
+        *value += '\n';
+      }
+    }
+    return true;
+  }
   // One shard: the engine's own output, bit-identical to a standalone DB.
   // (talus.latency and talus.events included: the shard's ring IS the
   // shared ring, and its recorder holds every observation.)
@@ -413,8 +445,24 @@ bool ShardedDB::GetProperty(const std::string& property, std::string* value) {
     *value = std::to_string(total);
     return true;
   }
+  if (property == "talus.amp") {
+    // Fleet-wide merge first (what a dashboard scrapes), then the
+    // per-shard cumulative/window breakdown.
+    const obs::AmpSnapshot fleet = AggregatedAmpSnapshot();
+    *value = "-- fleet cumulative --\n" + fleet.ToString();
+    for (size_t i = 0; i < shards_.size(); i++) {
+      std::string one;
+      if (!shards_[i]->GetProperty(property, &one)) return false;
+      char head[64];
+      std::snprintf(head, sizeof(head), "-- shard %zu --\n", i);
+      *value += head;
+      *value += one;
+      if (!one.empty() && one.back() != '\n') *value += '\n';
+    }
+    return true;
+  }
   if (property == "talus.levels" || property == "talus.cstats" ||
-      property == "talus.exec") {
+      property == "talus.exec" || property == "talus.model") {
     for (size_t i = 0; i < shards_.size(); i++) {
       std::string one;
       if (!shards_[i]->GetProperty(property, &one)) return false;
@@ -498,9 +546,54 @@ std::vector<Histogram> ShardedDB::GetLatencyHistograms() const {
 
 std::string ShardedDB::DumpPrometheus() const {
   const EngineStats agg = AggregatedStats();
-  return metrics::DumpPrometheusText(agg, ring_->TotalEmitted(),
-                                     ApproximateDataBytes(),
-                                     GetLatencyHistograms());
+  const obs::AmpSnapshot amp = AggregatedAmpSnapshot();
+  return metrics::DumpPrometheusText(
+      agg, ring_->TotalEmitted(), ApproximateDataBytes(),
+      GetLatencyHistograms(), options_.enable_amp_stats ? &amp : nullptr);
+}
+
+obs::AmpSnapshot ShardedDB::AggregatedAmpSnapshot() const {
+  obs::AmpSnapshot out;
+  for (const auto& sh : shards_) out.Add(sh->GetAmpSnapshot());
+  return out;
+}
+
+std::string ShardedDB::BuildStatsSample() {
+  const obs::AmpSnapshot amp = AggregatedAmpSnapshot();
+  // Each shard's drift evaluation consumes its window and emits its own
+  // kAmpSample/kModelDrift into the shared ring; the fleet sample keeps
+  // the worst score.
+  double max_drift = 0;
+  int drifted = 0;
+  for (auto& sh : shards_) {
+    const obs::DriftSample d = sh->EvaluateModelDrift();
+    max_drift = std::max(max_drift, d.drift_score);
+    if (d.drifted) drifted = 1;
+  }
+
+  const std::vector<Histogram> lat = GetLatencyHistograms();
+  double put_p99 = 0;
+  double get_p99 = 0;
+  const size_t put_op = static_cast<size_t>(obs::OpType::kPut);
+  const size_t get_op = static_cast<size_t>(obs::OpType::kGet);
+  if (put_op < lat.size()) put_p99 = lat[put_op].Percentile(99.0);
+  if (get_op < lat.size()) get_p99 = lat[get_op].Percentile(99.0);
+
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"t_us\": %llu, \"shards\": %zu, \"write_amp\": %.4f, "
+      "\"read_amp\": %.4f, \"space_amp\": %.4f, \"blocks_per_lookup\": %.4f, "
+      "\"lookups\": %llu, \"user_payload\": %llu, \"data_bytes\": %llu, "
+      "\"put_p99_us\": %.1f, \"get_p99_us\": %.1f, "
+      "\"drift_score\": %.3f, \"drifted\": %d}",
+      static_cast<unsigned long long>(NowMicros()),
+      shards_.size(), amp.WriteAmp(), amp.ReadAmp(), amp.SpaceAmp(),
+      amp.BlocksPerLookup(), static_cast<unsigned long long>(amp.lookups),
+      static_cast<unsigned long long>(amp.user_payload_bytes),
+      static_cast<unsigned long long>(ApproximateDataBytes()), put_p99,
+      get_p99, max_drift, drifted);
+  return buf;
 }
 
 std::string ShardedDB::DebugString() const {

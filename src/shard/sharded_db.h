@@ -99,9 +99,18 @@ class ShardedDB {
   metrics::GroupCommitStats GetGroupCommitStats() const;
   /// Exact fleet-wide per-op latency merge, indexed by obs::OpType.
   std::vector<Histogram> GetLatencyHistograms() const;
-  /// Prometheus exposition of the aggregated counters and merged latency
-  /// histograms (same talus_* families as DB::DumpPrometheus).
+  /// Prometheus exposition of the aggregated counters, merged latency
+  /// histograms, and fleet-wide talus_amp_* families (same talus_*
+  /// families as DB::DumpPrometheus).
   std::string DumpPrometheus() const;
+  /// Fleet-wide amplification accounting: field-wise sum of every shard's
+  /// cumulative DB::GetAmpSnapshot() (live-space fields included). All
+  /// zeros when DbOptions::enable_amp_stats is off.
+  obs::AmpSnapshot AggregatedAmpSnapshot() const;
+  /// The fleet-level stats snapshotter behind "talus.snapshots" (null
+  /// unless stats_snapshot_interval_ms > 0). One snapshotter samples the
+  /// whole store; the per-shard ones are disabled at Open.
+  obs::StatsSnapshotter* stats_snapshotter() { return snapshotter_.get(); }
   /// The shared event ring every shard emits into (one globally ordered
   /// stream; cross-shard causality preserved).
   obs::EventRing* event_ring() { return ring_; }
@@ -123,6 +132,11 @@ class ShardedDB {
                     std::vector<const Snapshot*>* children);
   void ReleaseChildren(const std::vector<const Snapshot*>& children);
   std::unique_ptr<Iterator> NewIteratorAt(SequenceNumber sequence);
+  /// One fleet-wide JSONL stats sample (the snapshotter's SampleFn):
+  /// merged amp snapshot, per-shard drift evaluations (max score; each
+  /// shard emits its own kAmpSample/kModelDrift into the shared ring),
+  /// merged latency p99s.
+  std::string BuildStatsSample();
 
   DbOptions options_;  // As passed (env, path, shard_count, ...).
   ShardRouter router_;
@@ -138,6 +152,9 @@ class ShardedDB {
   // pool) are destroyed first, then the pool.
   std::unique_ptr<exec::ThreadPool> pool_;
   std::vector<std::unique_ptr<DB>> shards_;
+  // Fleet-level stats snapshotter; its SampleFn touches every shard and
+  // the pool, so ~ShardedDB stops it before anything else is torn down.
+  std::unique_ptr<obs::StatsSnapshotter> snapshotter_;
 
   // Live cross-shard snapshots → their per-shard registrations.
   std::mutex snapshot_mu_;

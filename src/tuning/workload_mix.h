@@ -56,12 +56,75 @@ class WorkloadMixTracker {
     updates_.store(0, std::memory_order_relaxed);
     points_.store(0, std::memory_order_relaxed);
     ranges_.store(0, std::memory_order_relaxed);
+    base_updates_.store(0, std::memory_order_relaxed);
+    base_points_.store(0, std::memory_order_relaxed);
+    base_ranges_.store(0, std::memory_order_relaxed);
+  }
+
+  // ---- Windowed view (epoch swap, reset-free) ----
+  //
+  // The drift monitor needs the *recent* mix, not the lifetime average:
+  // after hours of balanced traffic a write-heavy flip would take hours to
+  // move the cumulative estimate. AdvanceWindow() snapshots the lifetime
+  // counters as the new window base; the windowed estimate is the delta
+  // since that base. Recording stays lock-free; AdvanceWindow is meant for
+  // a single periodic consumer and only races benignly (a shorter window).
+
+  struct RawCounts {
+    unsigned long long updates = 0;
+    unsigned long long points = 0;
+    unsigned long long ranges = 0;
+    unsigned long long total() const { return updates + points + ranges; }
+  };
+
+  RawCounts WindowRawCounts() const {
+    RawCounts c;
+    c.updates = Delta(updates_, base_updates_);
+    c.points = Delta(points_, base_points_);
+    c.ranges = Delta(ranges_, base_ranges_);
+    return c;
+  }
+
+  unsigned long long WindowTotal() const { return WindowRawCounts().total(); }
+
+  /// Mix of operations recorded since the last AdvanceWindow(). Falls back
+  /// to the lifetime estimate while the window is empty.
+  WorkloadMix WindowEstimate() const {
+    RawCounts c = WindowRawCounts();
+    if (c.total() == 0) return Estimate();
+    WorkloadMix mix;
+    mix.updates = static_cast<double>(c.updates);
+    mix.point_lookups = static_cast<double>(c.points);
+    mix.range_lookups = static_cast<double>(c.ranges);
+    mix.Normalize();
+    return mix;
+  }
+
+  /// Start a new window at "now".
+  void AdvanceWindow() {
+    base_updates_.store(updates_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    base_points_.store(points_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    base_ranges_.store(ranges_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
   }
 
  private:
+  static unsigned long long Delta(
+      const std::atomic<unsigned long long>& cur,
+      const std::atomic<unsigned long long>& base) {
+    unsigned long long c = cur.load(std::memory_order_relaxed);
+    unsigned long long b = base.load(std::memory_order_relaxed);
+    return c >= b ? c - b : 0;
+  }
+
   std::atomic<unsigned long long> updates_{0};
   std::atomic<unsigned long long> points_{0};
   std::atomic<unsigned long long> ranges_{0};
+  std::atomic<unsigned long long> base_updates_{0};
+  std::atomic<unsigned long long> base_points_{0};
+  std::atomic<unsigned long long> base_ranges_{0};
 };
 
 }  // namespace talus

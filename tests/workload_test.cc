@@ -6,6 +6,8 @@
 #include <set>
 #include <vector>
 
+#include "tuning/workload_mix.h"
+
 namespace talus {
 namespace workload {
 namespace {
@@ -146,6 +148,45 @@ TEST(PresetMixes, MatchPaperRatios) {
   EXPECT_DOUBLE_EQ(BalancedMix().updates, 0.5);
   EXPECT_DOUBLE_EQ(RangeScanMix().updates, 0.75);
   EXPECT_DOUBLE_EQ(RangeScanMix().range_lookups, 0.25);
+}
+
+// The drift monitor's input: AdvanceWindow() snapshots the lifetime
+// counters as the window base (epoch swap, no reset), so the windowed
+// estimate sees only recent traffic while the lifetime estimate keeps
+// accumulating.
+TEST(WorkloadMixTracker, WindowedEstimateSeesOnlyRecentTraffic) {
+  WorkloadMixTracker tracker;
+  for (int i = 0; i < 900; i++) tracker.RecordUpdate();
+  for (int i = 0; i < 100; i++) tracker.RecordPointLookup();
+  EXPECT_EQ(tracker.total(), 1000u);
+  EXPECT_DOUBLE_EQ(tracker.Estimate().updates, 0.9);
+  // Window and lifetime agree before the first AdvanceWindow.
+  EXPECT_EQ(tracker.WindowTotal(), 1000u);
+  EXPECT_DOUBLE_EQ(tracker.WindowEstimate().updates, 0.9);
+
+  tracker.AdvanceWindow();
+  EXPECT_EQ(tracker.WindowTotal(), 0u);
+  // An empty window falls back to the lifetime estimate rather than
+  // reporting a meaningless all-zero mix.
+  EXPECT_DOUBLE_EQ(tracker.WindowEstimate().updates, 0.9);
+
+  // A read-heavy window after a write-heavy lifetime: the windowed view
+  // flips immediately, the lifetime view barely moves.
+  for (int i = 0; i < 200; i++) tracker.RecordPointLookup();
+  const WorkloadMixTracker::RawCounts window = tracker.WindowRawCounts();
+  EXPECT_EQ(window.updates, 0u);
+  EXPECT_EQ(window.points, 200u);
+  EXPECT_DOUBLE_EQ(tracker.WindowEstimate().point_lookups, 1.0);
+  EXPECT_DOUBLE_EQ(tracker.WindowEstimate().updates, 0.0);
+  EXPECT_DOUBLE_EQ(tracker.Estimate().updates, 0.75);  // 900 / 1200.
+
+  // Reset clears the window bases too, not just the lifetime counters.
+  tracker.Reset();
+  EXPECT_EQ(tracker.total(), 0u);
+  EXPECT_EQ(tracker.WindowTotal(), 0u);
+  tracker.RecordRangeLookup();
+  EXPECT_EQ(tracker.WindowRawCounts().ranges, 1u);
+  EXPECT_DOUBLE_EQ(tracker.WindowEstimate().range_lookups, 1.0);
 }
 
 }  // namespace
