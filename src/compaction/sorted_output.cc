@@ -17,6 +17,7 @@ Status WriteSortedOutput(const OutputShape& shape, Iterator* input,
   bopts.block_size = shape.block_size;
   bopts.restart_interval = shape.restart_interval;
   bopts.bits_per_key = spec.bits_per_key;
+  bopts.filter_variant = shape.filter_variant;
 
   std::unique_ptr<SstBuilder> builder;
   uint64_t file_number = 0;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "env/env.h"
+#include "filter/bloom.h"
 #include "lsm/dbformat.h"
 #include "lsm/version.h"
 #include "table/iterator.h"
@@ -38,6 +39,7 @@ struct OutputShape {
   std::string path;
   size_t block_size = 4096;
   int restart_interval = 16;
+  FilterVariant filter_variant = FilterVariant::kLegacy;
   uint64_t target_file_size = 1 << 20;
   /// Shared file-number allocator (DB::next_file_number_).
   std::atomic<uint64_t>* next_file_number = nullptr;

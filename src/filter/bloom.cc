@@ -3,23 +3,75 @@
 #include <algorithm>
 #include <cmath>
 
+#include "table/sst_format.h"
 #include "util/random.h"
 
 namespace talus {
 
 namespace {
+
 uint32_t BloomHash(const Slice& key) {
   return Hash32(key.data(), key.size(), 0xbc9f1d34);
 }
+
+int OptimalProbes(double bits_per_key) {
+  // Optimal probe count ~= bits_per_key * ln(2); clamp to a sane range.
+  int n = static_cast<int>(bits_per_key * 0.69);
+  if (n < 1) n = 1;
+  if (n > 30) n = 30;
+  return n;
+}
+
+constexpr uint32_t kGoldenRatio32 = 0x9e3779b9u;
+
+// Legacy probe loop, shared by reader and (structurally) the builder.
+bool LegacyKeyMayMatch(const char* array, size_t len, const Slice& key) {
+  const size_t bits = (len - 1) * 8;
+  const int k = static_cast<unsigned char>(array[len - 1]);
+  if (k > 30) return true;  // Reserved encoding: treat as maybe-present.
+
+  uint32_t h = BloomHash(key);
+  const uint32_t delta = (h >> 17) | (h << 15);
+  for (int j = 0; j < k; j++) {
+    const uint32_t bitpos = h % bits;
+    if ((array[bitpos / 8] & (1 << (bitpos % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+// Blocked probe loop. Layout: [num_blocks x 64B][num_probes:1][tag:1].
+// Block selection is multiply-shift (fastrange: h * n >> 32, no modulo);
+// in-block bit positions come from successive golden-ratio remixes of the
+// hash, reading the top 9 bits (0..511) each round. All probes land in one
+// 64-byte line.
+bool BlockedKeyMayMatch(const char* data, size_t len, const Slice& key) {
+  if (len < 2 + kBloomBlockBytes) return true;
+  const size_t blocks_len = len - 2;
+  if (blocks_len % kBloomBlockBytes != 0) return true;  // Malformed: maybe.
+  const int k = static_cast<unsigned char>(data[len - 2]);
+  if (k < 1 || k > 30) return true;
+  const uint32_t num_blocks =
+      static_cast<uint32_t>(blocks_len / kBloomBlockBytes);
+
+  const uint32_t h = BloomHash(key);
+  const uint32_t block =
+      static_cast<uint32_t>((static_cast<uint64_t>(h) * num_blocks) >> 32);
+  const char* line = data + static_cast<size_t>(block) * kBloomBlockBytes;
+  uint32_t g = h * kGoldenRatio32;
+  for (int j = 0; j < k; j++) {
+    const uint32_t bitpos = g >> 23;  // Top 9 bits: 0..511 within the line.
+    if ((line[bitpos >> 3] & (1 << (bitpos & 7))) == 0) return false;
+    g *= kGoldenRatio32;
+  }
+  return true;
+}
+
 }  // namespace
 
 BloomFilterBuilder::BloomFilterBuilder(double bits_per_key)
-    : bits_per_key_(std::max(0.0, bits_per_key)) {
-  // Optimal probe count ~= bits_per_key * ln(2); clamp to a sane range.
-  num_probes_ = static_cast<int>(bits_per_key_ * 0.69);
-  if (num_probes_ < 1) num_probes_ = 1;
-  if (num_probes_ > 30) num_probes_ = 30;
-}
+    : bits_per_key_(std::max(0.0, bits_per_key)),
+      num_probes_(OptimalProbes(bits_per_key_)) {}
 
 void BloomFilterBuilder::AddKey(const Slice& key) {
   hashes_.push_back(BloomHash(key));
@@ -45,25 +97,64 @@ std::string BloomFilterBuilder::Finish() {
       h += delta;
     }
   }
+  hashes_.clear();  // One filter per Finish; the builder is reusable.
   return result;
+}
+
+BlockedBloomFilterBuilder::BlockedBloomFilterBuilder(double bits_per_key)
+    : bits_per_key_(std::max(0.0, bits_per_key)),
+      num_probes_(OptimalProbes(bits_per_key_)) {}
+
+void BlockedBloomFilterBuilder::AddKey(const Slice& key) {
+  hashes_.push_back(BloomHash(key));
+}
+
+std::string BlockedBloomFilterBuilder::Finish() {
+  const double bits =
+      static_cast<double>(hashes_.size()) * std::max(1.0, bits_per_key_);
+  size_t num_blocks =
+      static_cast<size_t>(bits + kBloomBlockBytes * 8 - 1) /
+      (kBloomBlockBytes * 8);
+  if (num_blocks < 1) num_blocks = 1;
+
+  std::string result(num_blocks * kBloomBlockBytes, '\0');
+  char* array = result.data();
+  for (const uint32_t h : hashes_) {
+    const uint32_t block = static_cast<uint32_t>(
+        (static_cast<uint64_t>(h) * num_blocks) >> 32);
+    char* line = array + static_cast<size_t>(block) * kBloomBlockBytes;
+    uint32_t g = h * kGoldenRatio32;
+    for (int j = 0; j < num_probes_; j++) {
+      const uint32_t bitpos = g >> 23;
+      line[bitpos >> 3] |= (1 << (bitpos & 7));
+      g *= kGoldenRatio32;
+    }
+  }
+  result.push_back(static_cast<char>(num_probes_));
+  result.push_back(static_cast<char>(kBlockedBloomTag));
+  hashes_.clear();
+  return result;
+}
+
+std::unique_ptr<FilterBlockBuilder> NewFilterBuilder(FilterVariant variant,
+                                                     double bits_per_key) {
+  switch (variant) {
+    case FilterVariant::kBlocked:
+      return std::make_unique<BlockedBloomFilterBuilder>(bits_per_key);
+    case FilterVariant::kLegacy:
+      break;
+  }
+  return std::make_unique<BloomFilterBuilder>(bits_per_key);
 }
 
 bool BloomFilterReader::KeyMayMatch(const Slice& key) const {
   const size_t len = data_.size();
   if (len < 2) return true;  // Degenerate filter: claim maybe-present.
-  const char* array = data_.data();
-  const size_t bits = (len - 1) * 8;
-  const int k = static_cast<unsigned char>(array[len - 1]);
-  if (k > 30) return true;  // Reserved encoding: treat as maybe-present.
-
-  uint32_t h = BloomHash(key);
-  const uint32_t delta = (h >> 17) | (h << 15);
-  for (int j = 0; j < k; j++) {
-    const uint32_t bitpos = h % bits;
-    if ((array[bitpos / 8] & (1 << (bitpos % 8))) == 0) return false;
-    h += delta;
+  const char* data = data_.data();
+  if (static_cast<unsigned char>(data[len - 1]) == kBlockedBloomTag) {
+    return BlockedKeyMayMatch(data, len, key);
   }
-  return true;
+  return LegacyKeyMayMatch(data, len, key);
 }
 
 double BloomFalsePositiveRate(double bits_per_key) {

@@ -1,10 +1,21 @@
-// Bloom filter over user keys, one per sorted run (LevelDB-style double
-// hashing). Bits-per-key is chosen by a FilterAllocator (static uniform,
-// Monkey, or the paper's dynamic layout — see filter_allocator.h).
+// Bloom filters over user keys, one per sorted run. Two wire formats:
+//
+//  - kLegacy: LevelDB-style double hashing over one flat bit array
+//    ([bit array][num_probes:1]). Every probe touches a random cache line
+//    and costs an integer modulo.
+//  - kBlocked: RocksDB-full-filter-style cache-line-blocked bloom. Each key
+//    hashes to ONE 64-byte block (multiply-shift, no modulo) and all probes
+//    stay inside that line, so a lookup costs a single cache miss.
+//
+// Readers dispatch on the encoding byte (see sst_format.h), so SSTs written
+// with either variant stay readable. Bits-per-key is chosen by a
+// FilterAllocator (static uniform, Monkey, or the paper's dynamic layout —
+// see filter_allocator.h).
 #ifndef TALUS_FILTER_BLOOM_H_
 #define TALUS_FILTER_BLOOM_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,17 +23,36 @@
 
 namespace talus {
 
-class BloomFilterBuilder {
+/// Which filter wire format SST builders emit. Readers auto-detect, so this
+/// only affects newly written files.
+enum class FilterVariant : uint8_t {
+  kLegacy = 0,   // Flat bit array, double hashing (seed format).
+  kBlocked = 1,  // Cache-line-blocked, one 64B block per key.
+};
+
+/// Builder interface shared by both variants. Finish() serializes the
+/// filter AND resets the builder, so one builder can produce a sequence of
+/// independent filters (one per SST).
+class FilterBlockBuilder {
+ public:
+  virtual ~FilterBlockBuilder() = default;
+  virtual void AddKey(const Slice& key) = 0;
+  virtual std::string Finish() = 0;
+  virtual size_t NumKeys() const = 0;
+};
+
+class BloomFilterBuilder : public FilterBlockBuilder {
  public:
   /// bits_per_key may be fractional (Monkey allocations often are).
   explicit BloomFilterBuilder(double bits_per_key);
 
-  void AddKey(const Slice& key);
+  void AddKey(const Slice& key) override;
 
-  /// Serializes the filter: bit array | num_probes (1 byte).
-  std::string Finish();
+  /// Serializes the filter: bit array | num_probes (1 byte). Clears the
+  /// accumulated key set so the builder can be reused for the next filter.
+  std::string Finish() override;
 
-  size_t NumKeys() const { return hashes_.size(); }
+  size_t NumKeys() const override { return hashes_.size(); }
 
  private:
   double bits_per_key_;
@@ -30,10 +60,33 @@ class BloomFilterBuilder {
   std::vector<uint32_t> hashes_;
 };
 
+class BlockedBloomFilterBuilder : public FilterBlockBuilder {
+ public:
+  explicit BlockedBloomFilterBuilder(double bits_per_key);
+
+  void AddKey(const Slice& key) override;
+
+  /// Serializes the filter: num_blocks x 64B blocks | num_probes (1 byte) |
+  /// tag (1 byte, kBlockedBloomTag). Clears the accumulated key set.
+  std::string Finish() override;
+
+  size_t NumKeys() const override { return hashes_.size(); }
+
+ private:
+  double bits_per_key_;
+  int num_probes_;
+  std::vector<uint32_t> hashes_;
+};
+
+/// Builder for the given variant.
+std::unique_ptr<FilterBlockBuilder> NewFilterBuilder(FilterVariant variant,
+                                                     double bits_per_key);
+
 class BloomFilterReader {
  public:
   /// `data` must outlive the reader (it typically points into a cached
-  /// filter block).
+  /// filter block). The encoding (legacy vs blocked) is detected from the
+  /// trailing byte per probe, so a reader handles SSTs of either variant.
   explicit BloomFilterReader(Slice data) : data_(data) {}
 
   /// True if the key may be present; false means definitely absent.

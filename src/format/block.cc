@@ -1,26 +1,58 @@
 #include "format/block.h"
 
 #include <cassert>
+#include <cstring>
 
 #include "lsm/dbformat.h"
 #include "util/coding.h"
 
 namespace talus {
 
-Block::Block(std::string contents) : data_(std::move(contents)) {
-  if (data_.size() < sizeof(uint32_t)) {
+Block::Block(std::string contents) : storage_(std::move(contents)) {
+  data_ = storage_.data();
+  size_ = storage_.size();
+  Parse();
+}
+
+Block::Block(size_t size) : storage_(size, '\0') {
+  data_ = storage_.data();
+  size_ = size;
+  // Trailer not parsed yet: the caller fills MutableData() and calls
+  // FinishLoad(). Until then the block reads as malformed/empty.
+  malformed_ = true;
+  num_restarts_ = 0;
+}
+
+Block::Block(const char* data, size_t size) : data_(data), size_(size) {
+  Parse();
+}
+
+void Block::Parse() {
+  malformed_ = false;
+  num_restarts_ = 0;
+  restart_offset_ = 0;
+  if (size_ < sizeof(uint32_t)) {
     malformed_ = true;
     return;
   }
-  num_restarts_ = DecodeFixed32(data_.data() + data_.size() - sizeof(uint32_t));
-  const size_t max_restarts =
-      (data_.size() - sizeof(uint32_t)) / sizeof(uint32_t);
+  num_restarts_ = DecodeFixed32(data_ + size_ - sizeof(uint32_t));
+  const size_t max_restarts = (size_ - sizeof(uint32_t)) / sizeof(uint32_t);
   if (num_restarts_ > max_restarts) {
     malformed_ = true;
     return;
   }
-  restart_offset_ = static_cast<uint32_t>(
-      data_.size() - (1 + num_restarts_) * sizeof(uint32_t));
+  restart_offset_ =
+      static_cast<uint32_t>(size_ - (1 + num_restarts_) * sizeof(uint32_t));
+}
+
+void PointGetContext::Reserve(size_t n) {
+  if (n <= kInlineKeyBytes || n <= heap_cap_) return;
+  size_t cap = heap_cap_ > 0 ? heap_cap_ : kInlineKeyBytes;
+  while (cap < n) cap *= 2;
+  std::unique_ptr<char[]> grown(new char[cap]);
+  memcpy(grown.get(), buf(), key_len_);
+  heap_ = std::move(grown);
+  heap_cap_ = cap;
 }
 
 namespace {
@@ -47,7 +79,96 @@ const char* DecodeEntry(const char* p, const char* limit, uint32_t* shared,
   return p;
 }
 
+// Three-way compare of a block entry key against the probe target whose
+// first `skip` bytes are already known equal. `trailer` is 8 for internal
+// keys (user key asc, then bytewise trailer — the complemented big-endian
+// encoding makes the tie-break a plain memcmp) and 0 for raw bytewise
+// blocks. *match returns the common prefix length of the two keys'
+// user-key parts so the caller can carry it into the next entry.
+// REQUIRES: both keys at least `trailer` bytes long.
+int CompareEntryKey(const Slice& entry, const Slice& target, size_t trailer,
+                    size_t skip, size_t* match) {
+  const Slice eu(entry.data(), entry.size() - trailer);
+  const Slice tu(target.data(), target.size() - trailer);
+  int r = CompareSkipPrefix(eu, tu, skip, match);
+  if (r != 0 || trailer == 0) return r;
+  return memcmp(entry.data() + entry.size() - trailer,
+                target.data() + target.size() - trailer, trailer);
+}
+
 }  // namespace
+
+PointGetStatus Block::PointGet(const Slice& target, PointGetContext* ctx,
+                               bool internal_key_order) const {
+  const size_t trailer = internal_key_order ? 8 : 0;
+  if (malformed_ || target.size() < trailer) return PointGetStatus::kCorrupt;
+  if (num_restarts_ == 0) return PointGetStatus::kNotFound;
+
+  const char* const data = data_;
+  const char* const limit = data + restart_offset_;
+  auto restart_point = [&](uint32_t index) {
+    return DecodeFixed32(data + restart_offset_ + index * sizeof(uint32_t));
+  };
+
+  // Binary search over restart points for the last restart whose (full,
+  // shared == 0) key is < target.
+  uint32_t left = 0;
+  uint32_t right = num_restarts_ - 1;
+  size_t ignored_match = 0;
+  while (left < right) {
+    const uint32_t mid = (left + right + 1) / 2;
+    const uint32_t region_offset = restart_point(mid);
+    if (region_offset >= restart_offset_) return PointGetStatus::kCorrupt;
+    uint32_t shared, non_shared, value_length;
+    const char* key_ptr = DecodeEntry(data + region_offset, limit, &shared,
+                                      &non_shared, &value_length);
+    if (key_ptr == nullptr || shared != 0 || non_shared < trailer) {
+      return PointGetStatus::kCorrupt;
+    }
+    const Slice mid_key(key_ptr, non_shared);
+    if (CompareEntryKey(mid_key, target, trailer, 0, &ignored_match) < 0) {
+      left = mid;
+    } else {
+      right = mid - 1;
+    }
+  }
+
+  // Linear scan from the restart, delta-decoding into ctx's buffer.
+  // `matched` counts the leading user-key bytes of the CURRENT entry known
+  // equal to the target; an entry sharing `shared` bytes with its
+  // predecessor therefore agrees with the target on min(matched, shared)
+  // bytes, which the comparison skips.
+  const uint32_t start = restart_point(left);
+  if (start >= restart_offset_) return PointGetStatus::kCorrupt;
+  const char* p = data + start;
+  size_t matched = 0;
+  ctx->key_len_ = 0;
+  while (true) {
+    if (p >= limit) return PointGetStatus::kNotFound;
+    uint32_t shared, non_shared, value_length;
+    p = DecodeEntry(p, limit, &shared, &non_shared, &value_length);
+    if (p == nullptr || shared > ctx->key_len_) {
+      return PointGetStatus::kCorrupt;
+    }
+    const size_t key_len = static_cast<size_t>(shared) + non_shared;
+    if (key_len < trailer) return PointGetStatus::kCorrupt;
+    ctx->Reserve(key_len);
+    memcpy(ctx->buf() + shared, p, non_shared);
+    ctx->key_len_ = key_len;
+    const Slice value(p + non_shared, value_length);
+    p += non_shared + value_length;
+
+    size_t skip = matched < shared ? matched : shared;
+    const size_t user_len = key_len - trailer;
+    if (skip > user_len) skip = user_len;
+    const int c = CompareEntryKey(Slice(ctx->buf(), key_len), target, trailer,
+                                  skip, &matched);
+    if (c >= 0) {
+      ctx->value_ = value;
+      return PointGetStatus::kFound;
+    }
+  }
+}
 
 class Block::Iter final : public Iterator {
  public:
@@ -105,7 +226,8 @@ class Block::Iter final : public Iterator {
       const char* key_ptr =
           DecodeEntry(data_ + region_offset, data_ + restarts_, &shared,
                       &non_shared, &value_length);
-      if (key_ptr == nullptr || shared != 0) {
+      if (key_ptr == nullptr || shared != 0 ||
+          (internal_key_order_ && non_shared < 8)) {
         CorruptionError();
         return;
       }
@@ -145,7 +267,7 @@ class Block::Iter final : public Iterator {
  private:
   int KeyCompare(const Slice& a, const Slice& b) const {
     if (internal_key_order_) {
-      return InternalKeyComparator().Compare(a, b);
+      return icmp_.Compare(a, b);
     }
     return a.compare(b);
   }
@@ -192,6 +314,12 @@ class Block::Iter final : public Iterator {
     }
     key_.resize(shared);
     key_.append(p, non_shared);
+    if (internal_key_order_ && key_.size() < 8) {
+      // An internal key is at least its 8-byte trailer; anything shorter
+      // would send the comparator out of bounds.
+      CorruptionError();
+      return false;
+    }
     value_ = Slice(p + non_shared, value_length);
     while (restart_index_ + 1 < num_restarts_ &&
            GetRestartPoint(restart_index_ + 1) < current_) {
@@ -204,6 +332,9 @@ class Block::Iter final : public Iterator {
   const uint32_t restarts_;
   const uint32_t num_restarts_;
   const bool internal_key_order_;
+  // Hoisted: one comparator for the iterator's lifetime instead of a
+  // construction per comparison.
+  const InternalKeyComparator icmp_{};
 
   uint32_t current_;        // Offset of current entry; >= restarts_ if !Valid.
   uint32_t restart_index_;  // Restart block in which current_ falls.
@@ -219,7 +350,7 @@ std::unique_ptr<Iterator> Block::NewIterator(bool internal_key_order) const {
   if (num_restarts_ == 0) {
     return NewEmptyIterator();
   }
-  return std::make_unique<Iter>(data_.data(), restart_offset_, num_restarts_,
+  return std::make_unique<Iter>(data_, restart_offset_, num_restarts_,
                                 internal_key_order);
 }
 

@@ -1,4 +1,5 @@
-// Block: read side of the block format, with a binary-searching iterator.
+// Block: read side of the block format, with a binary-searching iterator
+// and an allocation-free point-search (PointGet) for the lookup hot path.
 #ifndef TALUS_FORMAT_BLOCK_H_
 #define TALUS_FORMAT_BLOCK_H_
 
@@ -11,14 +12,66 @@
 
 namespace talus {
 
+/// Outcome of Block::PointGet.
+enum class PointGetStatus {
+  kFound,     // ctx holds the first entry with key >= target.
+  kNotFound,  // Every entry in the block is < target.
+  kCorrupt,   // Malformed block or entry; results are unusable.
+};
+
+/// Scratch state for Block::PointGet, reusable across calls. Holds the
+/// delta-decoded entry key in inline storage (heap only for keys longer
+/// than kInlineKeyBytes), so a point lookup materializes keys without a
+/// std::string resize+append per scanned entry. The value slice points
+/// into the block's bytes (zero-copy): it is valid only while the block's
+/// backing storage is.
+class PointGetContext {
+ public:
+  PointGetContext() = default;
+  PointGetContext(const PointGetContext&) = delete;
+  PointGetContext& operator=(const PointGetContext&) = delete;
+
+  /// Key / value of the found entry. Valid only after PointGet returned
+  /// kFound, until the next PointGet call with this context.
+  Slice key() const { return Slice(buf(), key_len_); }
+  Slice value() const { return value_; }
+
+ private:
+  friend class Block;
+  static constexpr size_t kInlineKeyBytes = 224;
+
+  const char* buf() const { return heap_cap_ > 0 ? heap_.get() : inline_; }
+  char* buf() { return heap_cap_ > 0 ? heap_.get() : inline_; }
+  /// Grows the key buffer to at least n bytes, preserving current contents
+  /// (a delta-decoded key keeps its shared prefix in place).
+  void Reserve(size_t n);
+
+  char inline_[kInlineKeyBytes];
+  std::unique_ptr<char[]> heap_;
+  size_t heap_cap_ = 0;
+  size_t key_len_ = 0;
+  Slice value_;
+};
+
 class Block {
  public:
   /// Takes ownership of `contents` (the exact bytes BlockBuilder produced).
   explicit Block(std::string contents);
+  /// Owning block with an uninitialized buffer of `size` bytes: the loader
+  /// reads file bytes directly into MutableData() and then calls
+  /// FinishLoad() to parse the trailer — the single-copy load path.
+  explicit Block(size_t size);
+  /// Non-owning view over externally owned bytes (e.g. a reusable read
+  /// scratch); the storage must outlive the Block and its iterators.
+  Block(const char* data, size_t size);
   Block(const Block&) = delete;
   Block& operator=(const Block&) = delete;
 
-  size_t size() const { return data_.size(); }
+  /// For the Block(size) path: the buffer to read into, then FinishLoad().
+  char* MutableData() { return storage_.data(); }
+  void FinishLoad() { Parse(); }
+
+  size_t size() const { return size_; }
 
   /// Iterator over the block. The Block must outlive the iterator.
   /// `internal_key_order` selects the engine's internal-key comparator
@@ -26,10 +79,22 @@ class Block {
   /// data and index blocks of SSTs always use it.
   std::unique_ptr<Iterator> NewIterator(bool internal_key_order = false) const;
 
+  /// Allocation-free point search: finds the first entry with key >=
+  /// target (exactly what Iter::Seek positions on) by binary-searching the
+  /// restart array and delta-decoding forward into ctx's inline buffer,
+  /// comparing with shared-prefix skipping. On kFound, ctx->key()/value()
+  /// hold the entry; value() points into this block's bytes.
+  PointGetStatus PointGet(const Slice& target, PointGetContext* ctx,
+                          bool internal_key_order = true) const;
+
  private:
   class Iter;
 
-  std::string data_;
+  void Parse();
+
+  std::string storage_;        // Empty for non-owning views.
+  const char* data_ = nullptr; // storage_.data() or external bytes.
+  size_t size_ = 0;
   uint32_t restart_offset_ = 0;  // Offset of restart array in data_.
   uint32_t num_restarts_ = 0;
   bool malformed_ = false;

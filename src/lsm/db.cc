@@ -229,6 +229,7 @@ compaction::OutputShape DB::OutputShapeForDb() {
   shape.path = options_.path;
   shape.block_size = options_.block_size;
   shape.restart_interval = options_.block_restart_interval;
+  shape.filter_variant = options_.filter_variant;
   shape.target_file_size = options_.target_file_size;
   shape.next_file_number = &next_file_number_;
   return shape;
@@ -1747,7 +1748,8 @@ Status DB::GetFromView(const read::ReadView& view, const LookupKey& lkey,
         return Status::IOError("cannot open sst for read");
       }
       SstReader::GetStats gs;
-      bool decided = reader->Get(lkey, value, &s, &gs);
+      bool decided = reader->Get(lkey, value, &s, &gs,
+                                 options_.point_read_fast_path);
       if (gs.filter_negative) probe->filter_negatives++;
       if (gs.block_read) probe->block_reads++;
       if (gs.cache_hit) probe->cache_hits++;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "env/env.h"
+#include "filter/bloom.h"
 #include "filter/filter_allocator.h"
 #include "policy/policy_config.h"
 
@@ -69,6 +70,16 @@ struct DbOptions {
 
   double bloom_bits_per_key = 5.0;
   FilterLayout filter_layout = FilterLayout::kStatic;
+  /// Filter wire format for newly written SSTs. Readers auto-detect per
+  /// file, so this can change across restarts without breaking old files.
+  /// kLegacy by default to keep the seed's on-disk bytes reproducible;
+  /// kBlocked makes every filter probe a single-cache-line access.
+  FilterVariant filter_variant = FilterVariant::kLegacy;
+  /// Use the allocation-free Block::PointGet path in SstReader::Get
+  /// instead of the two-iterator seek path (DESIGN.md §7). Amp counters
+  /// are identical either way; this exists as an A/B switch for the
+  /// ablation bench and as an escape hatch.
+  bool point_read_fast_path = true;
 
   bool enable_wal = true;
   /// When the write path fsyncs the WAL; see WalSyncMode. kNone by default

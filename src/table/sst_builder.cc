@@ -8,7 +8,8 @@ SstBuilder::SstBuilder(const SstBuilderOptions& options,
       file_(std::move(file)),
       data_block_(options.restart_interval, /*internal_key_order=*/true),
       index_block_(1, /*internal_key_order=*/true),
-      filter_(options.bits_per_key) {}
+      filter_(NewFilterBuilder(options.filter_variant, options.bits_per_key)) {
+}
 
 void SstBuilder::Add(const Slice& internal_key, const Slice& value) {
   if (!status_.ok()) return;
@@ -26,7 +27,7 @@ void SstBuilder::Add(const Slice& internal_key, const Slice& value) {
   }
   largest_.DecodeFrom(internal_key);
 
-  filter_.AddKey(ExtractUserKey(internal_key));
+  filter_->AddKey(ExtractUserKey(internal_key));
   last_key_.assign(internal_key.data(), internal_key.size());
   data_block_.Add(internal_key, value);
   num_entries_++;
@@ -68,7 +69,7 @@ Status SstBuilder::Finish() {
 
   Footer footer;
 
-  std::string filter_contents = filter_.Finish();
+  std::string filter_contents = filter_->Finish();
   status_ = WriteBlock(Slice(filter_contents), &footer.filter_handle);
   if (!status_.ok()) return status_;
 

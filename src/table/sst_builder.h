@@ -18,6 +18,7 @@ struct SstBuilderOptions {
   size_t block_size = 4096;
   int restart_interval = 16;
   double bits_per_key = 5.0;  // Bloom filter budget for this file's run.
+  FilterVariant filter_variant = FilterVariant::kLegacy;
 };
 
 class SstBuilder {
@@ -51,7 +52,7 @@ class SstBuilder {
 
   BlockBuilder data_block_;
   BlockBuilder index_block_;
-  BloomFilterBuilder filter_;
+  std::unique_ptr<FilterBlockBuilder> filter_;
 
   std::string last_key_;
   bool pending_index_entry_ = false;

@@ -21,6 +21,20 @@
 
 namespace talus {
 
+// Filter-block wire formats, dispatched on the LAST byte of the block:
+//
+//   0x01..0x1e        legacy bloom: [bit array][num_probes:1]
+//   kBlockedBloomTag  blocked bloom: [num_blocks x kBloomBlockBytes bytes]
+//                     [num_probes:1][tag:1]
+//
+// The blocked tag is deliberately > 30: legacy readers interpret the last
+// byte as a probe count and treat anything above 30 as "maybe present", so
+// an SST written with the blocked variant degrades to filter-less reads on
+// old code — never a false negative. New readers detect the tag and decode
+// either format, so mixed-variant databases stay fully readable.
+constexpr uint8_t kBlockedBloomTag = 0xb1;
+constexpr size_t kBloomBlockBytes = 64;  // One cache line per key.
+
 struct BlockHandle {
   uint64_t offset = 0;
   uint64_t size = 0;

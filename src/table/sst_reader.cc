@@ -1,6 +1,8 @@
 #include "table/sst_reader.h"
 
 #include <cassert>
+#include <cstring>
+#include <optional>
 
 #include "util/coding.h"
 
@@ -34,17 +36,23 @@ Status SstReader::Open(Env* env, const std::string& fname,
   r->file_number_ = file_number;
   r->block_cache_ = block_cache;
 
-  // Pin the index block.
+  // Pin the index block: read straight into the Block's owned buffer
+  // (single copy; zero when the env hands back its own memory).
   {
-    std::string scratch(footer.index_handle.size, '\0');
+    auto index =
+        std::make_unique<Block>(static_cast<size_t>(footer.index_handle.size));
     Slice contents;
     s = r->file_->Read(footer.index_handle.offset, footer.index_handle.size,
-                       &contents, scratch.data());
+                       &contents, index->MutableData());
     if (!s.ok()) return s;
     if (contents.size() != footer.index_handle.size) {
       return Status::Corruption("truncated index block", fname);
     }
-    r->index_block_ = std::make_unique<Block>(contents.ToString());
+    if (contents.data() != index->MutableData()) {
+      memcpy(index->MutableData(), contents.data(), contents.size());
+    }
+    index->FinishLoad();
+    r->index_block_ = std::move(index);
   }
 
   // Pin the filter block.
@@ -80,16 +88,21 @@ Status SstReader::ReadDataBlock(const BlockHandle& handle,
     }
   }
 
-  std::string scratch(handle.size, '\0');
+  // Single-copy load: read into the Block's own buffer (memcpy only when
+  // the env returned a pointer to its internal memory instead).
+  auto b = std::make_shared<Block>(static_cast<size_t>(handle.size));
   Slice contents;
   Status s = file_->Read(handle.offset, handle.size, &contents,
-                         scratch.data());
+                         b->MutableData());
   if (!s.ok()) return s;
   if (contents.size() != handle.size) {
     return Status::Corruption("truncated data block");
   }
+  if (contents.data() != b->MutableData()) {
+    memcpy(b->MutableData(), contents.data(), contents.size());
+  }
+  b->FinishLoad();
   data_blocks_read_.fetch_add(1, std::memory_order_relaxed);
-  auto b = std::make_shared<Block>(contents.ToString());
   if (block_cache_ != nullptr) {
     block_cache_->Insert(cache_key, b, b->size());
   }
@@ -98,17 +111,127 @@ Status SstReader::ReadDataBlock(const BlockHandle& handle,
 }
 
 bool SstReader::Get(const LookupKey& lkey, std::string* value, Status* s,
-                    GetStats* stats) {
-  Slice ikey = lkey.internal_key();
-
+                    GetStats* stats, bool fast_path) {
   if (!filter_->KeyMayMatch(lkey.user_key())) {
     if (stats != nullptr) stats->filter_negative = true;
     return false;
   }
+  return fast_path ? GetPointSearch(lkey, value, s, stats)
+                   : GetViaIterators(lkey, value, s, stats);
+}
+
+bool SstReader::FinishGet(const LookupKey& lkey, const Slice& entry_key,
+                          const Slice& entry_value, std::string* value,
+                          Status* s) {
+  ParsedInternalKey parsed;
+  if (!ParseInternalKey(entry_key, &parsed)) {
+    *s = Status::Corruption("bad internal key in data block");
+    return true;
+  }
+  if (parsed.user_key != lkey.user_key()) return false;
+
+  if (parsed.type == kTypeDeletion) {
+    *s = Status::NotFound(Slice());
+  } else {
+    value->assign(entry_value.data(), entry_value.size());
+    *s = Status::OK();
+  }
+  return true;
+}
+
+// Allocation-free point lookup: PointGet against the pinned index block,
+// then against the data block — no iterator heap allocations and no
+// per-entry std::string rebuilds. For the uncached no-block-cache case the
+// data block is a non-owning view over a reused thread-local scratch (with
+// a mem env the view points directly at the file's bytes: zero copies).
+bool SstReader::GetPointSearch(const LookupKey& lkey, std::string* value,
+                               Status* s, GetStats* stats) {
+  const Slice ikey = lkey.internal_key();
+  PointGetContext ctx;
+
+  PointGetStatus ps = index_block_->PointGet(ikey, &ctx);
+  if (ps == PointGetStatus::kCorrupt) {
+    *s = Status::Corruption("bad index block");
+    return true;  // Treat as decided with an error status.
+  }
+  if (ps == PointGetStatus::kNotFound) return false;
+
+  BlockHandle handle;
+  Slice handle_value = ctx.value();
+  if (!handle.DecodeFrom(&handle_value)) {
+    *s = Status::Corruption("bad index entry");
+    return true;
+  }
+
+  // Resolve the data block: cache, or a direct read without constructing a
+  // heap Block when there is no cache to share it with.
+  std::shared_ptr<Block> cached;
+  const Block* block = nullptr;
+  std::optional<Block> view;  // Storage for the uncached non-owning path.
+  if (block_cache_ != nullptr) {
+    bool cache_hit = false;
+    Status rs = ReadDataBlock(handle, &cached, &cache_hit);
+    if (stats != nullptr) {
+      stats->block_read = !cache_hit;
+      stats->cache_hit = cache_hit;
+    }
+    if (!rs.ok()) {
+      *s = rs;
+      return true;
+    }
+    block = cached.get();
+  } else {
+    static thread_local std::string scratch;
+    scratch.resize(handle.size);
+    Slice contents;
+    Status rs = file_->Read(handle.offset, handle.size, &contents,
+                            scratch.data());
+    if (stats != nullptr) {
+      stats->block_read = true;
+      stats->cache_hit = false;
+    }
+    if (!rs.ok()) {
+      *s = rs;
+      return true;
+    }
+    if (contents.size() != handle.size) {
+      *s = Status::Corruption("truncated data block");
+      return true;
+    }
+    data_blocks_read_.fetch_add(1, std::memory_order_relaxed);
+    // `contents` stays valid for the rest of this call: it points either at
+    // `scratch` or at memory pinned by the open file handle.
+    view.emplace(contents.data(), contents.size());
+    block = &*view;
+  }
+
+  ps = block->PointGet(ikey, &ctx);
+  if (ps == PointGetStatus::kCorrupt) {
+    *s = Status::Corruption("bad entry in block");
+    return true;
+  }
+  if (ps == PointGetStatus::kNotFound) return false;
+
+  return FinishGet(lkey, ctx.key(), ctx.value(), value, s);
+}
+
+// Legacy two-iterator path, kept as the A/B baseline for the ablation and
+// as an escape hatch (DbOptions::point_read_fast_path = false).
+bool SstReader::GetViaIterators(const LookupKey& lkey, std::string* value,
+                                Status* s, GetStats* stats) {
+  Slice ikey = lkey.internal_key();
 
   auto index_iter = index_block_->NewIterator(/*internal_key_order=*/true);
   index_iter->Seek(ikey);
-  if (!index_iter->Valid()) return false;
+  if (!index_iter->Valid()) {
+    // Seek past the last entry is a miss, but a seek that died on a corrupt
+    // entry must surface the corruption, not read as "not found".
+    if (!index_iter->status().ok()) {
+      *s = index_iter->status();
+      return true;
+    }
+    return false;
+  }
 
   BlockHandle handle;
   Slice handle_value = index_iter->value();
@@ -131,22 +254,15 @@ bool SstReader::Get(const LookupKey& lkey, std::string* value, Status* s,
 
   auto block_iter = block->NewIterator(/*internal_key_order=*/true);
   block_iter->Seek(ikey);
-  if (!block_iter->Valid()) return false;
-
-  ParsedInternalKey parsed;
-  if (!ParseInternalKey(block_iter->key(), &parsed)) {
-    *s = Status::Corruption("bad internal key in data block");
-    return true;
+  if (!block_iter->Valid()) {
+    if (!block_iter->status().ok()) {
+      *s = block_iter->status();
+      return true;
+    }
+    return false;
   }
-  if (parsed.user_key != lkey.user_key()) return false;
 
-  if (parsed.type == kTypeDeletion) {
-    *s = Status::NotFound(Slice());
-  } else {
-    value->assign(block_iter->value().data(), block_iter->value().size());
-    *s = Status::OK();
-  }
-  return true;
+  return FinishGet(lkey, block_iter->key(), block_iter->value(), value, s);
 }
 
 // Iterates index entries, materializing one data block at a time.

@@ -39,9 +39,11 @@ class SstReader {
 
   /// Point lookup for the newest entry visible at `lkey`. Returns true if
   /// this run decides the key (value found or tombstone). Sets *s to OK or
-  /// NotFound accordingly.
+  /// NotFound accordingly. `fast_path` selects the allocation-free
+  /// Block::PointGet search (DESIGN.md §7); false falls back to the
+  /// two-iterator seek path. Results and GetStats are identical either way.
   bool Get(const LookupKey& lkey, std::string* value, Status* s,
-           GetStats* stats = nullptr);
+           GetStats* stats = nullptr, bool fast_path = true);
 
   /// Iterator over the whole file (internal keys).
   std::unique_ptr<Iterator> NewIterator();
@@ -55,6 +57,14 @@ class SstReader {
 
   Status ReadDataBlock(const BlockHandle& handle,
                        std::shared_ptr<Block>* block, bool* cache_hit);
+
+  bool GetPointSearch(const LookupKey& lkey, std::string* value, Status* s,
+                      GetStats* stats);
+  bool GetViaIterators(const LookupKey& lkey, std::string* value, Status* s,
+                       GetStats* stats);
+  /// Shared tail: classify the entry PointGet/Seek positioned on.
+  bool FinishGet(const LookupKey& lkey, const Slice& entry_key,
+                 const Slice& entry_value, std::string* value, Status* s);
 
   class TwoLevelIterator;
 

@@ -5,6 +5,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <string>
 #include <string_view>
@@ -68,6 +69,44 @@ inline bool operator==(const Slice& a, const Slice& b) {
 }
 inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
 inline bool operator<(const Slice& a, const Slice& b) { return a.compare(b) < 0; }
+
+/// Offset of the first byte where a and b differ, or `n` when the first n
+/// bytes are equal. Word-at-a-time: compares 8-byte chunks (memcpy loads —
+/// safe on any alignment, compiled to single loads) and pinpoints the
+/// mismatching byte inside the chunk with a byte scan, so long shared key
+/// prefixes cost one load pair per 8 bytes instead of one per byte.
+inline size_t MismatchOffset(const char* a, const char* b, size_t n) {
+  size_t i = 0;
+  while (i + 8 <= n) {
+    uint64_t wa, wb;
+    memcpy(&wa, a + i, 8);
+    memcpy(&wb, b + i, 8);
+    if (wa != wb) break;
+    i += 8;
+  }
+  while (i < n && a[i] == b[i]) i++;
+  return i;
+}
+
+/// Three-way compare of a and b whose first `skip` bytes the caller
+/// guarantees equal (e.g. a delta-decoded block entry sharing a prefix with
+/// the probe key). Also reports the full common-prefix length through
+/// *match so the caller can carry it into the next comparison.
+inline int CompareSkipPrefix(const Slice& a, const Slice& b, size_t skip,
+                             size_t* match) {
+  const size_t min_len = a.size() < b.size() ? a.size() : b.size();
+  if (skip > min_len) skip = min_len;
+  const size_t m = skip + MismatchOffset(a.data() + skip, b.data() + skip,
+                                         min_len - skip);
+  if (match != nullptr) *match = m;
+  if (m < min_len) {
+    return static_cast<unsigned char>(a[m]) < static_cast<unsigned char>(b[m])
+               ? -1
+               : +1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : +1;
+}
 
 }  // namespace talus
 

@@ -67,6 +67,84 @@ TEST(Bloom, EmptyFilterMatchesNothingClaimed) {
   EXPECT_FALSE(reader.KeyMayMatch("anything"));
 }
 
+TEST(BlockedBloom, NoFalseNegatives) {
+  BlockedBloomFilterBuilder builder(10.0);
+  for (int i = 0; i < 10000; i++) builder.AddKey(Key(i));
+  std::string data = builder.Finish();
+  BloomFilterReader reader{Slice(data)};
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_TRUE(reader.KeyMayMatch(Key(i))) << i;
+  }
+}
+
+TEST(BlockedBloom, EncodingTagged) {
+  BlockedBloomFilterBuilder builder(10.0);
+  for (int i = 0; i < 100; i++) builder.AddKey(Key(i));
+  std::string data = builder.Finish();
+  ASSERT_GE(data.size(), 2u + 64u);
+  // [num_blocks x 64][num_probes][tag]: blocks are 64-byte aligned and the
+  // trailing tag steers reader dispatch.
+  EXPECT_EQ((data.size() - 2) % 64, 0u);
+  EXPECT_EQ(static_cast<unsigned char>(data.back()), 0xb1);
+  // A legacy reader interprets the last byte as a probe count and treats
+  // anything > 30 as maybe-present — so old code degrades to filter-less
+  // reads on blocked filters, never a false negative.
+  EXPECT_GT(static_cast<unsigned char>(data.back()), 30);
+}
+
+// Both variants should track the theoretical FPR at 10 bits/key. The
+// blocked variant trades a little accuracy for one-cache-line probes; allow
+// it a looser (but still same-order) band.
+TEST(BlockedBloom, FalsePositiveRateNearTheory) {
+  for (const FilterVariant variant :
+       {FilterVariant::kLegacy, FilterVariant::kBlocked}) {
+    auto builder = NewFilterBuilder(variant, 10.0);
+    for (int i = 0; i < 20000; i++) builder->AddKey(Key(i));
+    std::string data = builder->Finish();
+    BloomFilterReader reader{Slice(data)};
+    int fp = 0;
+    const int probes = 20000;
+    for (int i = 0; i < probes; i++) {
+      if (reader.KeyMayMatch(Key(1000000 + i))) fp++;
+    }
+    const double rate = static_cast<double>(fp) / probes;
+    const double expected = BloomFalsePositiveRate(10.0);  // ~0.0082
+    EXPECT_LT(rate, expected * 3 + 0.01)
+        << "variant=" << static_cast<int>(variant);
+    EXPECT_GT(rate, 0.0);
+  }
+}
+
+// Finish() must reset the builder: a second filter built with the same
+// builder must not union in the first filter's keys (the seed leaked
+// hashes_ across Finish calls).
+TEST(BlockedBloom, BuilderReusableAcrossFinish) {
+  for (const FilterVariant variant :
+       {FilterVariant::kLegacy, FilterVariant::kBlocked}) {
+    auto builder = NewFilterBuilder(variant, 10.0);
+    for (int i = 0; i < 2000; i++) builder->AddKey(Key(i));
+    std::string first = builder->Finish();
+    EXPECT_EQ(builder->NumKeys(), 0u);
+
+    // Second filter over a disjoint key set.
+    for (int i = 0; i < 2000; i++) builder->AddKey(Key(500000 + i));
+    std::string second = builder->Finish();
+
+    BloomFilterReader second_reader{Slice(second)};
+    for (int i = 0; i < 2000; i++) {
+      EXPECT_TRUE(second_reader.KeyMayMatch(Key(500000 + i)));
+    }
+    // If Finish leaked state, every first-batch key would still match the
+    // second filter. A fresh 10-bpk filter false-positives on only ~1% of
+    // foreign keys.
+    int carried = 0;
+    for (int i = 0; i < 2000; i++) {
+      if (second_reader.KeyMayMatch(Key(i))) carried++;
+    }
+    EXPECT_LT(carried, 200) << "variant=" << static_cast<int>(variant);
+  }
+}
+
 TEST(FilterAllocator, StaticUniform) {
   auto alloc = NewStaticFilterAllocator(7.5);
   std::vector<LevelFilterInfo> levels(3);

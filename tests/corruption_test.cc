@@ -108,6 +108,41 @@ TEST(SstCorruption, GarbledIndexSurfacesOnOpenOrRead) {
   }
 }
 
+// Regression: a corrupt index entry used to read as "not found" (the seek
+// died on CorruptionError but Get only checked Valid()). Both lookup paths
+// must surface Corruption for a key whose search touches the bad entry.
+TEST(SstCorruption, CorruptIndexEntrySurfacesOnGet) {
+  auto env = NewMemEnv();
+  BuildSst(env.get(), "/c5.sst", 1000);
+  MutateFile(env.get(), "/c5.sst", [](std::string* c) {
+    Footer footer;
+    ASSERT_TRUE(footer
+                    .DecodeFrom(Slice(c->data() + c->size() -
+                                          Footer::kEncodedLength,
+                                      Footer::kEncodedLength))
+                    .ok());
+    // Garble the first index entry's header (truncated/invalid varints).
+    // The block trailer stays intact, so Open still succeeds.
+    for (size_t i = 0; i < 8; i++) {
+      (*c)[static_cast<size_t>(footer.index_handle.offset) + i] = '\xff';
+    }
+  });
+  std::unique_ptr<SstReader> reader;
+  ASSERT_TRUE(SstReader::Open(env.get(), "/c5.sst", 1, nullptr, &reader).ok());
+  // The smallest key binary-searches to restart 0 and scans into the
+  // garbled entry on both paths.
+  const std::string key = workload::FormatKey(0, 16);
+  for (const bool fast_path : {false, true}) {
+    std::string value;
+    Status s;
+    const bool decided = reader->Get(LookupKey(key, kMaxSequenceNumber),
+                                     &value, &s, nullptr, fast_path);
+    ASSERT_TRUE(decided) << "fast_path=" << fast_path;
+    EXPECT_TRUE(s.IsCorruption())
+        << "fast_path=" << fast_path << " status=" << s.ToString();
+  }
+}
+
 TEST(DbCorruption, ManifestDamageFailsOpen) {
   auto env = NewMemEnv();
   DbOptions opts;

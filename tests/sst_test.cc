@@ -19,7 +19,8 @@ struct SstFixture {
   std::unique_ptr<SstReader> reader;
   LruCache cache{1 << 20};
 
-  void Build(int num_keys, double bpk = 10.0, size_t block_size = 4096) {
+  void Build(int num_keys, double bpk = 10.0, size_t block_size = 4096,
+             FilterVariant variant = FilterVariant::kLegacy) {
     Random rnd(17);
     SequenceNumber seq = 1;
     for (int i = 0; i < num_keys; i++) {
@@ -30,6 +31,7 @@ struct SstFixture {
     SstBuilderOptions opts;
     opts.bits_per_key = bpk;
     opts.block_size = block_size;
+    opts.filter_variant = variant;
     std::unique_ptr<WritableFile> file;
     ASSERT_TRUE(env->NewWritableFile("/sst/000001.sst", &file).ok());
     SstBuilder builder(opts, std::move(file));
@@ -178,6 +180,73 @@ TEST(Sst, PosixEnvRoundTrip) {
     EXPECT_EQ(value, v);
   }
   env->RemoveFile(fname);
+}
+
+// Compatibility matrix: SSTs written with either filter variant must read
+// back correctly through both the PointGet fast path and the legacy
+// iterator path — one reader handles any mix of file vintages.
+TEST(Sst, FilterVariantAndGetPathMatrix) {
+  for (const FilterVariant variant :
+       {FilterVariant::kLegacy, FilterVariant::kBlocked}) {
+    SstFixture fx;
+    fx.Build(2000, 10.0, 4096, variant);
+    for (const bool fast_path : {false, true}) {
+      SCOPED_TRACE("variant=" + std::to_string(static_cast<int>(variant)) +
+                   " fast_path=" + std::to_string(fast_path));
+      for (const auto& [k, v] : fx.model) {
+        std::string value;
+        Status s;
+        LookupKey lkey(k, kMaxSequenceNumber);
+        ASSERT_TRUE(fx.reader->Get(lkey, &value, &s, nullptr, fast_path))
+            << k;
+        EXPECT_TRUE(s.ok());
+        EXPECT_EQ(value, v);
+      }
+      // Missing keys stay undecided and the filter still fires.
+      int decided = 0, filter_negative = 0;
+      for (int i = 0; i < 1000; i++) {
+        char key[32];
+        snprintf(key, sizeof(key), "zzzz%08d", i);
+        std::string value;
+        Status s;
+        SstReader::GetStats stats;
+        if (fx.reader->Get(LookupKey(key, kMaxSequenceNumber), &value, &s,
+                           &stats, fast_path)) {
+          decided++;
+        }
+        if (stats.filter_negative) filter_negative++;
+      }
+      EXPECT_EQ(decided, 0);
+      EXPECT_GT(filter_negative, 900);
+    }
+  }
+}
+
+// Both Get paths must report identical per-lookup stats: the amp counters
+// built from them feed the cost model and must not shift with the path.
+TEST(Sst, GetStatsIdenticalAcrossPaths) {
+  SstFixture slow, fast;
+  slow.Build(3000);
+  fast.Build(3000);
+  for (int i = 0; i < 3000; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "user%08d", i);  // Mix of hits and misses.
+    std::string v1, v2;
+    Status s1, s2;
+    SstReader::GetStats g1, g2;
+    const bool d1 = slow.reader->Get(LookupKey(key, kMaxSequenceNumber), &v1,
+                                     &s1, &g1, /*fast_path=*/false);
+    const bool d2 = fast.reader->Get(LookupKey(key, kMaxSequenceNumber), &v2,
+                                     &s2, &g2, /*fast_path=*/true);
+    ASSERT_EQ(d1, d2) << key;
+    EXPECT_EQ(g1.filter_negative, g2.filter_negative) << key;
+    EXPECT_EQ(g1.block_read, g2.block_read) << key;
+    EXPECT_EQ(g1.cache_hit, g2.cache_hit) << key;
+    if (d1) {
+      EXPECT_EQ(s1.ok(), s2.ok());
+      EXPECT_EQ(v1, v2);
+    }
+  }
 }
 
 TEST(Sst, TombstonesDecideLookups) {
