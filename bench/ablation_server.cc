@@ -1,0 +1,237 @@
+// Ablation: network service layer — connections × pipeline depth × value
+// size (DESIGN.md §8, docs/PROTOCOL.md).
+//
+// An in-process Server on 127.0.0.1:0 fronts a 4-shard ShardedDB on the
+// in-memory env; client threads drive pipelined PUT windows through the
+// wire protocol. The interesting columns: throughput scaling as the
+// pipeline deepens (N in-flight requests decode into one batch and commit
+// as one write group — coalesced_ops/coalesced_batches shows the realized
+// group size) and what that depth costs the per-request tail.
+//
+// --smoke shrinks the sweep to a CI-friendly run; --json PATH emits the
+// rows for the nightly BENCH trajectory (BENCH_server.json).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/server.h"
+#include "shard/sharded_db.h"
+#include "workload/generator.h"
+
+namespace talus {
+namespace {
+
+constexpr uint64_t kKeySpace = 50000;
+constexpr int kShards = 4;
+
+struct BenchConfig {
+  bool smoke = false;
+  std::string json_path;
+};
+
+struct RunResult {
+  double kops_per_sec = 0;
+  double wall_seconds = 0;
+  double lat_p50_us = 0;
+  double lat_p99_us = 0;
+  double lat_p999_us = 0;
+  uint64_t coalesced_batches = 0;
+  uint64_t coalesced_ops = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+};
+
+uint64_t OpsPerConnection(const BenchConfig& cfg) {
+  return cfg.smoke ? 2000 : 20000;
+}
+
+double Percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0;
+  const size_t idx = std::min(
+      sorted_us.size() - 1,
+      static_cast<size_t>(p / 100.0 * static_cast<double>(sorted_us.size())));
+  return sorted_us[idx];
+}
+
+RunResult RunOne(const BenchConfig& cfg, int connections, int depth,
+                 int value_bytes) {
+  auto env = NewMemEnv();
+  DbOptions opts;
+  opts.env = env.get();
+  opts.path = "/db";
+  opts.write_buffer_size = 256 << 10;
+  opts.target_file_size = 256 << 10;
+  opts.block_cache_bytes = 4 << 20;
+  opts.policy = GrowthPolicyConfig::VTLevelFull(3);
+  opts.execution_mode = ExecutionMode::kBackground;
+  opts.num_background_threads = 4;
+  opts.shard_count = kShards;
+  for (int i = 1; i < kShards; i++) {
+    opts.shard_split_points.push_back(
+        workload::FormatKey(kKeySpace * i / kShards, 16));
+  }
+  std::unique_ptr<shard::ShardedDB> db;
+  Status s = shard::ShardedDB::Open(opts, &db);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return {};
+  }
+
+  server::ServerOptions sopts;
+  sopts.worker_threads = 4;
+  sopts.max_pipeline_depth = static_cast<size_t>(std::max(depth, 1));
+  server::Server srv(db.get(), sopts);
+  s = srv.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return {};
+  }
+
+  const uint64_t ops = OpsPerConnection(cfg);
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(connections));
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < connections; t++) {
+    threads.emplace_back([&, t] {
+      server::Client client;
+      if (!client.Connect("127.0.0.1", srv.port()).ok()) return;
+      std::vector<double>& lat = latencies[static_cast<size_t>(t)];
+      lat.reserve(ops);
+      const std::string value(static_cast<size_t>(value_bytes), 'v');
+      uint64_t key_index = static_cast<uint64_t>(t) * 7919;
+      std::vector<uint64_t> window;
+      window.reserve(static_cast<size_t>(depth));
+      for (uint64_t i = 0; i < ops;) {
+        // Issue one pipelined window, then collect it: `depth` requests
+        // ride one socket write and decode into one server batch.
+        window.clear();
+        const auto sent = std::chrono::steady_clock::now();
+        for (int d = 0; d < depth && i < ops; d++, i++) {
+          key_index = (key_index + 2654435761u) % kKeySpace;
+          window.push_back(client.SendPut(
+              workload::FormatKey(key_index, 16), value));
+        }
+        for (uint64_t id : window) {
+          if (!client.Wait(id, nullptr).ok()) return;
+          lat.push_back(std::chrono::duration_cast<
+                            std::chrono::duration<double, std::micro>>(
+                            std::chrono::steady_clock::now() - sent)
+                            .count());
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+          .count();
+  r.kops_per_sec =
+      static_cast<double>(ops) * connections / r.wall_seconds / 1000;
+  std::vector<double> all;
+  for (const auto& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  std::sort(all.begin(), all.end());
+  r.lat_p50_us = Percentile(all, 50);
+  r.lat_p99_us = Percentile(all, 99);
+  r.lat_p999_us = Percentile(all, 99.9);
+  const server::ServerStats stats = srv.stats();
+  r.coalesced_batches = stats.coalesced_batches;
+  r.coalesced_ops = stats.coalesced_ops;
+  r.bytes_in = stats.bytes_in;
+  r.bytes_out = stats.bytes_out;
+  srv.Stop();
+  return r;
+}
+
+}  // namespace
+}  // namespace talus
+
+int main(int argc, char** argv) {
+  using namespace talus;
+
+  BenchConfig cfg;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      cfg.smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      cfg.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json PATH]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  const std::vector<int> connection_counts =
+      cfg.smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 8};
+  const std::vector<int> depths =
+      cfg.smoke ? std::vector<int>{1, 16} : std::vector<int>{1, 8, 64};
+  const std::vector<int> value_sizes =
+      cfg.smoke ? std::vector<int>{100} : std::vector<int>{100, 1024};
+
+  std::printf("# Server ablation: %llu puts/connection over loopback TCP, "
+              "%d-shard ShardedDB, mem env, %u cores\n",
+              static_cast<unsigned long long>(OpsPerConnection(cfg)), kShards,
+              std::thread::hardware_concurrency());
+  std::printf("%6s %6s %7s %9s %8s %8s %8s %9s %11s\n", "conns", "depth",
+              "val_B", "kops/s", "p50_us", "p99_us", "p999_us", "batches",
+              "coal_ops");
+
+  std::string json = "{\"bench\":\"ablation_server\",\"smoke\":" +
+                     std::string(cfg.smoke ? "true" : "false") +
+                     ",\"rows\":[\n";
+  bool first_row = true;
+  for (int value_bytes : value_sizes) {
+    for (int conns : connection_counts) {
+      for (int depth : depths) {
+        RunResult r = RunOne(cfg, conns, depth, value_bytes);
+        std::printf("%6d %6d %7d %9.1f %8.0f %8.0f %8.0f %9llu %11llu\n",
+                    conns, depth, value_bytes, r.kops_per_sec, r.lat_p50_us,
+                    r.lat_p99_us, r.lat_p999_us,
+                    static_cast<unsigned long long>(r.coalesced_batches),
+                    static_cast<unsigned long long>(r.coalesced_ops));
+        char row[512];
+        std::snprintf(
+            row, sizeof(row),
+            "%s{\"connections\":%d,\"depth\":%d,\"value_bytes\":%d,"
+            "\"kops_per_sec\":%.1f,\"wall_seconds\":%.3f,"
+            "\"lat_p50_us\":%.1f,\"lat_p99_us\":%.1f,\"lat_p999_us\":%.1f,"
+            "\"coalesced_batches\":%llu,\"coalesced_ops\":%llu,"
+            "\"bytes_in\":%llu,\"bytes_out\":%llu}",
+            first_row ? "" : ",\n", conns, depth, value_bytes, r.kops_per_sec,
+            r.wall_seconds, r.lat_p50_us, r.lat_p99_us, r.lat_p999_us,
+            static_cast<unsigned long long>(r.coalesced_batches),
+            static_cast<unsigned long long>(r.coalesced_ops),
+            static_cast<unsigned long long>(r.bytes_in),
+            static_cast<unsigned long long>(r.bytes_out));
+        json += row;
+        first_row = false;
+      }
+    }
+    std::printf("\n");
+  }
+  json += "\n]}\n";
+
+  if (!cfg.json_path.empty()) {
+    std::FILE* f = std::fopen(cfg.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", cfg.json_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", cfg.json_path.c_str());
+  }
+  return 0;
+}

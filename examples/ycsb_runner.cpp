@@ -9,6 +9,14 @@
 //     --workload=<read-heavy|balanced|write-heavy|range-scan>
 //     --dist=<uniform|zipfian|hotcold>
 //     --keys=N --ops=N --ratio=T --bpk=B --cache=BYTES
+//
+// Networked mode: --connect=HOST:PORT runs the same load + mix against a
+// running talus server (examples/talus_server.cpp) over the wire protocol
+// instead of an embedded DB; --depth=N pipelines that many requests per
+// connection (docs/PROTOCOL.md). Policy/cache flags are ignored — those
+// belong to the server — and engine metrics come back via the talus.stats
+// property.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +26,7 @@
 #include "env/env.h"
 #include "lsm/db.h"
 #include "metrics/throughput.h"
+#include "server/client.h"
 #include "util/random.h"
 #include "workload/generator.h"
 
@@ -53,6 +62,112 @@ GrowthPolicyConfig PolicyByName(const std::string& name, double T,
   return GrowthPolicyConfig::Vertiorizon(T);
 }
 
+// Runs load + op mix against a remote talus server. The pipelined window
+// (depth) is the client half of the server's group-commit coalescing:
+// updates issued back-to-back commit as one WriteBatch server-side.
+int RunNetworked(const std::string& endpoint, const workload::KeySpaceSpec& keys,
+                 const workload::OpMix& mix, uint64_t num_keys,
+                 uint64_t num_ops, int depth) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--connect wants HOST:PORT, got %s\n",
+                 endpoint.c_str());
+    return 1;
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const uint16_t port = static_cast<uint16_t>(
+      std::strtoul(endpoint.c_str() + colon + 1, nullptr, 10));
+
+  server::Client client;
+  Status s = client.Connect(host, port);
+  if (!s.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Load, pipelined `depth` at a time.
+  std::vector<uint64_t> window;
+  auto drain = [&]() -> Status {
+    Status first;
+    for (uint64_t id : window) {
+      Status w = client.Wait(id, nullptr);
+      if (first.ok() && !w.ok()) first = w;
+    }
+    window.clear();
+    return first;
+  };
+  for (uint64_t i = 0; i < num_keys; i++) {
+    const uint64_t k = (i * 2654435761u) % num_keys;
+    window.push_back(
+        client.SendPut(workload::FormatKey(k, keys.key_size),
+                       workload::MakeValue(k, 0, keys.value_size)));
+    if (window.size() >= static_cast<size_t>(depth)) {
+      s = drain();
+      if (!s.ok()) {
+        std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  s = drain();
+  if (!s.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %llu entries over the wire\n",
+              static_cast<unsigned long long>(num_keys));
+
+  // Run. Reads are sync (their result gates nothing but models a real
+  // client waiting on a value); updates pipeline up to `depth`.
+  workload::OpStream stream(keys, mix, 7);
+  uint64_t updates = 0, lookups = 0, scans = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < num_ops; i++) {
+    const auto op = stream.Next();
+    const std::string key = workload::FormatKey(op.key_index, keys.key_size);
+    switch (op.type) {
+      case workload::OpType::kUpdate:
+        window.push_back(client.SendPut(
+            key, workload::MakeValue(op.key_index, i, keys.value_size)));
+        if (window.size() >= static_cast<size_t>(depth)) drain();
+        updates++;
+        break;
+      case workload::OpType::kPointLookup: {
+        drain();
+        std::string value;
+        client.Get(key, &value);
+        lookups++;
+        break;
+      }
+      case workload::OpType::kRangeLookup: {
+        drain();
+        std::vector<std::pair<std::string, std::string>> out;
+        client.Scan(key, 32, &out);
+        scans++;
+        break;
+      }
+    }
+  }
+  drain();
+  const double wall =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::printf("\nresults (networked):\n");
+  std::printf("  throughput         : %.1f kops/s over %.2fs\n",
+              num_ops / wall / 1000, wall);
+  std::printf("  op counts          : %llu updates, %llu lookups, %llu scans\n",
+              static_cast<unsigned long long>(updates),
+              static_cast<unsigned long long>(lookups),
+              static_cast<unsigned long long>(scans));
+  std::string stats;
+  if (client.GetProperty("talus.stats", &stats).ok()) {
+    std::printf("  server talus.stats :\n%s", stats.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -86,6 +201,14 @@ int main(int argc, char** argv) {
   if (workload_name == "read-heavy") mix = workload::ReadHeavyMix();
   if (workload_name == "write-heavy") mix = workload::WriteHeavyMix();
   if (workload_name == "range-scan") mix = workload::RangeScanMix();
+
+  const std::string connect = FlagValue(argc, argv, "connect", "");
+  if (!connect.empty()) {
+    const int depth =
+        std::atoi(FlagValue(argc, argv, "depth", "32").c_str());
+    return RunNetworked(connect, keys, mix, num_keys, num_ops,
+                        depth > 0 ? depth : 1);
+  }
 
   auto env = NewMemEnv();
   DbOptions options;

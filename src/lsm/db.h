@@ -236,7 +236,10 @@ class DB {
   /// background work first.
   Status CompactAll();
 
-  /// Introspection. Returns false for unknown names.
+  /// Introspection. Returns false for unknown names. Every property is
+  /// also fetchable over the wire via the PROPERTY opcode
+  /// (docs/PROTOCOL.md) when the DB is served by server::Server; the
+  /// operator-facing guide to reading them is docs/OPERATIONS.md.
   ///   "talus.stats"      engine counters, incl. stall split by regime/cause
   ///   "talus.levels"     per-level shape
   ///   "talus.cstats"     per-level compaction accounting

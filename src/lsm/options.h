@@ -131,6 +131,10 @@ struct DbOptions {
 
   // ---- Background execution (ExecutionMode::kBackground only) ----
   ExecutionMode execution_mode = ExecutionMode::kInline;
+  /// Flush/compaction threads. Deliberately separate from the network
+  /// layer's request workers (server::ServerOptions::worker_threads) so
+  /// request execution and engine maintenance cannot starve each other;
+  /// a served DB should run kBackground (DESIGN.md §8).
   int num_background_threads = 2;
   /// Immutable memtables allowed before writers stop.
   size_t max_immutable_memtables = 2;

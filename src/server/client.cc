@@ -1,0 +1,274 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace talus {
+namespace server {
+
+namespace {
+// Client-side cap on one response frame; matches the server's floor.
+constexpr size_t kClientMaxFrameBytes = 64 << 20;
+}  // namespace
+
+Client::~Client() { Close(); }
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Status::IOError("socket", strerror(errno));
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host address", host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = strerror(errno);
+    Close();
+    return Status::IOError("connect " + host, err);
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  sendbuf_.clear();
+  recvbuf_.clear();
+  recvpos_ = 0;
+  pending_.clear();
+  stashed_.clear();
+}
+
+uint64_t Client::Enqueue(wire::Opcode op, const Slice& payload) {
+  const uint64_t id = next_id_++;
+  wire::AppendFrame(&sendbuf_, static_cast<uint8_t>(op), id, payload);
+  pending_.push_back(id);
+  return id;
+}
+
+uint64_t Client::SendPing() { return Enqueue(wire::Opcode::kPing, Slice()); }
+
+uint64_t Client::SendPut(const Slice& key, const Slice& value) {
+  std::string payload;
+  wire::PutLp(&payload, key);
+  wire::PutLp(&payload, value);
+  return Enqueue(wire::Opcode::kPut, payload);
+}
+
+uint64_t Client::SendGet(const Slice& key) {
+  std::string payload;
+  wire::PutLp(&payload, key);
+  return Enqueue(wire::Opcode::kGet, payload);
+}
+
+uint64_t Client::SendDelete(const Slice& key) {
+  std::string payload;
+  wire::PutLp(&payload, key);
+  return Enqueue(wire::Opcode::kDelete, payload);
+}
+
+uint64_t Client::SendWrite(const WriteBatch& batch) {
+  std::string payload;
+  wire::PutU32(&payload, batch.Count());
+  struct Encoder : public WriteBatch::Handler {
+    std::string* out;
+    void Put(const Slice& key, const Slice& value) override {
+      out->push_back(static_cast<char>(wire::kWriteOpPut));
+      wire::PutLp(out, key);
+      wire::PutLp(out, value);
+    }
+    void Delete(const Slice& key) override {
+      out->push_back(static_cast<char>(wire::kWriteOpDelete));
+      wire::PutLp(out, key);
+    }
+  };
+  Encoder enc;
+  enc.out = &payload;
+  batch.Iterate(&enc);
+  return Enqueue(wire::Opcode::kWrite, payload);
+}
+
+uint64_t Client::SendScan(const Slice& start, uint32_t count) {
+  std::string payload;
+  wire::PutLp(&payload, start);
+  wire::PutU32(&payload, count);
+  return Enqueue(wire::Opcode::kScan, payload);
+}
+
+uint64_t Client::SendProperty(const std::string& name) {
+  std::string payload;
+  wire::PutLp(&payload, name);
+  return Enqueue(wire::Opcode::kProperty, payload);
+}
+
+Status Client::Flush() {
+  if (fd_ < 0) return Status::IOError("not connected");
+  size_t written = 0;
+  while (written < sendbuf_.size()) {
+    const ssize_t n = ::write(fd_, sendbuf_.data() + written,
+                              sendbuf_.size() - written);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError("write", strerror(errno));
+  }
+  sendbuf_.clear();
+  return Status::OK();
+}
+
+Status Client::ReadFrame(wire::Frame* frame) {
+  for (;;) {
+    size_t consumed = 0;
+    const wire::DecodeResult r = wire::DecodeFrame(
+        recvbuf_.data() + recvpos_, recvbuf_.size() - recvpos_,
+        kClientMaxFrameBytes, frame, &consumed);
+    if (r == wire::DecodeResult::kFrame) {
+      recvpos_ += consumed;
+      if (recvpos_ == recvbuf_.size()) {
+        recvbuf_.clear();
+        recvpos_ = 0;
+      }
+      return Status::OK();
+    }
+    if (r != wire::DecodeResult::kNeedMore) {
+      return Status::Corruption("malformed response frame");
+    }
+    char chunk[64 << 10];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      recvbuf_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::IOError("connection closed by server");
+    if (errno == EINTR) continue;
+    return Status::IOError("read", strerror(errno));
+  }
+}
+
+Client::Result Client::DecodeResult(const wire::Frame& frame) {
+  Result out;
+  const auto code = static_cast<wire::StatusCode>(frame.op);
+  const Slice payload(frame.payload);
+  size_t pos = 0;
+  if (code != wire::StatusCode::kOk) {
+    Slice message;
+    wire::GetLp(payload, &pos, &message);
+    out.status = wire::StatusForCode(code, message.ToString());
+    return out;
+  }
+  // An OK payload is either empty (PUT/DELETE/WRITE/PING), one lp string
+  // (GET/PROPERTY), or a counted entry list (SCAN). The three shapes are
+  // self-describing enough to decode without remembering the opcode: a
+  // counted list's first u32 is followed by lp pairs, a single string's
+  // first u32 is its own length. Try the string shape first.
+  if (payload.empty()) return out;
+  Slice value;
+  if (wire::GetLp(payload, &pos, &value) && pos == payload.size()) {
+    out.value = value.ToString();
+    return out;
+  }
+  pos = 0;
+  uint32_t count = 0;
+  if (wire::GetU32(payload, &pos, &count)) {
+    for (uint32_t i = 0; i < count; i++) {
+      Slice key, val;
+      if (!wire::GetLp(payload, &pos, &key) ||
+          !wire::GetLp(payload, &pos, &val)) {
+        out.status = Status::Corruption("malformed scan response");
+        return out;
+      }
+      out.entries.emplace_back(key.ToString(), val.ToString());
+    }
+  }
+  return out;
+}
+
+Status Client::Wait(uint64_t id, Result* result) {
+  const auto stashed = stashed_.find(id);
+  if (stashed != stashed_.end()) {
+    const Status op_status = stashed->second.status;
+    if (result != nullptr) *result = std::move(stashed->second);
+    stashed_.erase(stashed);
+    return op_status;
+  }
+  if (std::find(pending_.begin(), pending_.end(), id) == pending_.end()) {
+    return Status::InvalidArgument("unknown request id");
+  }
+  Status s = Flush();
+  if (!s.ok()) return s;
+  for (;;) {
+    wire::Frame frame;
+    s = ReadFrame(&frame);
+    if (!s.ok()) return s;
+    // Drop the id from the issue-order list (responses arrive in order, so
+    // this is the front except after out-of-order Waits).
+    const auto it = std::find(pending_.begin(), pending_.end(),
+                              frame.request_id);
+    if (it != pending_.end()) pending_.erase(it);
+    Result r = DecodeResult(frame);
+    if (frame.request_id == id) {
+      const Status op_status = r.status;
+      if (result != nullptr) *result = std::move(r);
+      return op_status;
+    }
+    stashed_.emplace(frame.request_id, std::move(r));
+  }
+}
+
+Status Client::Ping() {
+  return Wait(SendPing(), nullptr);
+}
+
+Status Client::Put(const Slice& key, const Slice& value) {
+  return Wait(SendPut(key, value), nullptr);
+}
+
+Status Client::Get(const Slice& key, std::string* value) {
+  Result r;
+  Status s = Wait(SendGet(key), &r);
+  if (s.ok() && value != nullptr) *value = std::move(r.value);
+  return s;
+}
+
+Status Client::Delete(const Slice& key) {
+  return Wait(SendDelete(key), nullptr);
+}
+
+Status Client::Write(const WriteBatch& batch) {
+  return Wait(SendWrite(batch), nullptr);
+}
+
+Status Client::Scan(const Slice& start, uint32_t count,
+                    std::vector<std::pair<std::string, std::string>>* out) {
+  Result r;
+  Status s = Wait(SendScan(start, count), &r);
+  if (s.ok() && out != nullptr) *out = std::move(r.entries);
+  return s;
+}
+
+Status Client::GetProperty(const std::string& name, std::string* value) {
+  Result r;
+  Status s = Wait(SendProperty(name), &r);
+  if (s.ok() && value != nullptr) *value = std::move(r.value);
+  return s;
+}
+
+}  // namespace server
+}  // namespace talus

@@ -1,0 +1,101 @@
+// Minimal C++ client for the talus wire protocol (server/wire.h,
+// docs/PROTOCOL.md). One Client is ONE TCP connection and is NOT
+// thread-safe — use one Client per thread (the server multiplexes).
+//
+// Two call styles over the same connection:
+//
+//   * Sync: Put/Get/Delete/Write/Scan/GetProperty/Ping — send one request,
+//     wait for its response.
+//   * Pipelined: Send* buffers a frame and returns its request id without
+//     touching the socket; Flush() (or any Wait) writes the backlog in one
+//     syscall, and Wait(id, &result) collects responses. The server
+//     answers in request order, so waiting in issue order is O(1); waiting
+//     out of order buffers the skipped responses internally.
+//
+// Pipelining is what makes the server fast: N buffered PUTs arrive in one
+// TCP segment, decode into one batch, and commit as one write group
+// (DESIGN.md §8).
+#ifndef TALUS_SERVER_CLIENT_H_
+#define TALUS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lsm/write_batch.h"
+#include "server/wire.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace talus {
+namespace server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to `host:port` (host in IPv4 numeric form). Any previous
+  /// connection is closed first.
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One decoded response: the engine/protocol status plus the payload of
+  /// the operation kind that was issued.
+  struct Result {
+    Status status;
+    std::string value;  // GET value / PROPERTY text.
+    std::vector<std::pair<std::string, std::string>> entries;  // SCAN.
+  };
+
+  // ---- Sync calls ----
+  Status Ping();
+  Status Put(const Slice& key, const Slice& value);
+  Status Get(const Slice& key, std::string* value);
+  Status Delete(const Slice& key);
+  Status Write(const WriteBatch& batch);
+  Status Scan(const Slice& start, uint32_t count,
+              std::vector<std::pair<std::string, std::string>>* out);
+  Status GetProperty(const std::string& name, std::string* value);
+
+  // ---- Pipelined calls ----
+  uint64_t SendPing();
+  uint64_t SendPut(const Slice& key, const Slice& value);
+  uint64_t SendGet(const Slice& key);
+  uint64_t SendDelete(const Slice& key);
+  uint64_t SendWrite(const WriteBatch& batch);
+  uint64_t SendScan(const Slice& start, uint32_t count);
+  uint64_t SendProperty(const std::string& name);
+  /// Writes every buffered request to the socket.
+  Status Flush();
+  /// Flushes, then reads responses until `id` answers. Responses for other
+  /// ids seen on the way are retained for their own Wait.
+  Status Wait(uint64_t id, Result* result);
+
+  /// Request ids this client has issued but not yet collected.
+  size_t pending() const { return pending_.size() + stashed_.size(); }
+
+ private:
+  uint64_t Enqueue(wire::Opcode op, const Slice& payload);
+  Status ReadFrame(wire::Frame* frame);
+  /// Decodes a response frame into a Result according to its status code.
+  static Result DecodeResult(const wire::Frame& frame);
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  std::string sendbuf_;
+  std::string recvbuf_;
+  size_t recvpos_ = 0;
+  std::vector<uint64_t> pending_;         // Ids issued, in order.
+  std::map<uint64_t, Result> stashed_;    // Collected out-of-order results.
+};
+
+}  // namespace server
+}  // namespace talus
+
+#endif  // TALUS_SERVER_CLIENT_H_

@@ -1,0 +1,126 @@
+#include "server/wire.h"
+
+#include "util/coding.h"
+
+namespace talus {
+namespace server {
+namespace wire {
+
+StatusCode CodeForStatus(const Status& s) {
+  if (s.ok()) return StatusCode::kOk;
+  if (s.IsNotFound()) return StatusCode::kNotFound;
+  if (s.IsCorruption()) return StatusCode::kCorruption;
+  if (s.IsNotSupported()) return StatusCode::kNotSupported;
+  if (s.IsInvalidArgument()) return StatusCode::kInvalidArgument;
+  if (s.IsIOError()) return StatusCode::kIOError;
+  if (s.IsBusy()) return StatusCode::kBusy;
+  return StatusCode::kIOError;  // Unreachable with today's Status codes.
+}
+
+Status StatusForCode(StatusCode code, const std::string& message) {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kNotFound:
+      return Status::NotFound(message);
+    case StatusCode::kCorruption:
+      return Status::Corruption(message);
+    case StatusCode::kNotSupported:
+      return Status::NotSupported(message);
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case StatusCode::kIOError:
+      return Status::IOError(message);
+    case StatusCode::kBusy:
+      return Status::Busy(message);
+    case StatusCode::kBadRequest:
+      return Status::InvalidArgument("bad request", message);
+    case StatusCode::kBadVersion:
+      return Status::NotSupported("protocol version", message);
+    case StatusCode::kShuttingDown:
+      return Status::Busy("server shutting down", message);
+  }
+  return Status::IOError("unknown wire status code");
+}
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kNotSupported:
+      return "not-supported";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kIOError:
+      return "io-error";
+    case StatusCode::kBusy:
+      return "busy";
+    case StatusCode::kBadRequest:
+      return "bad-request";
+    case StatusCode::kBadVersion:
+      return "bad-version";
+    case StatusCode::kShuttingDown:
+      return "shutting-down";
+  }
+  return "unknown";
+}
+
+void AppendFrame(std::string* out, uint8_t op, uint64_t request_id,
+                 const Slice& payload) {
+  PutFixed32(out, static_cast<uint32_t>(kHeaderLen + payload.size()));
+  out->push_back(static_cast<char>(kMagic));
+  out->push_back(static_cast<char>(kVersion));
+  out->push_back(static_cast<char>(op));
+  out->push_back(0);  // flags
+  PutFixed64(out, request_id);
+  out->append(payload.data(), payload.size());
+}
+
+DecodeResult DecodeFrame(const char* buf, size_t size, size_t max_frame_bytes,
+                         Frame* frame, size_t* consumed) {
+  if (size < 4) return DecodeResult::kNeedMore;
+  const uint32_t len = DecodeFixed32(buf);
+  if (len < kHeaderLen) return DecodeResult::kBadMagic;
+  if (len > max_frame_bytes) return DecodeResult::kTooLarge;
+  if (size < 4 + static_cast<size_t>(len)) return DecodeResult::kNeedMore;
+  const unsigned char* h = reinterpret_cast<const unsigned char*>(buf + 4);
+  if (h[0] != kMagic) return DecodeResult::kBadMagic;
+  if (h[1] != kVersion) return DecodeResult::kBadVersion;
+  if (h[3] != 0) return DecodeResult::kBadFlags;
+  frame->op = h[2];
+  frame->request_id = DecodeFixed64(buf + 8);
+  frame->payload.assign(buf + 4 + kHeaderLen, len - kHeaderLen);
+  *consumed = 4 + len;
+  return DecodeResult::kFrame;
+}
+
+void PutLp(std::string* out, const Slice& value) {
+  PutFixed32(out, static_cast<uint32_t>(value.size()));
+  out->append(value.data(), value.size());
+}
+
+void PutU32(std::string* out, uint32_t value) { PutFixed32(out, value); }
+
+bool GetLp(const Slice& payload, size_t* pos, Slice* value) {
+  uint32_t len;
+  if (!GetU32(payload, pos, &len)) return false;
+  if (payload.size() - *pos < len) return false;
+  *value = Slice(payload.data() + *pos, len);
+  *pos += len;
+  return true;
+}
+
+bool GetU32(const Slice& payload, size_t* pos, uint32_t* value) {
+  if (payload.size() < *pos || payload.size() - *pos < 4) return false;
+  *value = DecodeFixed32(payload.data() + *pos);
+  *pos += 4;
+  return true;
+}
+
+}  // namespace wire
+}  // namespace server
+}  // namespace talus

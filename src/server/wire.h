@@ -1,0 +1,128 @@
+// Wire protocol for the network service layer (DESIGN.md §8; normative
+// spec with byte-level examples in docs/PROTOCOL.md). Requests and
+// responses share one length-prefixed frame layout:
+//
+//   u32  len         little-endian; bytes after this field (>= kHeaderLen)
+//   u8   magic       kMagic (0xC3)
+//   u8   version     kVersion (1)
+//   u8   op          request: Opcode; response: StatusCode
+//   u8   flags       reserved, must be 0
+//   u64  request_id  little-endian; echoed verbatim in the response
+//   ...  payload     len - kHeaderLen bytes, opcode-specific
+//
+// All strings inside payloads are "lp" encoded: u32 little-endian length
+// followed by that many raw bytes. Responses on a connection are returned
+// in request order; request_id exists for client-side correlation, the
+// server never reorders.
+//
+// Error taxonomy: FRAMING errors (bad magic/version/flags, oversize or
+// undersize len) poison the stream — the server answers with one error
+// frame (request_id 0) and closes. PAYLOAD errors (unknown opcode,
+// truncated or trailing payload bytes, empty key) fail only that request;
+// the connection stays usable.
+//
+// The same listener also speaks plaintext HTTP for `GET /metrics`: a
+// connection whose first four bytes are "GET " is HTTP. This cannot
+// collide with a binary frame — those four bytes read as a len field of
+// 0x20544547 (~542 MB), far above any permitted max_frame_bytes.
+#ifndef TALUS_SERVER_WIRE_H_
+#define TALUS_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace talus {
+namespace server {
+namespace wire {
+
+constexpr uint8_t kMagic = 0xC3;
+constexpr uint8_t kVersion = 1;
+/// Bytes after the len field that every frame carries before its payload:
+/// magic + version + op + flags + request_id.
+constexpr size_t kHeaderLen = 12;
+/// Hard floor every server must accept; servers may allow more via
+/// ServerOptions::max_frame_bytes.
+constexpr size_t kMinMaxFrameBytes = 1 << 20;
+
+/// Request opcodes. Unknown opcodes are a per-request error
+/// (kNotSupported), so new opcodes can be added without a version bump.
+enum class Opcode : uint8_t {
+  kPing = 0x01,      // empty -> empty
+  kGet = 0x02,       // lp key -> lp value
+  kPut = 0x03,       // lp key, lp value -> empty
+  kDelete = 0x04,    // lp key -> empty
+  kWrite = 0x05,     // u32 count, count x (u8 type, lp key, [lp value])
+  kScan = 0x06,      // lp start, u32 limit -> u32 count, count x (lp k, lp v)
+  kProperty = 0x07,  // lp name -> lp text
+};
+/// kWrite op types.
+constexpr uint8_t kWriteOpPut = 0;
+constexpr uint8_t kWriteOpDelete = 1;
+
+/// Response status. 0x00-0x0F mirror util/Status codes; 0x10+ are
+/// protocol-level errors the engine never produces. Non-kOk responses
+/// carry `lp message` as their payload.
+enum class StatusCode : uint8_t {
+  kOk = 0x00,
+  kNotFound = 0x01,
+  kCorruption = 0x02,
+  kNotSupported = 0x03,
+  kInvalidArgument = 0x04,
+  kIOError = 0x05,
+  kBusy = 0x06,
+  kBadRequest = 0x10,    // Malformed frame or payload.
+  kBadVersion = 0x11,    // Header version != kVersion.
+  kShuttingDown = 0x12,  // Server is draining; retry elsewhere.
+};
+
+StatusCode CodeForStatus(const Status& s);
+/// Reconstructs a Status from a wire code + message (client side).
+Status StatusForCode(StatusCode code, const std::string& message);
+const char* StatusCodeName(StatusCode code);
+
+/// One decoded frame: header fields plus the raw payload bytes.
+struct Frame {
+  uint8_t op = 0;  // Opcode on requests, StatusCode on responses.
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Appends a complete frame (len + header + payload) to *out.
+void AppendFrame(std::string* out, uint8_t op, uint64_t request_id,
+                 const Slice& payload);
+
+/// Outcome of trying to decode one frame from a byte buffer.
+enum class DecodeResult {
+  kFrame,       // *frame filled; *consumed bytes were used.
+  kNeedMore,    // Buffer holds a frame prefix; read more bytes.
+  kBadMagic,    // Framing error: close the connection.
+  kBadVersion,  // Framing error: close the connection.
+  kBadFlags,    // Framing error: close the connection.
+  kTooLarge,    // len exceeds max_frame_bytes: close the connection.
+};
+
+/// Decodes the first frame of buf[0, size). On kFrame, *consumed is the
+/// total frame size (len field included). Framing errors report without
+/// consuming; the caller answers and closes.
+DecodeResult DecodeFrame(const char* buf, size_t size, size_t max_frame_bytes,
+                         Frame* frame, size_t* consumed);
+
+// ---- Payload helpers (shared by server decode and client encode) ----
+
+/// Appends `u32 len + bytes`.
+void PutLp(std::string* out, const Slice& value);
+void PutU32(std::string* out, uint32_t value);
+/// Reads an lp string at *pos; advances *pos. False on overrun (the
+/// payload is malformed).
+bool GetLp(const Slice& payload, size_t* pos, Slice* value);
+bool GetU32(const Slice& payload, size_t* pos, uint32_t* value);
+
+}  // namespace wire
+}  // namespace server
+}  // namespace talus
+
+#endif  // TALUS_SERVER_WIRE_H_

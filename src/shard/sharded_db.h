@@ -21,6 +21,11 @@
 // shard_count == 1 behaves bit-identically to a standalone DB (same scan
 // results, same talus.stats text) — the allocator degenerates to the
 // single-engine last_sequence_ and GetProperty passes straight through.
+//
+// To serve a ShardedDB over the network, hand it to server::Server
+// (src/server/server.h, DESIGN.md §8): the wire protocol fronts exactly
+// this API — GET/PUT/DELETE/WRITE/SCAN/PROPERTY — and pipelined client
+// writes coalesce into the same Write() batch path.
 #ifndef TALUS_SHARD_SHARDED_DB_H_
 #define TALUS_SHARD_SHARDED_DB_H_
 
@@ -101,7 +106,9 @@ class ShardedDB {
   std::vector<Histogram> GetLatencyHistograms() const;
   /// Prometheus exposition of the aggregated counters, merged latency
   /// histograms, and fleet-wide talus_amp_* families (same talus_*
-  /// families as DB::DumpPrometheus).
+  /// families as DB::DumpPrometheus). The network layer serves this text
+  /// at HTTP `GET /metrics` with its talus_server_* families appended
+  /// (server::Server::MetricsText, DESIGN.md §8; docs/OPERATIONS.md).
   std::string DumpPrometheus() const;
   /// Fleet-wide amplification accounting: field-wise sum of every shard's
   /// cumulative DB::GetAmpSnapshot() (live-space fields included). All
