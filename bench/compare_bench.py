@@ -35,7 +35,13 @@ import json
 import math
 import sys
 
-IDENTITY_KEYS = ("mode", "wal_sync", "policy", "shards", "writers")
+# Every config column any bench emits. A row's identity is the subset of
+# these it carries, so a bench adding a new column (e.g. ablation_adaptive's
+# `tuner`/`phase`) keeps distinct series distinct — before `tuner` was
+# listed here, the best-of-N merge silently collapsed the static and
+# adaptive rows into one config and dropped the rest (see --self-test).
+IDENTITY_KEYS = ("mode", "wal_sync", "policy", "shards", "writers", "tuner",
+                 "phase")
 
 
 def load_rows(path):
@@ -67,13 +73,68 @@ def geomean(values):
     return math.exp(sum(math.log(v) for v in positive) / len(positive))
 
 
+def self_test():
+    """Invariants of the identity/merge logic, run in CI before any gate.
+
+    The one that bit us: rows that differ only in a column NOT listed in
+    IDENTITY_KEYS share an identity, so best-of-N keeps a single row and
+    the others vanish — which reads as 'missing baseline config' at best
+    and a silently wrong comparison at worst. Any new config column a
+    bench emits must therefore appear in IDENTITY_KEYS.
+    """
+    failures = []
+
+    def check(name, cond):
+        if not cond:
+            failures.append(name)
+
+    # Rows differing only in `tuner` or `phase` must stay distinct series.
+    rows = [
+        {"tuner": "static-leveled", "phase": 0, "policy": "VT-Level-Full",
+         "shards": 2, "writers": 1, "kops_per_sec": 100.0},
+        {"tuner": "adaptive", "phase": 0, "policy": "VT-Level-Full",
+         "shards": 2, "writers": 1, "kops_per_sec": 90.0},
+        {"tuner": "adaptive", "phase": 1, "policy": "VT-Level-Full",
+         "shards": 2, "writers": 1, "kops_per_sec": 80.0},
+    ]
+    check("distinct identities for tuner/phase columns",
+          len({identity(r) for r in rows}) == 3)
+
+    # Best-of-N across two files must keep every series and the max metric.
+    merged = {}
+    for row in rows + [dict(rows[1], kops_per_sec=95.0)]:
+        ident = identity(row)
+        if ident not in merged or row["kops_per_sec"] > \
+                merged[ident]["kops_per_sec"]:
+            merged[ident] = row
+    check("best-of-N keeps all series", len(merged) == 3)
+    check("best-of-N keeps max metric",
+          merged[identity(rows[1])]["kops_per_sec"] == 95.0)
+
+    # Rows without the new columns (older benches) are unaffected.
+    old = {"policy": "vertical", "shards": 1, "writers": 4}
+    check("legacy rows ignore absent keys",
+          identity(old) == (("policy", "vertical"), ("shards", 1),
+                            ("writers", 4)))
+
+    if failures:
+        for name in failures:
+            print(f"self-test FAILED: {name}", file=sys.stderr)
+        sys.exit(1)
+    print("self-test OK")
+    sys.exit(0)
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Compare bench JSON against a committed baseline.")
-    parser.add_argument("baseline")
-    parser.add_argument("fresh", nargs="+",
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("fresh", nargs="*",
                         help="One or more runs of the same bench; each "
                              "config keeps its best metric across files.")
+    parser.add_argument("--self-test", action="store_true",
+                        help="Run the identity/merge invariant checks and "
+                             "exit (no files needed).")
     parser.add_argument("--metric", default="kops_per_sec")
     parser.add_argument("--direction", default="higher-better",
                         choices=("higher-better", "lower-better"),
@@ -86,6 +147,10 @@ def main():
                              "geometric mean over matched configs "
                              "(machine-independent).")
     args = parser.parse_args()
+    if args.self_test:
+        self_test()
+    if args.baseline is None or not args.fresh:
+        parser.error("baseline and at least one fresh file are required")
 
     base_name, base_rows = load_rows(args.baseline)
     fresh_rows = []

@@ -236,8 +236,9 @@ compaction::OutputShape DB::OutputShapeForDb() {
 }
 
 DB::~DB() {
-  // The snapshotter samples live engine state (possibly on the shared
-  // pool); quiesce it before anything else is torn down.
+  // The tuner's tick and the snapshotter's samples read live engine state;
+  // quiesce both before anything else is torn down.
+  if (tuner_ != nullptr) tuner_->Stop();
   if (snapshotter_ != nullptr) snapshotter_->Stop();
   // Drain accepted background jobs, then the pool's task queue, before any
   // member is destroyed. Both calls are idempotent. A borrowed pool (shared
@@ -275,6 +276,26 @@ Status DB::Open(const DbOptions& options, std::unique_ptr<DB>* dbptr) {
   uint64_t old_wal = 0;
   s = ReadCurrentManifest(env, options.path, &manifest, &manifest_number);
   if (s.ok()) {
+    if (options.adaptive_tuning && !manifest.policy_config.empty()) {
+      // Re-resolution (DESIGN.md §9): a tuned store's live design may have
+      // moved away from the statically configured one. The manifest's
+      // persisted config is authoritative — rebuild the policy from it so
+      // the name check below compares like with like.
+      GrowthPolicyConfig persisted;
+      if (!DecodeGrowthPolicyConfig(manifest.policy_config, &persisted)) {
+        return Status::Corruption("bad growth policy config in manifest");
+      }
+      persisted.bloom_bits_per_key = options.bloom_bits_per_key;
+      db->options_.policy = persisted;
+      db->policy_ = CreateGrowthPolicy(persisted, ctx);
+      if (db->policy_ == nullptr) {
+        return Status::Corruption("unresolvable growth policy in manifest");
+      }
+      if (db->drift_ != nullptr) {
+        db->drift_->Reconfigure(MergeForDriftModel(persisted),
+                                persisted.size_ratio);
+      }
+    }
     if (manifest.policy_name != db->policy_->name()) {
       return Status::InvalidArgument(
           "db was created with a different growth policy",
@@ -379,6 +400,22 @@ Status DB::Open(const DbOptions& options, std::unique_ptr<DB>* dbptr) {
     db->snapshotter_ = std::make_unique<obs::StatsSnapshotter>(
         db->pool_, snap_opts, [raw] { return raw->BuildStatsSample(); });
     db->snapshotter_->Start();
+  }
+
+  // The tuner needs the measured windows (amp stats) and only tunes the
+  // vertical family — the shapes the cost model solves and the only ones
+  // with a cheap live-migration path between them.
+  if (options.adaptive_tuning && db->amp_ != nullptr &&
+      db->options_.policy.scheme == GrowthScheme::kVertical) {
+    tune::TunerConfig tcfg;
+    tcfg.hysteresis = options.tune_hysteresis;
+    tcfg.min_window_ops = options.tune_min_window_ops;
+    tcfg.cooldown_ticks = options.tune_cooldown_ticks;
+    tcfg.interval_ms = options.tune_interval_ms;
+    DB* raw = db.get();
+    db->tuner_ = std::make_unique<tune::AdaptiveTuner>(
+        tcfg, [raw] { raw->RetuneNow(); });
+    db->tuner_->Start();
   }
 
   *dbptr = std::move(db);
@@ -1521,6 +1558,36 @@ bool DB::GetProperty(const std::string& property, std::string* value) {
     }
     return true;
   }
+  if (property == "talus.tune") {
+    if (tuner_ == nullptr) {
+      *value = "enabled=0";
+      return true;
+    }
+    const std::string policy_name = policy_->name();
+    const double size_ratio = options_.policy.size_ratio;
+    lock.unlock();  // The tuner has its own lock.
+    const tune::TunerStats ts = tuner_->GetStats();
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "enabled=1 policy=%s T=%.1f hysteresis=%.2f ticks=%llu "
+        "retunes=%llu switches=%llu holds=%llu thin=%llu cooldown=%llu "
+        "drift_events=%llu last_gain=%.3f last_cost_cur=%.4f "
+        "last_cost_best=%.4f last_action=%s last_design=%s",
+        policy_name.c_str(), size_ratio, tuner_->config().hysteresis,
+        static_cast<unsigned long long>(ts.ticks),
+        static_cast<unsigned long long>(ts.retunes),
+        static_cast<unsigned long long>(ts.switches_applied),
+        static_cast<unsigned long long>(ts.holds),
+        static_cast<unsigned long long>(ts.thin_windows),
+        static_cast<unsigned long long>(ts.cooldown_holds),
+        static_cast<unsigned long long>(ts.drift_events), ts.last_gain,
+        ts.last_current_cost, ts.last_best_cost,
+        ts.last_action.empty() ? "none" : ts.last_action.c_str(),
+        ts.last_design.empty() ? "none" : ts.last_design.c_str());
+    *value = buf;
+    return true;
+  }
   if (property == "talus.snapshots") {
     if (snapshotter_ != nullptr) {
       lock.unlock();  // The snapshotter has its own lock.
@@ -1545,6 +1612,9 @@ Status DB::InstallManifestLocked() {
   data.wal_number = OldestLiveWalLocked();
   data.policy_name = policy_->name();
   data.policy_state = policy_->EncodeState();
+  // The live config (not the DbOptions one): under adaptive tuning the two
+  // diverge, and reopen re-resolves from this field (DESIGN.md §9).
+  data.policy_config = EncodeGrowthPolicyConfig(options_.policy);
   data.version = *current_;
 
   const uint64_t new_number = manifest_number_ + 1;
@@ -1872,9 +1942,12 @@ std::string DB::DumpPrometheus() const {
       FillLiveSpaceLocked(&amp);
     }
   }
+  tune::TunerStats tune_stats;
+  if (tuner_ != nullptr) tune_stats = tuner_->GetStats();
   return metrics::DumpPrometheusText(stats, ring_->TotalEmitted(), data_bytes,
                                      GetLatencyHistograms(),
-                                     amp_ != nullptr ? &amp : nullptr);
+                                     amp_ != nullptr ? &amp : nullptr,
+                                     tuner_ != nullptr ? &tune_stats : nullptr);
 }
 
 void DB::FillLiveSpaceLocked(obs::AmpSnapshot* snap) const {
@@ -1898,6 +1971,159 @@ obs::AmpSnapshot DB::GetAmpSnapshot() const {
   std::unique_lock<std::mutex> lock(mutex_);
   FillLiveSpaceLocked(&snap);
   return snap;
+}
+
+GrowthPolicyConfig DB::CurrentPolicyConfig() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return options_.policy;
+}
+
+Status DB::ApplyPolicyConfig(const GrowthPolicyConfig& config) {
+  GrowthPolicyConfig resolved = config;
+  resolved.bloom_bits_per_key = options_.bloom_bits_per_key;
+  PolicyContext ctx;
+  ctx.buffer_bytes = options_.write_buffer_size;
+  ctx.mix_tracker = &mix_tracker_;
+  auto next = CreateGrowthPolicy(resolved, ctx);
+  if (next == nullptr) {
+    return Status::InvalidArgument("unknown growth policy");
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  {
+    GrowthPolicyConfig current = options_.policy;
+    current.bloom_bits_per_key = options_.bloom_bits_per_key;
+    if (EncodeGrowthPolicyConfig(resolved) ==
+        EncodeGrowthPolicyConfig(current)) {
+      return Status::OK();  // Identical design; nothing to do.
+    }
+  }
+  // The swap must not happen under an in-flight old-policy merge (its
+  // install would follow shapes the new policy never planned), and the
+  // catch-up below claims the single-chain guard. Chains always terminate
+  // and clear the flag under this mutex, so the wait is bounded.
+  bg_cv_.wait(lock, [this] { return !compaction_active_; });
+  if (!bg_error_.ok()) return bg_error_;
+  compaction_active_ = true;
+
+  policy_ = std::move(next);
+  options_.policy = resolved;
+  if (drift_ != nullptr) {
+    drift_->Reconfigure(MergeForDriftModel(resolved), resolved.size_ratio);
+  }
+  ring_->Emit(obs::EventType::kPolicyChange,
+              static_cast<uint16_t>(options_.shard_index),
+              MergeForDriftModel(resolved) ==
+                      tuning::HorizontalMerge::kTiering
+                  ? 1
+                  : 0,
+              static_cast<uint64_t>(resolved.size_ratio * 1000.0));
+
+  // Persist the new design first: a crash after this point reopens under
+  // the new policy with whatever layout the catch-up had reached.
+  Status s = InstallManifestLocked();
+  // Converge the layout, then let the new policy's own loop finish the
+  // job. Writers keep running: in background mode both release the mutex
+  // around merges exactly like policy-driven compactions.
+  if (s.ok()) s = CatchUpCompactionsLocked(lock);
+  if (s.ok()) s = RunCompactionLoopLocked(lock, is_background());
+  compaction_active_ = false;
+  if (!s.ok() && is_background()) bg_error_ = s;
+  bg_cv_.notify_all();
+  return s;
+}
+
+Status DB::CatchUpCompactionsLocked(std::unique_lock<std::mutex>& lock) {
+  if (policy_->FlushMode(*current_) != MergeMode::kMergeIntoRun) {
+    // Tiering-family target: any layout is a valid tiered layout; the
+    // policy's run-count triggers take it from here.
+    return Status::OK();
+  }
+  // A leveled target wants one run per level, but a previously tiered
+  // level holds several and the leveling policy's byte triggers never
+  // consolidate them. Merge each multi-run level into a single run in
+  // place (the universal-compaction request shape), re-planning against
+  // the fresh version after every install or conflict.
+  int attempts = 0;
+  const int max_attempts =
+      8 + 4 * static_cast<int>(current_->levels.size());
+  while (attempts < max_attempts) {
+    int target = -1;
+    for (size_t i = 0; i < current_->levels.size(); i++) {
+      if (current_->levels[i].runs.size() > 1) {
+        target = static_cast<int>(i);
+        break;
+      }
+    }
+    if (target < 0) return Status::OK();  // Converged: ≤1 run everywhere.
+    CompactionRequest req;
+    for (const SortedRun& run : current_->levels[target].runs) {
+      CompactionRequest::Input in;
+      in.level = target;
+      in.run_id = run.run_id;
+      req.inputs.push_back(in);
+    }
+    req.output_level = target;
+    req.placement = CompactionRequest::Placement::kReplaceInputs;
+    req.reason = "tune-catchup-L" + std::to_string(target);
+    bool installed = false;
+    attempts++;
+    Status s =
+        RunCompactionRequestLocked(req, lock, is_background(), &installed);
+    if (!s.ok()) return s;
+    if (installed) {
+      s = CollectObsoleteLocked();
+      if (!s.ok()) return s;
+    }
+    if (is_background()) {
+      // Same interleave point as the policy loop: let writers breathe.
+      bg_cv_.notify_all();
+      lock.unlock();
+      std::this_thread::yield();
+      lock.lock();
+    }
+  }
+  // Conflict storm exhausted the budget; the remaining multi-run levels
+  // are still a correct tree and converge under later flush traffic.
+  return Status::OK();
+}
+
+tune::TuneDecision DB::RetuneNow() {
+  tune::TuneDecision decision;
+  if (tuner_ == nullptr) return decision;
+
+  // Sense: consume one drift window (emits kAmpSample / kModelDrift).
+  const obs::DriftSample drift = EvaluateModelDrift();
+  if (drift.drifted) tuner_->NoteDrift();
+
+  tune::TunerInputs in;
+  in.mix = drift.mix;
+  in.window_ops = drift.window_lookups + drift.window_updates;
+  in.bloom_fpr = drift.bloom_fpr;
+  in.page_entries = std::max(1.0, drift.page_entries);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    in.data_buffers = std::max<uint64_t>(
+        1, ApproximateDataBytesLocked() /
+               std::max<uint64_t>(1, options_.write_buffer_size));
+    in.current_merge = MergeForDriftModel(options_.policy);
+    in.current_size_ratio = options_.policy.size_ratio;
+  }
+
+  // Navigate: hysteresis-banded re-solve of the vertical cost model.
+  decision = tuner_->Decide(in);
+  if (!decision.retune()) return decision;
+
+  // Act: install the winning design, keeping every non-design knob.
+  GrowthPolicyConfig next = CurrentPolicyConfig();
+  next.merge = decision.merge == tuning::HorizontalMerge::kTiering
+                   ? MergePolicy::kTiering
+                   : MergePolicy::kLeveling;
+  next.size_ratio = decision.size_ratio;
+  if (ApplyPolicyConfig(next).ok()) {
+    tuner_->NoteSwitchApplied(next.Label());
+  }
+  return decision;
 }
 
 obs::DriftSample DB::EvaluateModelDrift() {

@@ -60,6 +60,7 @@
 #include "policy/growth_policy.h"
 #include "read/read_view.h"
 #include "read/table_cache.h"
+#include "tune/adaptive_tuner.h"
 #include "wal/log_writer.h"
 #include "write/write_queue.h"
 
@@ -263,6 +264,9 @@ class DB {
   ///   "talus.snapshots"  the stats snapshotter's in-memory ring, one JSON
   ///                      sample per line, oldest first (empty unless
   ///                      stats_snapshot_interval_ms > 0; DESIGN.md §6.8)
+  ///   "talus.tune"       adaptive-tuner state: active policy, decision
+  ///                      counters, last predicted costs/gain ("enabled=0"
+  ///                      when adaptive_tuning is off; DESIGN.md §9)
   bool GetProperty(const std::string& property, std::string* value);
 
   /// Collects up to `count` live entries with user key >= start, in order.
@@ -332,6 +336,33 @@ class DB {
   /// bookkeeping; takes the mutex).
   SequenceNumber LastSequence() const;
   GrowthPolicy* policy() { return policy_.get(); }
+
+  // ---- Adaptive tuning: the sense→act loop (src/tune/, DESIGN.md §9) ----
+  /// Installs `config` as the live growth policy without downtime: the new
+  /// policy is swapped in under the DB mutex (after waiting out any active
+  /// compaction chain), the drift monitor is re-anchored to the new design,
+  /// a kPolicyChange event is emitted, the manifest persists the new config
+  /// (so a reopen with adaptive_tuning resumes under it), and catch-up
+  /// compactions converge the on-disk layout toward the new shape through
+  /// the existing pipeline — subsequent flush/compaction planning follows
+  /// the new policy automatically. Concurrent writers keep running: merges
+  /// release the mutex in background mode exactly like policy-driven
+  /// compactions, so the only write pressure is the usual backpressure.
+  /// A config equal to the current one is a no-op. Scan results are
+  /// unaffected — a policy shapes the tree, never its contents.
+  Status ApplyPolicyConfig(const GrowthPolicyConfig& config);
+  /// The config of the policy currently installed (reflects runtime
+  /// retunes; takes the mutex).
+  GrowthPolicyConfig CurrentPolicyConfig() const;
+  /// One adaptive-tuning decision pass: consumes one drift window
+  /// (EvaluateModelDrift, emitting kAmpSample/kModelDrift), runs the
+  /// navigator, and applies a winning design via ApplyPolicyConfig. The
+  /// tuner's timer calls this each interval; the sharded fleet timer and
+  /// tests call it directly. No-op default decision when adaptive tuning
+  /// is off.
+  tune::TuneDecision RetuneNow();
+  /// Per-engine tuner state; null unless adaptive tuning is active.
+  tune::AdaptiveTuner* adaptive_tuner() { return tuner_.get(); }
   Env* env() { return options_.env; }
   const DbOptions& options() const { return options_; }
   LruCache* block_cache() { return block_cache_.get(); }
@@ -465,6 +496,14 @@ class DB {
   /// passes.
   compaction::OutputShape OutputShapeForDb();
 
+  /// Converges a freshly switched-to leveled shape: merges every
+  /// multi-run level into a single run (same-level, kReplaceInputs)
+  /// through the normal pipeline, re-planning against the fresh version
+  /// after each install or conflict. Tiering targets need no catch-up —
+  /// they absorb any shape. Bounded attempts; leftover work is picked up
+  /// by the policy's own loop.
+  Status CatchUpCompactionsLocked(std::unique_lock<std::mutex>& lock);
+
   Status InstallManifestLocked();
   Status NewWalLocked();
   Status RecoverWalsLocked(uint64_t oldest_wal,
@@ -576,6 +615,10 @@ class DB {
   // its samples read engine state and may run on the shared pool, so it
   // must quiesce before anything else is torn down.
   std::unique_ptr<obs::StatsSnapshotter> snapshotter_;
+  // Adaptive tuner (null unless adaptive_tuning is active): decision state
+  // plus, for a standalone DB, the timer driving RetuneNow. Stopped first
+  // in ~DB for the same reason as the snapshotter.
+  std::unique_ptr<tune::AdaptiveTuner> tuner_;
   /// Fills the per-level live_sst/live_payload fields from current_.
   void FillLiveSpaceLocked(obs::AmpSnapshot* snap) const;
   /// One snapshotter JSON sample line (amp + latency + drift).

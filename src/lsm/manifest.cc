@@ -54,6 +54,9 @@ std::string EncodeSnapshot(const ManifestData& data) {
       }
     }
   }
+  // Appended after the level tree so pre-existing manifests (which end at
+  // the tree) still decode: absence of trailing bytes means "no config".
+  PutLengthPrefixedSlice(&out, Slice(data.policy_config));
   return out;
 }
 
@@ -95,6 +98,14 @@ Status DecodeSnapshot(Slice input, ManifestData* data) {
       }
       data->version.levels[i].runs.push_back(std::move(run));
     }
+  }
+  data->policy_config.clear();
+  if (!input.empty()) {
+    Slice policy_config;
+    if (!GetLengthPrefixedSlice(&input, &policy_config)) {
+      return Status::Corruption("bad manifest policy config");
+    }
+    data->policy_config = policy_config.ToString();
   }
   return Status::OK();
 }

@@ -21,6 +21,12 @@ struct ManifestData {
   uint64_t wal_number = 0;       // Live WAL file number (0 = none).
   std::string policy_name;       // Sanity check on reopen.
   std::string policy_state;      // Opaque GrowthPolicy::EncodeState() blob.
+  /// EncodeGrowthPolicyConfig() of the policy the store is CURRENTLY
+  /// running — which, under adaptive tuning (DESIGN.md §9), may differ
+  /// from the one in DbOptions. Reopening with adaptive_tuning re-resolves
+  /// the policy from this instead of the options. Empty in manifests
+  /// written before the field existed (decoded as absent, never an error).
+  std::string policy_config;
   Version version;
 };
 

@@ -194,6 +194,36 @@ struct DbOptions {
   /// Snapshotter JSONL output file ("" = in-memory ring only).
   std::string stats_snapshot_path;
 
+  // ---- Adaptive tuning (src/tune/, DESIGN.md §9) ----
+  /// Close the paper's sense→act loop: a tune::AdaptiveTuner periodically
+  /// re-solves the vertical cost model against the windowed measured mix
+  /// and amplification, and — when the predicted win exceeds
+  /// tune_hysteresis — switches the growth policy or retunes its size
+  /// ratio at runtime via DB::ApplyPolicyConfig, emitting kPolicyChange.
+  /// Requires enable_amp_stats (the tuner feeds on the measured windows)
+  /// and a vertical-scheme policy (the family the cost model solves and
+  /// the only shapes with a cheap live-migration path); ignored otherwise.
+  /// A tuned store persists its current policy config in the manifest and
+  /// re-resolves it on reopen, so a store reopened with adaptive_tuning
+  /// keeps its tuned design rather than failing the policy-name check.
+  bool adaptive_tuning = false;
+  /// Cadence of the tuner's decision loop. Per engine; under
+  /// shard::ShardedDB one fleet-level timer ticks every shard instead
+  /// (per-shard timers are disabled at Open, mirroring the snapshotter).
+  /// 0 = no timer: decisions happen only via explicit DB::RetuneNow()
+  /// calls (tests drive this directly).
+  uint64_t tune_interval_ms = 1000;
+  /// Minimum predicted fractional cost win (model ζ ratio − 1) before the
+  /// tuner switches designs — the band that prevents flapping when two
+  /// designs are near-equal at the decision boundary.
+  double tune_hysteresis = 0.35;
+  /// Drift windows with fewer operations than this are skipped by the
+  /// tuner: a thin window's mix estimate is noise, not workload.
+  uint64_t tune_min_window_ops = 256;
+  /// Decision ticks the tuner holds after a switch, letting the windowed
+  /// measurements refill under the new shape before re-deciding.
+  int tune_cooldown_ticks = 2;
+
   // CPU epsilons for the virtual clock (see env/io_stats.h).
   double cpu_cost_per_write = 0.02;
   double cpu_cost_per_read = 0.02;

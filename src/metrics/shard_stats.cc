@@ -83,7 +83,8 @@ GroupCommitStats AggregateGroupCommitStats(
 std::string DumpPrometheusText(const EngineStats& stats,
                                uint64_t events_total, uint64_t data_bytes,
                                const std::vector<Histogram>& latency_per_op,
-                               const obs::AmpSnapshot* amp) {
+                               const obs::AmpSnapshot* amp,
+                               const tune::TunerStats* tune) {
   obs::PrometheusWriter w;
   w.AddCounter("talus_puts_total", "", stats.puts);
   w.AddCounter("talus_deletes_total", "", stats.deletes);
@@ -168,7 +169,56 @@ std::string DumpPrometheusText(const EngineStats& stats,
     w.AddGauge("talus_blocks_per_lookup", "", amp->BlocksPerLookup(),
                "Data blocks fetched per point lookup (the model's R unit)");
   }
+  if (tune != nullptr) {
+    w.AddCounter("talus_tune_ticks_total", "", tune->ticks,
+                 "Adaptive-tuner decision ticks (DESIGN.md section 9)");
+    w.AddCounter("talus_tune_retunes_total", "", tune->retunes,
+                 "Decision ticks that recommended a design switch");
+    w.AddCounter("talus_tune_switches_total", "", tune->switches_applied,
+                 "Recommended switches the engine installed");
+    w.AddCounter("talus_tune_holds_total", "kind=\"hysteresis\"", tune->holds,
+                 "Held decisions, by why the tuner held");
+    w.AddCounter("talus_tune_holds_total", "kind=\"thin_window\"",
+                 tune->thin_windows,
+                 "Held decisions, by why the tuner held");
+    w.AddCounter("talus_tune_holds_total", "kind=\"cooldown\"",
+                 tune->cooldown_holds,
+                 "Held decisions, by why the tuner held");
+    w.AddCounter("talus_tune_drift_events_total", "", tune->drift_events,
+                 "kModelDrift windows observed by the tuner's owner");
+    w.AddGauge("talus_tune_last_gain", "", tune->last_gain,
+               "Predicted fractional cost win of the last decision");
+    w.AddGauge("talus_tune_cost", "design=\"current\"",
+               tune->last_current_cost,
+               "Model cost zeta at the last decision, current vs best");
+    w.AddGauge("talus_tune_cost", "design=\"best\"", tune->last_best_cost,
+               "Model cost zeta at the last decision, current vs best");
+  }
   return w.Output();
+}
+
+tune::TunerStats AggregateTunerStats(
+    const std::vector<tune::TunerStats>& in) {
+  tune::TunerStats out;
+  uint64_t freshest_ticks = 0;
+  for (const tune::TunerStats& s : in) {
+    out.ticks += s.ticks;
+    out.thin_windows += s.thin_windows;
+    out.cooldown_holds += s.cooldown_holds;
+    out.holds += s.holds;
+    out.retunes += s.retunes;
+    out.switches_applied += s.switches_applied;
+    out.drift_events += s.drift_events;
+    if (s.ticks >= freshest_ticks) {
+      freshest_ticks = s.ticks;
+      out.last_gain = s.last_gain;
+      out.last_current_cost = s.last_current_cost;
+      out.last_best_cost = s.last_best_cost;
+      out.last_action = s.last_action;
+      out.last_design = s.last_design;
+    }
+  }
+  return out;
 }
 
 std::vector<Histogram> MergeLatencyHistograms(

@@ -12,6 +12,7 @@
 #include "lsm/db.h"
 #include "metrics/write_stats.h"
 #include "obs/amp_tracker.h"
+#include "tune/adaptive_tuner.h"
 
 namespace talus {
 namespace metrics {
@@ -41,11 +42,21 @@ std::vector<Histogram> MergeLatencyHistograms(
 /// `latency_per_op` is indexed by obs::OpType (DB::GetLatencyHistograms /
 /// MergeLatencyHistograms output); `amp` is a cumulative
 /// DB::GetAmpSnapshot() (or a fleet-wide merge of them), null when amp
-/// accounting is disabled.
+/// accounting is disabled. `tune` adds the talus_tune_* families
+/// (DESIGN.md §9) — a single tuner's counters or a fleet-wide
+/// AggregateTunerStats() merge; null when adaptive tuning is off.
 std::string DumpPrometheusText(const EngineStats& stats,
                                uint64_t events_total, uint64_t data_bytes,
                                const std::vector<Histogram>& latency_per_op,
-                               const obs::AmpSnapshot* amp = nullptr);
+                               const obs::AmpSnapshot* amp = nullptr,
+                               const tune::TunerStats* tune = nullptr);
+
+/// Fleet merge of per-shard tuner counters: sums the counters; the last_*
+/// gauges and labels come from the shard with the most recent activity
+/// (highest tick count) since a cross-shard "last decision" is not a
+/// well-defined single value.
+tune::TunerStats AggregateTunerStats(
+    const std::vector<tune::TunerStats>& in);
 
 }  // namespace metrics
 }  // namespace talus

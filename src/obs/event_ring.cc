@@ -20,6 +20,7 @@ const char* EventTypeName(EventType type) {
     case EventType::kMemtableSwitch: return "memtable_switch";
     case EventType::kAmpSample: return "amp_sample";
     case EventType::kModelDrift: return "model_drift";
+    case EventType::kPolicyChange: return "policy_change";
   }
   return "unknown";
 }

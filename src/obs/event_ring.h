@@ -35,8 +35,9 @@ enum class EventType : uint8_t {
   kMemtableSwitch,      // a: sealed memtable bytes
   kAmpSample,           // a: window write-amp (milli), b: window blocks/lookup (milli)
   kModelDrift,          // a: drift score (milli), b: mix shift (milli)
+  kPolicyChange,        // a: 1 tiering / 0 leveling, b: size ratio (milli)
 };
-constexpr int kNumEventTypes = 13;
+constexpr int kNumEventTypes = 14;
 
 const char* EventTypeName(EventType type);
 

@@ -56,7 +56,19 @@ std::string DriftSample::ToString() const {
   return out;
 }
 
+void ModelDriftMonitor::Reconfigure(tuning::HorizontalMerge merge,
+                                    double size_ratio) {
+  std::lock_guard<std::mutex> lock(mu_);
+  params_.merge = merge;
+  params_.size_ratio = size_ratio;
+  // The mix-shift baseline survives: the workload did not change, only the
+  // design it is measured against.
+}
+
 DriftSample ModelDriftMonitor::Evaluate(const Measured& m) {
+  // Held for the whole evaluation: a concurrent Reconfigure (runtime
+  // policy switch) must not be observed half-applied.
+  std::lock_guard<std::mutex> lock(mu_);
   DriftSample s;
   s.mix = m.mix;
   s.merge = params_.merge;
@@ -93,15 +105,12 @@ DriftSample ModelDriftMonitor::Evaluate(const Measured& m) {
   s.drift_score = std::max(RatioScore(s.point_ratio),
                            RatioScore(s.update_ratio));
 
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (have_prev_mix_) s.mix_shift = MixL1Half(m.mix, prev_mix_);
-    // Only windows with traffic move the baseline: an idle window must not
-    // make the next busy window look like a flip back.
-    if (m.window_lookups + m.window_updates > 0) {
-      prev_mix_ = m.mix;
-      have_prev_mix_ = true;
-    }
+  if (have_prev_mix_) s.mix_shift = MixL1Half(m.mix, prev_mix_);
+  // Only windows with traffic move the baseline: an idle window must not
+  // make the next busy window look like a flip back.
+  if (m.window_lookups + m.window_updates > 0) {
+    prev_mix_ = m.mix;
+    have_prev_mix_ = true;
   }
 
   s.drifted = s.drift_score > params_.drift_threshold ||

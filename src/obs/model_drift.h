@@ -89,6 +89,12 @@ class ModelDriftMonitor {
   /// previous window's mix); safe for concurrent callers.
   DriftSample Evaluate(const Measured& m);
 
+  /// Re-anchors the monitor to a new design after a runtime policy switch
+  /// (DB::ApplyPolicyConfig): subsequent windows are measured against the
+  /// new merge/T. The mix-shift baseline is kept — the workload did not
+  /// change. Safe against concurrent Evaluate calls.
+  void Reconfigure(tuning::HorizontalMerge merge, double size_ratio);
+
  private:
   Params params_;
   std::mutex mu_;

@@ -98,6 +98,16 @@ struct GrowthPolicyConfig {
 std::unique_ptr<GrowthPolicy> CreateGrowthPolicy(
     const GrowthPolicyConfig& config, const PolicyContext& ctx);
 
+/// Round-trips a full GrowthPolicyConfig through a single-line text form
+/// (versioned, field-ordered). The manifest persists this next to the
+/// policy name so a store whose policy was retuned at runtime
+/// (DB::ApplyPolicyConfig, DESIGN.md §9) can re-resolve its *current*
+/// design at reopen instead of failing the policy-name check against the
+/// statically configured one.
+std::string EncodeGrowthPolicyConfig(const GrowthPolicyConfig& config);
+bool DecodeGrowthPolicyConfig(const std::string& encoded,
+                              GrowthPolicyConfig* config);
+
 }  // namespace talus
 
 #endif  // TALUS_POLICY_POLICY_CONFIG_H_

@@ -1,5 +1,7 @@
 // Factory and named presets for the growth policies (the paper's Figure 7
 // method roster).
+#include <cstdio>
+
 #include "policy/lazy_leveling_policy.h"
 #include "policy/policy_config.h"
 #include "policy/universal_policy.h"
@@ -126,6 +128,82 @@ GrowthPolicyConfig GrowthPolicyConfig::LazyLeveling(double T, int levels,
   c.lazy_levels = levels;
   c.lazy_embed_vertiorizon = embed;
   return c;
+}
+
+std::string EncodeGrowthPolicyConfig(const GrowthPolicyConfig& c) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "v1 scheme=%d merge=%d granularity=%d size_ratio=%.9g dyn=%d pick=%d "
+      "hlevels=%d hdata=%llu skew=%d alpha=%.9g lazy=%d embed=%d "
+      "urun=%d usa=%.9g vcap=%d vself=%d vmerge=%d vlevels=%d vopt=%d "
+      "mix=%.9g,%.9g,%.9g vmeasure=%d bits=%.9g pentries=%.9g",
+      static_cast<int>(c.scheme), static_cast<int>(c.merge),
+      static_cast<int>(c.granularity), c.size_ratio,
+      c.dynamic_level_bytes ? 1 : 0, static_cast<int>(c.file_pick),
+      c.horizontal_levels,
+      static_cast<unsigned long long>(c.horizontal_data_size),
+      c.skew_adaptation ? 1 : 0, c.skew_alpha, c.lazy_levels,
+      c.lazy_embed_vertiorizon ? 1 : 0, c.universal_run_trigger,
+      c.universal_max_size_amp, c.vrn_initial_capacity_buffers,
+      c.vrn_self_tuning ? 1 : 0, static_cast<int>(c.vrn_fixed_merge),
+      c.vrn_fixed_levels, c.vrn_optimize_ratio ? 1 : 0,
+      c.expected_mix.updates, c.expected_mix.point_lookups,
+      c.expected_mix.range_lookups, c.vrn_measure_mix ? 1 : 0,
+      c.bloom_bits_per_key, c.page_entries);
+  return buf;
+}
+
+bool DecodeGrowthPolicyConfig(const std::string& encoded,
+                              GrowthPolicyConfig* config) {
+  int scheme, merge, granularity, dyn, pick, hlevels, skew, lazy, embed;
+  int urun, vcap, vself, vmerge, vlevels, vopt, vmeasure;
+  unsigned long long hdata;
+  double size_ratio, alpha, usa, mw, mp, mr, bits, pentries;
+  const int matched = std::sscanf(
+      encoded.c_str(),
+      "v1 scheme=%d merge=%d granularity=%d size_ratio=%lg dyn=%d pick=%d "
+      "hlevels=%d hdata=%llu skew=%d alpha=%lg lazy=%d embed=%d "
+      "urun=%d usa=%lg vcap=%d vself=%d vmerge=%d vlevels=%d vopt=%d "
+      "mix=%lg,%lg,%lg vmeasure=%d bits=%lg pentries=%lg",
+      &scheme, &merge, &granularity, &size_ratio, &dyn, &pick, &hlevels,
+      &hdata, &skew, &alpha, &lazy, &embed, &urun, &usa, &vcap, &vself,
+      &vmerge, &vlevels, &vopt, &mw, &mp, &mr, &vmeasure, &bits, &pentries);
+  if (matched != 25) return false;
+  if (scheme < 0 || scheme > static_cast<int>(GrowthScheme::kVertiorizon)) {
+    return false;
+  }
+  GrowthPolicyConfig c;
+  c.scheme = static_cast<GrowthScheme>(scheme);
+  c.merge = merge == 1 ? MergePolicy::kTiering : MergePolicy::kLeveling;
+  c.granularity =
+      granularity == 1 ? Granularity::kPartial : Granularity::kFull;
+  c.size_ratio = size_ratio;
+  c.dynamic_level_bytes = dyn != 0;
+  c.file_pick = pick == 1 ? FilePick::kOldestSmallestSeqFirst
+                          : FilePick::kRoundRobin;
+  c.horizontal_levels = hlevels;
+  c.horizontal_data_size = hdata;
+  c.skew_adaptation = skew != 0;
+  c.skew_alpha = alpha;
+  c.lazy_levels = lazy;
+  c.lazy_embed_vertiorizon = embed != 0;
+  c.universal_run_trigger = urun;
+  c.universal_max_size_amp = usa;
+  c.vrn_initial_capacity_buffers = vcap;
+  c.vrn_self_tuning = vself != 0;
+  c.vrn_fixed_merge =
+      vmerge == 1 ? MergePolicy::kTiering : MergePolicy::kLeveling;
+  c.vrn_fixed_levels = vlevels;
+  c.vrn_optimize_ratio = vopt != 0;
+  c.expected_mix.updates = mw;
+  c.expected_mix.point_lookups = mp;
+  c.expected_mix.range_lookups = mr;
+  c.vrn_measure_mix = vmeasure != 0;
+  c.bloom_bits_per_key = bits;
+  c.page_entries = pentries;
+  *config = c;
+  return true;
 }
 
 std::unique_ptr<GrowthPolicy> CreateGrowthPolicy(

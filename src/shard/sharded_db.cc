@@ -131,6 +131,10 @@ Status ShardedDB::Open(const DbOptions& options,
     // per-shard snapshotters would multiply timer threads and JSONL files.
     shard_opts.stats_snapshot_interval_ms = 0;
     shard_opts.stats_snapshot_path.clear();
+    // Same single-timer rule for adaptive tuning: each shard keeps its own
+    // tuner (decision state, counters), but interval 0 means no per-shard
+    // timer thread — the fleet tuner below paces every shard's RetuneNow.
+    shard_opts.tune_interval_ms = 0;
     auto open_one = [&db, &results, &mu, &cv, &remaining, i, shard_opts] {
       Status os = DB::Open(shard_opts, &db->shards_[i]);
       std::lock_guard<std::mutex> lock(mu);
@@ -166,13 +170,27 @@ Status ShardedDB::Open(const DbOptions& options,
     db->snapshotter_->Start();
   }
 
+  if (options.adaptive_tuning && options.tune_interval_ms > 0) {
+    tune::TunerConfig tcfg;
+    tcfg.interval_ms = options.tune_interval_ms;
+    ShardedDB* raw = db.get();
+    db->fleet_tuner_ = std::make_unique<tune::AdaptiveTuner>(
+        tcfg, [raw] { raw->TuneNow(); });
+    db->fleet_tuner_->Start();
+  }
+
   *dbptr = std::move(db);
   return Status::OK();
 }
 
+void ShardedDB::TuneNow() {
+  for (auto& sh : shards_) sh->RetuneNow();
+}
+
 ShardedDB::~ShardedDB() {
-  // The snapshotter's SampleFn walks every shard; stop it before any of
-  // them (or the pool it samples on) goes away.
+  // The fleet tuner's tick and the snapshotter's SampleFn walk every
+  // shard; stop both before any shard (or the pool) goes away.
+  if (fleet_tuner_ != nullptr) fleet_tuner_->Stop();
   if (snapshotter_ != nullptr) snapshotter_->Stop();
   // Stray snapshots (the caller should have released them) must drop their
   // per-shard registrations before the shards go away.
@@ -462,7 +480,8 @@ bool ShardedDB::GetProperty(const std::string& property, std::string* value) {
     return true;
   }
   if (property == "talus.levels" || property == "talus.cstats" ||
-      property == "talus.exec" || property == "talus.model") {
+      property == "talus.exec" || property == "talus.model" ||
+      property == "talus.tune") {
     for (size_t i = 0; i < shards_.size(); i++) {
       std::string one;
       if (!shards_[i]->GetProperty(property, &one)) return false;
@@ -547,9 +566,18 @@ std::vector<Histogram> ShardedDB::GetLatencyHistograms() const {
 std::string ShardedDB::DumpPrometheus() const {
   const EngineStats agg = AggregatedStats();
   const obs::AmpSnapshot amp = AggregatedAmpSnapshot();
+  std::vector<tune::TunerStats> per_shard_tune;
+  for (const auto& sh : shards_) {
+    if (sh->adaptive_tuner() != nullptr) {
+      per_shard_tune.push_back(sh->adaptive_tuner()->GetStats());
+    }
+  }
+  const tune::TunerStats tune_agg =
+      metrics::AggregateTunerStats(per_shard_tune);
   return metrics::DumpPrometheusText(
       agg, ring_->TotalEmitted(), ApproximateDataBytes(),
-      GetLatencyHistograms(), options_.enable_amp_stats ? &amp : nullptr);
+      GetLatencyHistograms(), options_.enable_amp_stats ? &amp : nullptr,
+      per_shard_tune.empty() ? nullptr : &tune_agg);
 }
 
 obs::AmpSnapshot ShardedDB::AggregatedAmpSnapshot() const {

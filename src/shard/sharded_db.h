@@ -118,6 +118,16 @@ class ShardedDB {
   /// unless stats_snapshot_interval_ms > 0). One snapshotter samples the
   /// whole store; the per-shard ones are disabled at Open.
   obs::StatsSnapshotter* stats_snapshotter() { return snapshotter_.get(); }
+  /// One adaptive-tuning pass over every shard (DESIGN.md §9): each shard
+  /// senses its own drift window, navigates, and retunes independently —
+  /// a read-heavy shard can go leveled while its write-heavy neighbour
+  /// goes tiered. The fleet timer calls exactly this; tests and benches
+  /// call it directly for a deterministic cadence.
+  void TuneNow();
+  /// The fleet-level tuner TIMER (null unless adaptive_tuning with
+  /// tune_interval_ms > 0). Decision state lives in the per-shard tuners
+  /// (shard(i)->adaptive_tuner()); this object only paces TuneNow.
+  tune::AdaptiveTuner* adaptive_tuner() { return fleet_tuner_.get(); }
   /// The shared event ring every shard emits into (one globally ordered
   /// stream; cross-shard causality preserved).
   obs::EventRing* event_ring() { return ring_; }
@@ -162,6 +172,11 @@ class ShardedDB {
   // Fleet-level stats snapshotter; its SampleFn touches every shard and
   // the pool, so ~ShardedDB stops it before anything else is torn down.
   std::unique_ptr<obs::StatsSnapshotter> snapshotter_;
+  // Fleet-level tuner timer (ticks TuneNow across all shards; per-shard
+  // tuners are opened with interval 0 so only this one thread paces the
+  // fleet, mirroring the snapshotter). Stopped first in ~ShardedDB: its
+  // tick walks every shard.
+  std::unique_ptr<tune::AdaptiveTuner> fleet_tuner_;
 
   // Live cross-shard snapshots → their per-shard registrations.
   std::mutex snapshot_mu_;

@@ -1,0 +1,136 @@
+#include "tune/adaptive_tuner.h"
+
+#include <chrono>
+
+namespace talus {
+namespace tune {
+
+const char* TuneDecision::ActionName() const {
+  switch (action) {
+    case Action::kHold: return "hold";
+    case Action::kThinWindow: return "thin-window";
+    case Action::kCooldown: return "cooldown";
+    case Action::kRetune: return "retune";
+  }
+  return "unknown";
+}
+
+AdaptiveTuner::AdaptiveTuner(const TunerConfig& config, TickFn tick)
+    : config_(config), tick_(std::move(tick)) {}
+
+AdaptiveTuner::~AdaptiveTuner() { Stop(); }
+
+void AdaptiveTuner::Start() {
+  if (config_.interval_ms == 0 || tick_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(timer_mu_);
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  timer_ = std::thread([this] { TimerLoop(); });
+}
+
+void AdaptiveTuner::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_.joinable()) timer_.join();
+  std::lock_guard<std::mutex> lock(timer_mu_);
+  started_ = false;
+}
+
+void AdaptiveTuner::TimerLoop() {
+  std::unique_lock<std::mutex> lock(timer_mu_);
+  while (!stopping_) {
+    if (timer_cv_.wait_for(lock, std::chrono::milliseconds(config_.interval_ms),
+                           [this] { return stopping_; })) {
+      break;
+    }
+    // Run the tick with the timer lock released so Stop() never waits on
+    // a tick that is itself waiting on engine state.
+    lock.unlock();
+    tick_();
+    lock.lock();
+  }
+}
+
+TuneDecision AdaptiveTuner::Decide(const TunerInputs& in) {
+  TuneDecision d;
+  d.merge = in.current_merge;
+  d.size_ratio = in.current_size_ratio;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.ticks++;
+
+  if (in.window_ops < config_.min_window_ops) {
+    d.action = TuneDecision::Action::kThinWindow;
+    stats_.thin_windows++;
+    stats_.last_action = d.ActionName();
+    return d;
+  }
+
+  WorkloadMix mix = in.mix;
+  mix.Normalize();
+  tuning::VerticalCostModel current;
+  current.size_ratio = in.current_size_ratio;
+  current.bloom_fpr = in.bloom_fpr;
+  current.page_entries = in.page_entries;
+  current.data_buffers = in.data_buffers;
+  d.current_cost = current.Zeta(in.current_merge, mix);
+
+  const tuning::VerticalChoice best =
+      tuning::BestVertical(in.bloom_fpr, in.page_entries, in.data_buffers, mix);
+  d.best_cost = best.cost;
+  d.predicted_gain =
+      best.cost > 0 ? d.current_cost / best.cost - 1.0 : 0.0;
+
+  stats_.last_gain = d.predicted_gain;
+  stats_.last_current_cost = d.current_cost;
+  stats_.last_best_cost = d.best_cost;
+
+  if (cooldown_ > 0) {
+    cooldown_--;
+    d.action = TuneDecision::Action::kCooldown;
+    stats_.cooldown_holds++;
+    stats_.last_action = d.ActionName();
+    return d;
+  }
+
+  const bool same_design = best.merge == in.current_merge &&
+                           best.size_ratio == in.current_size_ratio;
+  if (same_design || d.predicted_gain <= config_.hysteresis) {
+    d.action = TuneDecision::Action::kHold;
+    stats_.holds++;
+    stats_.last_action = d.ActionName();
+    return d;
+  }
+
+  d.action = TuneDecision::Action::kRetune;
+  d.merge = best.merge;
+  d.size_ratio = best.size_ratio;
+  cooldown_ = config_.cooldown_ticks;
+  stats_.retunes++;
+  stats_.last_action = d.ActionName();
+  return d;
+}
+
+void AdaptiveTuner::NoteDrift() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.drift_events++;
+}
+
+void AdaptiveTuner::NoteSwitchApplied(const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.switches_applied++;
+  stats_.last_design = label;
+}
+
+TunerStats AdaptiveTuner::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace tune
+}  // namespace talus

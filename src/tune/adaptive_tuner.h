@@ -1,0 +1,151 @@
+// AdaptiveTuner: the *acting* half of the paper's sense→act loop
+// (DESIGN.md §9). The sensing half (obs::AmpTracker windowed amplification,
+// obs::ModelDriftMonitor drift scores, WorkloadMixTracker windowed mix)
+// landed first; this class closes the loop: each decision tick it re-solves
+// the vertical cost model (tuning::BestVertical) against the *measured*
+// windowed mix and amp-derived parameters, and recommends switching the
+// growth policy — or retuning its size ratio — when the predicted win
+// clears a hysteresis band.
+//
+// Split of responsibilities:
+//   * Decide() is the navigator: pure cost-model arithmetic plus the two
+//     pieces of anti-flap state (the hysteresis band and a post-switch
+//     cooldown). It never touches the engine; tests drive it directly.
+//   * The owner (DB::RetuneNow) evaluates one drift window, feeds the
+//     measurements in, and applies a kRetune decision via
+//     DB::ApplyPolicyConfig (the live-migration path).
+//   * An optional timer thread gives a standalone DB its own cadence.
+//     Under shard::ShardedDB the per-shard tuners keep the decision state
+//     but the fleet runs ONE timer that ticks every shard, mirroring the
+//     fleet-level stats snapshotter.
+//
+// Hysteresis semantics: a switch is recommended only when
+// zeta(current design) / zeta(best design) - 1 > hysteresis. At the
+// indifference boundary the ratio is ~1 from either side, so the tuner
+// holds whichever design is installed instead of flapping between two
+// near-equal ones. After a switch the cooldown holds decisions for a few
+// ticks so the windowed measurements refill under the new shape.
+#ifndef TALUS_TUNE_ADAPTIVE_TUNER_H_
+#define TALUS_TUNE_ADAPTIVE_TUNER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "tuning/vertical_cost_model.h"
+#include "tuning/workload_mix.h"
+
+namespace talus {
+namespace tune {
+
+struct TunerConfig {
+  /// Minimum predicted fractional cost win (ζ ratio − 1) before a switch
+  /// is recommended; the anti-flap band.
+  double hysteresis = 0.35;
+  /// Windows with fewer operations (lookups + updates) than this are
+  /// skipped: a thin window's mix estimate is noise, not workload.
+  uint64_t min_window_ops = 256;
+  /// Decision ticks held after a switch while measurements refill.
+  int cooldown_ticks = 2;
+  /// Timer cadence; 0 = externally driven (fleet timer or explicit
+  /// RetuneNow calls) and Start() is a no-op.
+  uint64_t interval_ms = 0;
+};
+
+/// One decision tick's measured inputs (all from the just-consumed drift
+/// window plus the engine's current design).
+struct TunerInputs {
+  WorkloadMix mix;                  // windowed measured mix
+  uint64_t window_ops = 0;          // lookups + updates in the window
+  double bloom_fpr = 0.1;           // f
+  double page_entries = 4.0;        // P
+  uint64_t data_buffers = 1;        // N/B
+  tuning::HorizontalMerge current_merge = tuning::HorizontalMerge::kLeveling;
+  double current_size_ratio = 6.0;  // T
+};
+
+struct TuneDecision {
+  enum class Action { kHold, kThinWindow, kCooldown, kRetune };
+  Action action = Action::kHold;
+  /// The recommended design (valid when action == kRetune; echoes the
+  /// current design otherwise).
+  tuning::HorizontalMerge merge = tuning::HorizontalMerge::kLeveling;
+  double size_ratio = 6.0;
+  double current_cost = 0;    // ζ(current design, measured mix)
+  double best_cost = 0;       // ζ(best design, measured mix)
+  double predicted_gain = 0;  // current_cost / best_cost − 1
+
+  bool retune() const { return action == Action::kRetune; }
+  const char* ActionName() const;
+};
+
+/// Snapshot of the tuner's counters (the talus.tune property and the
+/// talus_tune_* Prometheus families).
+struct TunerStats {
+  uint64_t ticks = 0;
+  uint64_t thin_windows = 0;
+  uint64_t cooldown_holds = 0;
+  uint64_t holds = 0;
+  uint64_t retunes = 0;          // kRetune decisions
+  uint64_t switches_applied = 0; // decisions the engine installed
+  uint64_t drift_events = 0;     // kModelDrift samples seen by the owner
+  double last_gain = 0;
+  double last_current_cost = 0;
+  double last_best_cost = 0;
+  std::string last_action;  // ActionName() of the last decision
+  std::string last_design;  // label of the last applied design
+};
+
+class AdaptiveTuner {
+ public:
+  using TickFn = std::function<void()>;
+
+  /// `tick` runs on the tuner's own timer thread (never a shared pool: a
+  /// tick may wait for an active compaction chain, which on a small pool
+  /// could be queued behind the tick itself). Null tick or interval 0
+  /// makes Start a no-op.
+  AdaptiveTuner(const TunerConfig& config, TickFn tick);
+  ~AdaptiveTuner();
+  AdaptiveTuner(const AdaptiveTuner&) = delete;
+  AdaptiveTuner& operator=(const AdaptiveTuner&) = delete;
+
+  void Start();
+  /// Stops the timer thread and waits for an in-flight tick. Idempotent.
+  void Stop();
+
+  /// One navigation decision over the measured window. Thread-safe;
+  /// updates the anti-flap state and counters.
+  TuneDecision Decide(const TunerInputs& in);
+
+  /// Owner feedback: a drift window flagged kModelDrift.
+  void NoteDrift();
+  /// Owner feedback: a kRetune decision was installed as `label`.
+  void NoteSwitchApplied(const std::string& label);
+
+  TunerStats GetStats() const;
+  const TunerConfig& config() const { return config_; }
+
+ private:
+  void TimerLoop();
+
+  const TunerConfig config_;
+  TickFn tick_;
+
+  mutable std::mutex mu_;  // decision state + stats
+  int cooldown_ = 0;
+  TunerStats stats_;
+
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  bool started_ = false;
+  bool stopping_ = false;
+  std::thread timer_;
+};
+
+}  // namespace tune
+}  // namespace talus
+
+#endif  // TALUS_TUNE_ADAPTIVE_TUNER_H_

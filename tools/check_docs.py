@@ -15,6 +15,8 @@ no build needed:
      DESIGN.md.
   4. Every repo-relative file path mentioned in the markdown exists
      (generated artifacts like BENCH_*.json are allowlisted).
+  5. Every `DbOptions::<field>` reference — in markdown OR in source
+     comments — names a field actually declared in src/lsm/options.h.
 
 Run locally from the repo root: python3 tools/check_docs.py
 """
@@ -70,6 +72,26 @@ def source_corpus():
     return "\n".join(blobs)
 
 
+DBOPTIONS_RE = re.compile(r"DbOptions::([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def dboptions_fields():
+    """Field (and method) names declared in struct DbOptions."""
+    text = read(os.path.join(REPO, "src", "lsm", "options.h"))
+    m = re.search(r"struct DbOptions \{(.*?)\n\};", text, re.DOTALL)
+    if not m:
+        return set()
+    names = set()
+    for line in m.group(1).splitlines():
+        line = line.split("//")[0]
+        # `type name = default;` / `type name;` declarations.
+        decl = re.match(r"\s*[A-Za-z_][A-Za-z0-9_:<>*&\s]*?"
+                        r"\b([A-Za-z_][A-Za-z0-9_]*)\s*(=|;)", line)
+        if decl:
+            names.add(decl.group(1))
+    return names
+
+
 def design_sections():
     sections = set()
     for line in read(os.path.join(REPO, "DESIGN.md")).splitlines():
@@ -82,7 +104,10 @@ def design_sections():
 def main():
     src = source_corpus()
     sections = design_sections()
+    fields = dboptions_fields()
     errors = []
+    if not fields:
+        errors.append("src/lsm/options.h: could not parse struct DbOptions")
 
     docs = [p for p in DOC_FILES if os.path.basename(p) not in DOC_SKIP]
     for path in docs:
@@ -114,6 +139,11 @@ def main():
             if sec not in sections:
                 errors.append(f"{rel}: DESIGN.md §{sec} has no such heading")
 
+        for field in sorted(set(DBOPTIONS_RE.findall(text))):
+            if field not in fields:
+                errors.append(
+                    f"{rel}: DbOptions::{field} is not a DbOptions field")
+
         for p in sorted(set(PATH_RE.findall(text))):
             clean = p.rstrip("/")
             if PATH_ALLOW.match(p) or PATH_ALLOW.match(clean):
@@ -125,6 +155,9 @@ def main():
     for sec in sorted(set(SECTION_RE.findall(src))):
         if sec not in sections:
             errors.append(f"src: DESIGN.md §{sec} has no such heading")
+    for field in sorted(set(DBOPTIONS_RE.findall(src))):
+        if field not in fields:
+            errors.append(f"src: DbOptions::{field} is not a DbOptions field")
 
     if errors:
         for e in errors:
